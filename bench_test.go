@@ -1,0 +1,371 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation, plus the §6 ablations. Each benchmark runs its
+// experiment at the reduced BenchScale (2 drives, workloads divided by 32)
+// and reports the headline quantities via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the whole evaluation in shape-preserving miniature.
+// Full-scale regeneration is `go run ./cmd/rofs-tables -exp all -scale
+// full`; EXPERIMENTS.md records paper-vs-measured numbers for both.
+package rofs_test
+
+import (
+	"testing"
+
+	"rofs/internal/alloc/extent"
+	"rofs/internal/core"
+	"rofs/internal/experiments"
+	"rofs/internal/sim"
+	"rofs/internal/units"
+)
+
+func scale() experiments.Scale { return experiments.BenchScale() }
+
+// BenchmarkTable1DiskModel measures the raw disk model: one sustained
+// sequential scan, reported as a percentage of the analytic maximum the
+// throughput normalization uses (Table 1's "maximum throughput" row).
+func BenchmarkTable1DiskModel(b *testing.B) {
+	sc := scale()
+	for i := 0; i < b.N; i++ {
+		wl, err := sc.Workload("SC")
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := sc.Config(core.RBuddy(5, 1, true), wl)
+		cfg.MaxSimMS = 60_000
+		res, err := core.RunSequential(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Percent, "seq-%max")
+	}
+}
+
+// benchTable3 runs one Table 3 cell.
+func benchTable3(b *testing.B, wlName string) {
+	sc := scale()
+	for i := 0; i < b.N; i++ {
+		wl, err := sc.Workload(wlName)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := sc.Config(core.Buddy(), wl)
+		frag, err := core.RunAllocation(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		app, err := core.RunApplication(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		seq, err := core.RunSequential(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(frag.InternalPct, "int-frag-%")
+		b.ReportMetric(frag.ExternalPct, "ext-frag-%")
+		b.ReportMetric(app.Percent, "app-%max")
+		b.ReportMetric(seq.Percent, "seq-%max")
+	}
+}
+
+func BenchmarkTable3BuddySC(b *testing.B) { benchTable3(b, "SC") }
+func BenchmarkTable3BuddyTP(b *testing.B) { benchTable3(b, "TP") }
+func BenchmarkTable3BuddyTS(b *testing.B) { benchTable3(b, "TS") }
+
+// BenchmarkFig1RestrictedBuddyFrag runs the full §4.2 fragmentation grid
+// (16 configurations × 3 workloads) and reports the worst cells.
+func BenchmarkFig1RestrictedBuddyFrag(b *testing.B) {
+	sc := scale()
+	for i := 0; i < b.N; i++ {
+		cells, err := experiments.Figure1(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var worstInt, worstExt float64
+		for _, c := range cells {
+			if c.InternalPct > worstInt {
+				worstInt = c.InternalPct
+			}
+			if c.ExternalPct > worstExt {
+				worstExt = c.ExternalPct
+			}
+		}
+		b.ReportMetric(worstInt, "worst-int-%")
+		b.ReportMetric(worstExt, "worst-ext-%")
+	}
+}
+
+// BenchmarkFig2RestrictedBuddyPerf runs the §4.2 throughput grid on the
+// selected configuration's neighbourhood (5 sizes, both grow factors,
+// clustered and not) across workloads, reporting the best sequential cell.
+func BenchmarkFig2RestrictedBuddyPerf(b *testing.B) {
+	sc := scale()
+	for i := 0; i < b.N; i++ {
+		var best float64
+		for _, name := range []string{"SC", "TP", "TS"} {
+			wl, err := sc.Workload(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, clustered := range []bool{true, false} {
+				res, err := core.RunSequential(sc.Config(core.RBuddy(5, 1, clustered), wl))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Percent > best {
+					best = res.Percent
+				}
+			}
+		}
+		b.ReportMetric(best, "best-seq-%max")
+	}
+}
+
+// BenchmarkFig3GrowBreak exercises the Figure 3 walk-through.
+func BenchmarkFig3GrowBreak(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res[0].GapKB), "g1-gap-KB")
+		b.ReportMetric(float64(res[1].FileKB), "g2-cross-KB")
+	}
+}
+
+// BenchmarkFig4ExtentFrag runs the §4.3 fragmentation grid (first/best
+// fit × 1-5 ranges × 3 workloads).
+func BenchmarkFig4ExtentFrag(b *testing.B) {
+	sc := scale()
+	for i := 0; i < b.N; i++ {
+		cells, err := experiments.Figure4(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var worstInt, worstExt float64
+		for _, c := range cells {
+			if c.InternalPct > worstInt {
+				worstInt = c.InternalPct
+			}
+			if c.ExternalPct > worstExt {
+				worstExt = c.ExternalPct
+			}
+		}
+		b.ReportMetric(worstInt, "worst-int-%")
+		b.ReportMetric(worstExt, "worst-ext-%")
+	}
+}
+
+// BenchmarkFig5ExtentPerf compares first fit against best fit on the
+// 3-range configuration (the §4.3 selection) sequentially.
+func BenchmarkFig5ExtentPerf(b *testing.B) {
+	sc := scale()
+	for i := 0; i < b.N; i++ {
+		for _, fit := range []extent.Fit{extent.FirstFit, extent.BestFit} {
+			wl, err := sc.Workload("TP")
+			if err != nil {
+				b.Fatal(err)
+			}
+			ranges, err := sc.ExtentRanges("TP", 3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := core.RunSequential(sc.Config(core.Extent(fit, ranges), wl))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.Percent, fit.String()+"-seq-%max")
+		}
+	}
+}
+
+// BenchmarkTable4ExtentsPerFile reports the Table 4 averages for the 1-
+// and 3-range TP configurations (the paper's extremes).
+func BenchmarkTable4ExtentsPerFile(b *testing.B) {
+	sc := scale()
+	for i := 0; i < b.N; i++ {
+		for _, n := range []int{1, 3} {
+			wl, err := sc.Workload("TP")
+			if err != nil {
+				b.Fatal(err)
+			}
+			ranges, err := sc.ExtentRanges("TP", n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			frag, err := core.RunAllocation(sc.Config(core.Extent(extent.FirstFit, ranges), wl))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n == 1 {
+				b.ReportMetric(frag.ExtentsPerFile, "tp-1r-extents/file")
+			} else {
+				b.ReportMetric(frag.ExtentsPerFile, "tp-3r-extents/file")
+			}
+		}
+	}
+}
+
+// BenchmarkFig6Comparison runs the §5 four-policy comparison and reports
+// the multiblock-vs-fixed sequential gap on SC — the paper's headline.
+func BenchmarkFig6Comparison(b *testing.B) {
+	sc := scale()
+	for i := 0; i < b.N; i++ {
+		cells, err := experiments.Figure6(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var multi, fixed float64
+		for _, c := range cells {
+			if c.Workload != "SC" {
+				continue
+			}
+			if c.Policy == "fixed-16K" {
+				fixed = c.SeqPct
+			} else if c.SeqPct > multi {
+				multi = c.SeqPct
+			}
+		}
+		b.ReportMetric(multi, "sc-multiblock-seq-%")
+		b.ReportMetric(fixed, "sc-fixed-seq-%")
+		b.ReportMetric(multi/fixed, "speedup-x")
+	}
+}
+
+// BenchmarkAblationRAID5 reports the TP small-write penalty under RAID-5
+// (§6: "the impact of a RAID ... will reduce the small write
+// performance").
+func BenchmarkAblationRAID5(b *testing.B) {
+	sc := scale()
+	for i := 0; i < b.N; i++ {
+		cells, err := experiments.AblationRAID(sc, "TP")
+		if err != nil {
+			b.Fatal(err)
+		}
+		var striped, raid float64
+		for _, c := range cells {
+			switch c.Layout.String() {
+			case "striped":
+				striped = c.AppPct
+			case "raid5":
+				raid = c.AppPct
+			}
+		}
+		b.ReportMetric(striped, "striped-app-%")
+		b.ReportMetric(raid, "raid5-app-%")
+	}
+}
+
+// BenchmarkAblationStripeUnit reports SC sequential throughput at the
+// smallest and largest swept stripe units.
+func BenchmarkAblationStripeUnit(b *testing.B) {
+	sc := scale()
+	for i := 0; i < b.N; i++ {
+		cells, err := experiments.AblationStripeUnit(sc, "SC")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cells[0].SeqPct, "stripe-8K-seq-%")
+		b.ReportMetric(cells[len(cells)-1].SeqPct, "stripe-384K-seq-%")
+	}
+}
+
+// BenchmarkAblationFileMix reports restricted buddy internal fragmentation
+// at 10% and 70% large-file space share.
+func BenchmarkAblationFileMix(b *testing.B) {
+	sc := scale()
+	for i := 0; i < b.N; i++ {
+		cells, err := experiments.AblationFileMix(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range cells {
+			if c.Policy != "rbuddy-5-g1-clus" {
+				continue
+			}
+			switch c.LargeShare {
+			case 0.1:
+				b.ReportMetric(c.InternalPct, "mix10-int-%")
+			case 0.7:
+				b.ReportMetric(c.InternalPct, "mix70-int-%")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationClustering reports the clustered-vs-unclustered TS
+// sequential delta (§4.2's Figure 2f discussion).
+func BenchmarkAblationClustering(b *testing.B) {
+	sc := scale()
+	for i := 0; i < b.N; i++ {
+		cells, err := experiments.AblationClustering(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range cells {
+			if c.GrowFactor != 1 {
+				continue
+			}
+			if c.Clustered {
+				b.ReportMetric(c.SeqPct, "clustered-seq-%")
+			} else {
+				b.ReportMetric(c.SeqPct, "unclustered-seq-%")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationScheduler reports the SSTF-vs-FCFS application
+// throughput gap on TP (ablation A5).
+func BenchmarkAblationScheduler(b *testing.B) {
+	sc := scale()
+	for i := 0; i < b.N; i++ {
+		cells, err := experiments.AblationScheduler(sc, "TP")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range cells {
+			b.ReportMetric(c.AppPct, c.Scheduler.String()+"-app-%")
+		}
+	}
+}
+
+// BenchmarkAblationRealloc reports buddy internal fragmentation before and
+// after Koch's nightly reallocator (ablation A6).
+func BenchmarkAblationRealloc(b *testing.B) {
+	sc := scale()
+	for i := 0; i < b.N; i++ {
+		cells, err := experiments.AblationRealloc(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range cells {
+			if c.Workload == "TS" {
+				b.ReportMetric(c.InternalBefore, "ts-int-before-%")
+				b.ReportMetric(c.After, "ts-int-after-%")
+			}
+		}
+	}
+}
+
+// BenchmarkEngineThroughput measures the raw event engine, the substrate
+// everything runs on.
+func BenchmarkEngineThroughput(b *testing.B) {
+	var eng sim.Engine
+	var fire sim.Handler
+	remaining := b.N
+	fire = func(now float64) {
+		remaining--
+		if remaining > 0 {
+			eng.After(1, fire)
+		}
+	}
+	b.ReportAllocs()
+	eng.At(0, fire)
+	eng.Run(1e18)
+	if units.KB != 1024 {
+		b.Fatal("unreachable")
+	}
+}

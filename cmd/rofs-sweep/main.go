@@ -1,0 +1,140 @@
+// Command rofs-sweep runs a one-dimensional parameter sweep and emits CSV
+// — the tool behind sensitivity studies and the seed-variance numbers in
+// EXPERIMENTS.md.
+//
+// Sweepable parameters:
+//
+//	seed     re-run the same configuration under different seeds
+//	users    scale every file type's user count
+//	stripe   stripe-unit size (bytes, powers of the base value)
+//	disks    number of drives
+//	grow     restricted buddy grow factor
+//	sizes    restricted buddy block-size count (2-5)
+//
+// Examples:
+//
+//	rofs-sweep -param seed -values 1,2,3,4,5 -workload TP -test app
+//	rofs-sweep -param stripe -values 8192,24576,98304 -workload SC -test seq
+//	rofs-sweep -param users -values 8,16,32,64 -workload TP -test app -scale full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"rofs/internal/core"
+	"rofs/internal/experiments"
+	"rofs/internal/report"
+	"rofs/internal/stats"
+)
+
+func main() {
+	var (
+		paramFlag    = flag.String("param", "seed", "seed | users | stripe | disks | grow | sizes")
+		valuesFlag   = flag.String("values", "1,2,3", "comma-separated values to sweep")
+		workloadFlag = flag.String("workload", "TP", "TS | TP | SC")
+		testFlag     = flag.String("test", "app", "alloc | app | seq")
+		scaleFlag    = flag.String("scale", "bench", "full | bench")
+		csvFlag      = flag.Bool("csv", true, "emit CSV (false: aligned table)")
+		summaryFlag  = flag.Bool("summary", false, "append mean ± 95% CI rows per metric (useful with -param seed)")
+	)
+	flag.Parse()
+
+	var values []int64
+	for _, tok := range strings.Split(*valuesFlag, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(tok), 10, 64)
+		if err != nil {
+			fatal("bad value %q: %v", tok, err)
+		}
+		values = append(values, v)
+	}
+	if len(values) == 0 {
+		fatal("no values to sweep")
+	}
+
+	t := report.NewTable("",
+		*paramFlag, "policy", "workload", "test", "metric1", "metric2", "metric3")
+	var m1, m2, m3 stats.Welford
+	for _, v := range values {
+		sc := experiments.BenchScale()
+		if *scaleFlag == "full" {
+			sc = experiments.FullScale()
+		}
+		spec := core.RBuddy(5, 1, true)
+		wl, err := sc.Workload(*workloadFlag)
+		if err != nil {
+			fatal("%v", err)
+		}
+		switch *paramFlag {
+		case "seed":
+			sc.Seed = v
+		case "users":
+			for i := range wl.Types {
+				wl.Types[i].Users = int(v)
+			}
+		case "stripe":
+			sc.Disk.StripeUnitBytes = v
+		case "disks":
+			sc.Disk.NDisks = int(v)
+		case "grow":
+			spec = core.RBuddy(5, v, true)
+		case "sizes":
+			spec = core.RBuddy(int(v), 1, true)
+		default:
+			fatal("unknown parameter %q", *paramFlag)
+		}
+		cfg := sc.Config(spec, wl)
+		switch *testFlag {
+		case "alloc":
+			res, err := core.RunAllocation(cfg)
+			if err != nil {
+				fatal("%v", err)
+			}
+			t.AddRow(v, spec.Name(), wl.Name, "alloc",
+				f(res.InternalPct), f(res.ExternalPct), fmt.Sprint(res.Ops))
+			m1.Add(res.InternalPct)
+			m2.Add(res.ExternalPct)
+			m3.Add(float64(res.Ops))
+		case "app", "seq":
+			var res core.PerfResult
+			if *testFlag == "app" {
+				res, err = core.RunApplication(cfg)
+			} else {
+				res, err = core.RunSequential(cfg)
+			}
+			if err != nil {
+				fatal("%v", err)
+			}
+			t.AddRow(v, spec.Name(), wl.Name, *testFlag,
+				f(res.Percent), f(res.MeanLatencyMS), f(res.P95LatencyMS))
+			m1.Add(res.Percent)
+			m2.Add(res.MeanLatencyMS)
+			m3.Add(res.P95LatencyMS)
+		default:
+			fatal("unknown test %q", *testFlag)
+		}
+	}
+	if *summaryFlag {
+		ci := func(w *stats.Welford) string {
+			return fmt.Sprintf("%.2f±%.2f", w.Mean(), w.CI95())
+		}
+		t.AddRow("mean±CI95", "", "", "", ci(&m1), ci(&m2), ci(&m3))
+	}
+	if *csvFlag {
+		if err := t.RenderCSV(os.Stdout); err != nil {
+			fatal("%v", err)
+		}
+	} else {
+		t.Render(os.Stdout)
+	}
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rofs-sweep: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,458 @@
+// Command rofs-tables regenerates every table and figure of the paper's
+// evaluation (and the §6 ablations), printing text tables and ASCII bar
+// charts. See EXPERIMENTS.md for paper-vs-measured numbers.
+//
+// Usage:
+//
+//	rofs-tables -exp all -scale full          # the paper's configuration
+//	rofs-tables -exp table3,fig6 -scale bench # quick reduced-scale runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"rofs/internal/disk"
+	"rofs/internal/experiments"
+	"rofs/internal/report"
+	"rofs/internal/sim"
+	"rofs/internal/units"
+)
+
+func main() {
+	var (
+		expFlag   = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,fig1,fig2,fig3,fig4,fig5,table4,fig6,raid,stripe,mix,cluster, or all")
+		scaleFlag = flag.String("scale", "bench", "full (the paper's 8-drive 2.8G array) or bench (reduced)")
+		seedFlag  = flag.Int64("seed", 42, "simulation seed")
+	)
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scaleFlag {
+	case "full":
+		sc = experiments.FullScale()
+	case "bench":
+		sc = experiments.BenchScale()
+	default:
+		fmt.Fprintf(os.Stderr, "rofs-tables: unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+	sc.Seed = *seedFlag
+
+	all := map[string]func(experiments.Scale) error{
+		"table1":  table1,
+		"table2":  table2,
+		"table3":  table3,
+		"fig1":    fig1,
+		"fig2":    fig2,
+		"fig3":    fig3,
+		"fig4":    fig4,
+		"fig5":    fig5,
+		"table4":  table4,
+		"fig6":    fig6,
+		"raid":    ablationRAID,
+		"stripe":  ablationStripe,
+		"mix":     ablationMix,
+		"cluster": ablationCluster,
+		"sched":   ablationScheduler,
+		"realloc": ablationRealloc,
+		"meta":    metadataTable,
+		"skew":    ablationSkew,
+		"aging":   ablationAging,
+	}
+	order := []string{"table1", "table2", "table3", "fig1", "fig2", "fig3", "fig4", "fig5",
+		"table4", "fig6", "raid", "stripe", "mix", "cluster", "sched", "realloc", "meta",
+		"skew", "aging"}
+
+	want := strings.Split(*expFlag, ",")
+	if *expFlag == "all" {
+		want = order
+	}
+	for _, name := range want {
+		name = strings.TrimSpace(name)
+		fn, ok := all[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "rofs-tables: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		start := time.Now()
+		fmt.Printf("=== %s (scale=%s, seed=%d) ===\n", name, sc.Name, sc.Seed)
+		if err := fn(sc); err != nil {
+			fmt.Fprintf(os.Stderr, "rofs-tables: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("    [%s in %.1fs]\n\n", name, time.Since(start).Seconds())
+	}
+}
+
+func table1(sc experiments.Scale) error {
+	g := sc.Disk.Geometry
+	t := report.NewTable("Table 1: Disk Drive Parameters and Simulator Values", "Parameter", "Value")
+	t.AddRow("Number of disks", sc.Disk.NDisks)
+	t.AddRow("Total capacity", units.Format(g.Capacity()*int64(sc.Disk.NDisks)))
+	sys, err := disk.New(sc.Disk, &sim.Engine{})
+	if err != nil {
+		return err
+	}
+	t.AddRow("Maximum sustained throughput", fmt.Sprintf("%.1f M/sec", sys.MaxBandwidth()*1000/1e6))
+	t.AddRow("Number of platters", g.TracksPerCylinder)
+	t.AddRow("Number of cylinders", g.Cylinders)
+	t.AddRow("Bytes per track", units.Format(g.BytesPerTrack))
+	t.AddRow("Single track seek time", fmt.Sprintf("%.1f ms", g.SingleTrackSeekMS))
+	t.AddRow("Seek incremental time", fmt.Sprintf("%.4f ms", g.SeekIncrementMS))
+	t.AddRow("Single rotation time", fmt.Sprintf("%.2f ms", g.RotationMS))
+	t.AddRow("Stripe unit", units.Format(sc.Disk.StripeUnitBytes))
+	t.AddRow("Disk unit", units.Format(sc.Disk.UnitBytes))
+	t.Render(os.Stdout)
+	return nil
+}
+
+func table2(sc experiments.Scale) error {
+	for _, name := range []string{"TS", "TP", "SC"} {
+		wl, err := sc.Workload(name)
+		if err != nil {
+			return err
+		}
+		t := report.NewTable(fmt.Sprintf("Table 2 (%s workload): file type parameters", wl.Name),
+			"Type", "Files", "Users", "Init", "RW", "Extend", "Trunc", "Alloc", "R%", "W%", "E%", "Del%")
+		for _, ft := range wl.Types {
+			t.AddRow(ft.Name, ft.Files, ft.Users, units.Format(ft.InitialBytes),
+				units.Format(ft.RWSizeBytes), units.Format(ft.ExtendSize()),
+				units.Format(ft.TruncateBytes), units.Format(ft.AllocSizeBytes),
+				ft.ReadPct, ft.WritePct, ft.ExtendPct, ft.DeletePct)
+		}
+		t.Render(os.Stdout)
+	}
+	return nil
+}
+
+func table3(sc experiments.Scale) error {
+	rows, err := experiments.Table3(sc)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Table 3: Results for Buddy Allocation",
+		"Workload", "Internal%", "External%", "Application%", "Sequential%")
+	for _, r := range rows {
+		t.AddRow(r.Workload, r.InternalPct, r.ExternalPct, r.AppPct, r.SeqPct)
+	}
+	t.Render(os.Stdout)
+	return nil
+}
+
+func fig1(sc experiments.Scale) error {
+	cells, err := experiments.Figure1(sc)
+	if err != nil {
+		return err
+	}
+	// The paper's panels: (a,c,e) internal and (b,d,f) external
+	// fragmentation for SC, TP, TS.
+	panels := []struct {
+		letter, wl, what string
+		pick             func(experiments.FragCell) float64
+	}{
+		{"1a", "SC", "internal", func(c experiments.FragCell) float64 { return c.InternalPct }},
+		{"1b", "SC", "external", func(c experiments.FragCell) float64 { return c.ExternalPct }},
+		{"1c", "TP", "internal", func(c experiments.FragCell) float64 { return c.InternalPct }},
+		{"1d", "TP", "external", func(c experiments.FragCell) float64 { return c.ExternalPct }},
+		{"1e", "TS", "internal", func(c experiments.FragCell) float64 { return c.InternalPct }},
+		{"1f", "TS", "external", func(c experiments.FragCell) float64 { return c.ExternalPct }},
+	}
+	for _, p := range panels {
+		chart := report.NewBarChart(
+			fmt.Sprintf("Figure %s: %s %s fragmentation (%% of space)", p.letter, p.wl, p.what), 25, 50)
+		group := ""
+		for _, c := range cells {
+			if c.Workload != p.wl {
+				continue
+			}
+			// Group bars by block-size count, as the paper does.
+			g := c.Policy[:8] // "rbuddy-N"
+			if group != "" && g != group {
+				chart.Gap()
+			}
+			group = g
+			chart.Add(c.Policy, p.pick(c))
+		}
+		chart.Render(os.Stdout)
+		fmt.Println()
+	}
+	return nil
+}
+
+func fig2(sc experiments.Scale) error {
+	cells, err := experiments.Figure2(sc)
+	if err != nil {
+		return err
+	}
+	panels := []struct {
+		letter, wl, what string
+		pick             func(experiments.PerfCell) float64
+	}{
+		{"2a", "SC", "application", func(c experiments.PerfCell) float64 { return c.AppPct }},
+		{"2b", "SC", "sequential", func(c experiments.PerfCell) float64 { return c.SeqPct }},
+		{"2c", "TP", "application", func(c experiments.PerfCell) float64 { return c.AppPct }},
+		{"2d", "TP", "sequential", func(c experiments.PerfCell) float64 { return c.SeqPct }},
+		{"2e", "TS", "application", func(c experiments.PerfCell) float64 { return c.AppPct }},
+		{"2f", "TS", "sequential", func(c experiments.PerfCell) float64 { return c.SeqPct }},
+	}
+	for _, p := range panels {
+		chart := report.NewBarChart(
+			fmt.Sprintf("Figure %s: %s %s performance (%% of max throughput)", p.letter, p.wl, p.what), 100, 50)
+		group := ""
+		for _, c := range cells {
+			if c.Workload != p.wl {
+				continue
+			}
+			g := c.Policy[:8]
+			if group != "" && g != group {
+				chart.Gap()
+			}
+			group = g
+			chart.Add(c.Policy, p.pick(c))
+		}
+		chart.Render(os.Stdout)
+		fmt.Println()
+	}
+	return nil
+}
+
+func fig3(experiments.Scale) error {
+	res, err := experiments.Figure3()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 3: contiguous allocation vs the grow factor (sizes 1K/8K/64K)")
+	for _, r := range res {
+		fmt.Printf("  grow factor %d: first 64K block at %dK allocated; layout %v",
+			r.GrowFactor, r.FileKB, r.Extents)
+		if r.Discontiguous {
+			fmt.Printf("  -> discontiguous, %dK hole skipped (the Figure 3 seek)", r.GapKB)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func fig4(sc experiments.Scale) error {
+	cells, err := experiments.Figure4(sc)
+	if err != nil {
+		return err
+	}
+	renderFrag("Figure 4: Extent-based fragmentation", cells)
+	return nil
+}
+
+func fig5(sc experiments.Scale) error {
+	cells, err := experiments.Figure5(sc)
+	if err != nil {
+		return err
+	}
+	renderPerf("Figure 5: Extent-based performance", cells)
+	return nil
+}
+
+func table4(sc experiments.Scale) error {
+	rows, err := experiments.Table4(sc)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Table 4: Average number of extents per file (first fit)",
+		"Ranges", "SC", "TP", "TS")
+	byRange := map[int]map[string]float64{}
+	for _, r := range rows {
+		if byRange[r.Ranges] == nil {
+			byRange[r.Ranges] = map[string]float64{}
+		}
+		byRange[r.Ranges][r.Workload] = r.ExtentsPerFile
+	}
+	for n := 1; n <= 5; n++ {
+		t.AddRow(n, byRange[n]["SC"], byRange[n]["TP"], byRange[n]["TS"])
+	}
+	t.Render(os.Stdout)
+	return nil
+}
+
+func fig6(sc experiments.Scale) error {
+	cells, err := experiments.Figure6(sc)
+	if err != nil {
+		return err
+	}
+	for _, panel := range []struct {
+		title string
+		pick  func(experiments.PerfCell) float64
+	}{
+		{"Figure 6a: Sequential performance (% of max throughput)", func(c experiments.PerfCell) float64 { return c.SeqPct }},
+		{"Figure 6b: Application performance (% of max throughput)", func(c experiments.PerfCell) float64 { return c.AppPct }},
+	} {
+		chart := report.NewBarChart(panel.title, 100, 50)
+		last := ""
+		for _, c := range cells {
+			if c.Workload != last && last != "" {
+				chart.Gap()
+			}
+			last = c.Workload
+			chart.Add(fmt.Sprintf("%s %s", c.Workload, c.Policy), panel.pick(c))
+		}
+		chart.Render(os.Stdout)
+		fmt.Println()
+	}
+	return nil
+}
+
+func ablationRAID(sc experiments.Scale) error {
+	for _, wl := range []string{"TP", "SC"} {
+		cells, err := experiments.AblationRAID(sc, wl)
+		if err != nil {
+			return err
+		}
+		t := report.NewTable(fmt.Sprintf("Ablation A1 (%s): disk-system layouts under rbuddy-5-g1-clus", wl),
+			"Layout", "Application%", "Sequential%")
+		for _, c := range cells {
+			t.AddRow(c.Name(), c.AppPct, c.SeqPct)
+		}
+		t.Render(os.Stdout)
+	}
+	return nil
+}
+
+func ablationStripe(sc experiments.Scale) error {
+	for _, wl := range []string{"SC", "TS"} {
+		cells, err := experiments.AblationStripeUnit(sc, wl)
+		if err != nil {
+			return err
+		}
+		t := report.NewTable(fmt.Sprintf("Ablation A2 (%s): stripe-unit sensitivity", wl),
+			"Stripe unit", "Application%", "Sequential%")
+		for _, c := range cells {
+			t.AddRow(units.Format(c.StripeBytes), c.AppPct, c.SeqPct)
+		}
+		t.Render(os.Stdout)
+	}
+	return nil
+}
+
+func ablationMix(sc experiments.Scale) error {
+	cells, err := experiments.AblationFileMix(sc)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Ablation A3: fragmentation vs large-file space share (TS variant)",
+		"Large share", "Policy", "Internal%", "External%")
+	for _, c := range cells {
+		t.AddRow(fmt.Sprintf("%.0f%%", c.LargeShare*100), c.Policy, c.InternalPct, c.ExternalPct)
+	}
+	t.Render(os.Stdout)
+	return nil
+}
+
+func ablationCluster(sc experiments.Scale) error {
+	cells, err := experiments.AblationClustering(sc)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Ablation A4: clustering × grow factor on TS (rbuddy, 5 sizes)",
+		"Clustered", "Grow", "Sequential%", "Internal%")
+	for _, c := range cells {
+		t.AddRow(c.Clustered, c.GrowFactor, c.SeqPct, c.InternalPct)
+	}
+	t.Render(os.Stdout)
+	return nil
+}
+
+func ablationScheduler(sc experiments.Scale) error {
+	for _, wl := range []string{"TP", "SC"} {
+		cells, err := experiments.AblationScheduler(sc, wl)
+		if err != nil {
+			return err
+		}
+		t := report.NewTable(fmt.Sprintf("Ablation A5 (%s): drive queue discipline", wl),
+			"Scheduler", "Application%", "Sequential%", "Mean lat (ms)", "P95 lat (ms)")
+		for _, c := range cells {
+			t.AddRow(c.Scheduler.String(), c.AppPct, c.SeqPct, c.MeanLatencyMS, c.P95LatencyMS)
+		}
+		t.Render(os.Stdout)
+	}
+	return nil
+}
+
+func ablationRealloc(sc experiments.Scale) error {
+	cells, err := experiments.AblationRealloc(sc)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Ablation A6: Koch's nightly reallocator on the buddy system",
+		"Workload", "Int% before", "Int% after", "Ext% before", "Ext% after", "Compacted", "Failed")
+	for _, c := range cells {
+		t.AddRow(c.Workload, c.InternalBefore, c.After, c.ExternalBefore, c.ExternalAfter,
+			c.Compacted, c.Failed)
+	}
+	t.Render(os.Stdout)
+	return nil
+}
+
+func metadataTable(sc experiments.Scale) error {
+	cells, err := experiments.MetadataTable(sc)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Metadata footprint after the allocation test ([STON81] comparison)",
+		"Workload", "Policy", "Files", "Descriptors", "Metadata", "% of data")
+	for _, c := range cells {
+		t.AddRow(c.Workload, c.Policy, c.Files, c.Descriptors,
+			units.Format(c.MetaBytes), fmt.Sprintf("%.2f", c.MetaPctOfData))
+	}
+	t.Render(os.Stdout)
+	return nil
+}
+
+func ablationSkew(sc experiments.Scale) error {
+	cells, err := experiments.AblationSkew(sc)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Ablation A7 (TP): hot-relation skew (Zipf s)",
+		"HotSkew", "Application%", "Mean lat (ms)")
+	for _, c := range cells {
+		label := "uniform"
+		if c.HotSkew > 0 {
+			label = fmt.Sprintf("%.1f", c.HotSkew)
+		}
+		t.AddRow(label, c.AppPct, c.MeanLatencyMS)
+	}
+	t.Render(os.Stdout)
+	return nil
+}
+
+func ablationAging(sc experiments.Scale) error {
+	cells, err := experiments.AblationAging(sc)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Ablation A8 (TS): fixed-block free-list aging",
+		"Free list", "Sequential%", "Application%")
+	for _, c := range cells {
+		t.AddRow(c.Policy, c.SeqPct, c.AppPct)
+	}
+	t.Render(os.Stdout)
+	return nil
+}
+
+func renderFrag(title string, cells []experiments.FragCell) {
+	t := report.NewTable(title, "Workload", "Policy", "Internal%", "External%")
+	for _, c := range cells {
+		t.AddRow(c.Workload, c.Policy, c.InternalPct, c.ExternalPct)
+	}
+	t.Render(os.Stdout)
+}
+
+func renderPerf(title string, cells []experiments.PerfCell) {
+	t := report.NewTable(title, "Workload", "Policy", "Application%", "Sequential%")
+	for _, c := range cells {
+		t.AddRow(c.Workload, c.Policy, c.AppPct, c.SeqPct)
+	}
+	t.Render(os.Stdout)
+}

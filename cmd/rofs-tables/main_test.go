@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"rofs/internal/experiments"
+)
+
+// experimentRegistry mirrors main's table so tests cover its consistency.
+func experimentRegistry() (map[string]func(experiments.Scale) error, []string) {
+	all := map[string]func(experiments.Scale) error{
+		"table1":  table1,
+		"table2":  table2,
+		"table3":  table3,
+		"fig1":    fig1,
+		"fig2":    fig2,
+		"fig3":    fig3,
+		"fig4":    fig4,
+		"fig5":    fig5,
+		"table4":  table4,
+		"fig6":    fig6,
+		"raid":    ablationRAID,
+		"stripe":  ablationStripe,
+		"mix":     ablationMix,
+		"cluster": ablationCluster,
+		"sched":   ablationScheduler,
+		"realloc": ablationRealloc,
+		"meta":    metadataTable,
+		"skew":    ablationSkew,
+		"aging":   ablationAging,
+	}
+	order := []string{"table1", "table2", "table3", "fig1", "fig2", "fig3", "fig4", "fig5",
+		"table4", "fig6", "raid", "stripe", "mix", "cluster", "sched", "realloc", "meta",
+		"skew", "aging"}
+	return all, order
+}
+
+func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
+	all, order := experimentRegistry()
+	if len(all) != len(order) {
+		t.Fatalf("registry has %d entries, order lists %d", len(all), len(order))
+	}
+	for _, name := range order {
+		if all[name] == nil {
+			t.Errorf("experiment %q in order but not registered", name)
+		}
+	}
+	// Every table and figure of the paper's evaluation must be present.
+	for _, required := range []string{"table1", "table2", "table3", "table4",
+		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6"} {
+		if _, ok := all[required]; !ok {
+			t.Errorf("paper artifact %q missing from the registry", required)
+		}
+	}
+}
+
+func TestCheapExperimentsRun(t *testing.T) {
+	// The static and analytic experiments run in microseconds; exercise
+	// them end to end (output goes to stdout, which `go test` tolerates).
+	old := os.Stdout
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = null
+	defer func() {
+		os.Stdout = old
+		null.Close()
+	}()
+	sc := experiments.BenchScale()
+	for _, fn := range []func(experiments.Scale) error{table1, table2, fig3} {
+		if err := fn(sc); err != nil {
+			t.Errorf("experiment failed: %v", err)
+		}
+	}
+}

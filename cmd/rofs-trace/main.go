@@ -1,0 +1,62 @@
+// Command rofs-trace summarizes an event trace produced by
+// `rofsim -trace <file>`: per-drive load balance and utilization, and
+// per-operation-kind latency.
+//
+//	rofsim -workload TP -test app -trace tp.trace
+//	rofs-trace tp.trace
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"rofs/internal/report"
+	"rofs/internal/trace"
+	"rofs/internal/units"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: rofs-trace <trace-file>")
+		os.Exit(2)
+	}
+	f, err := os.Open(os.Args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rofs-trace: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	a, err := trace.Analyze(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rofs-trace: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%d events over %.1f s of simulated time", a.Events, a.SpanMS()/1000)
+	if a.BadLines > 0 || a.Unknown > 0 {
+		fmt.Printf(" (%d malformed, %d unknown skipped)", a.BadLines, a.Unknown)
+	}
+	fmt.Println()
+	fmt.Println()
+
+	if len(a.Drives) > 0 {
+		t := report.NewTable("Per-drive activity", "Drive", "Segments", "Bytes", "Written", "Busy (s)", "Util %")
+		span := a.SpanMS()
+		for _, d := range a.Drives {
+			util := 0.0
+			if span > 0 {
+				util = 100 * d.BusyMS / span
+			}
+			t.AddRow(d.Drive, d.Segments, units.Format(d.Bytes), units.Format(d.WriteBytes),
+				fmt.Sprintf("%.1f", d.BusyMS/1000), util)
+		}
+		t.Render(os.Stdout)
+		fmt.Println()
+	}
+	if len(a.Ops) > 0 {
+		t := report.NewTable("Operation latency", "Kind", "Count", "Mean (ms)", "Max (ms)")
+		for _, o := range a.Ops {
+			t.AddRow(o.Kind, o.Count, o.MeanLatMS, o.MaxLatMS)
+		}
+		t.Render(os.Stdout)
+	}
+}

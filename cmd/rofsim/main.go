@@ -1,0 +1,219 @@
+// Command rofsim runs a single simulation: one allocation policy, one
+// workload, one test — the building block the paper's evaluation grids
+// are made of.
+//
+// Examples:
+//
+//	rofsim -policy rbuddy -sizes 5 -grow 1 -clustered -workload TS -test alloc
+//	rofsim -policy extent -fit best -ranges 3 -workload TP -test seq -scale full
+//	rofsim -policy fixed -block 16K -workload SC -test app
+//	rofsim -policy buddy -workload SC -test app -layout raid5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rofs/internal/alloc/extent"
+	"rofs/internal/core"
+	"rofs/internal/disk"
+	"rofs/internal/experiments"
+	"rofs/internal/units"
+	"rofs/internal/workload"
+)
+
+func main() {
+	var (
+		policyFlag   = flag.String("policy", "rbuddy", "buddy | rbuddy | extent | fixed")
+		workloadFlag = flag.String("workload", "TS", "TS | TP | SC")
+		testFlag     = flag.String("test", "alloc", "alloc | app | seq")
+		scaleFlag    = flag.String("scale", "bench", "full | bench")
+		seedFlag     = flag.Int64("seed", 42, "simulation seed")
+
+		// rbuddy knobs
+		sizesFlag = flag.Int("sizes", 5, "rbuddy: number of block sizes (2-5)")
+		growFlag  = flag.Int64("grow", 1, "rbuddy: grow-policy multiplier")
+		clustFlag = flag.Bool("clustered", true, "rbuddy: use 32M bookkeeping regions")
+
+		// extent knobs
+		fitFlag    = flag.String("fit", "first", "extent: first | best")
+		rangesFlag = flag.Int("ranges", 3, "extent: number of extent-size ranges (1-5)")
+
+		// fixed knob
+		blockFlag = flag.String("block", "4K", "fixed: block size (4K or 16K)")
+
+		// custom workloads
+		wlFileFlag = flag.String("workload-file", "", "JSON workload definition (overrides -workload)")
+		dumpFlag   = flag.String("dump-workload", "", "print a built-in workload as JSON and exit (TS|TP|SC)")
+
+		// disk knobs
+		disksFlag  = flag.Int("disks", 0, "override number of drives")
+		layoutFlag = flag.String("layout", "striped", "striped | mirrored | raid5 | parity")
+		stripeFlag = flag.String("stripe", "", "override stripe unit, e.g. 24K")
+		maxSimFlag = flag.Float64("max-sim", 0, "override simulated-time cap (ms)")
+		traceFlag  = flag.String("trace", "", "write a tab-separated event trace to this file")
+	)
+	flag.Parse()
+
+	if *dumpFlag != "" {
+		wl, err := workload.ByName(*dumpFlag)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := workload.ToJSON(os.Stdout, wl); err != nil {
+			fatal("%v", err)
+		}
+		return
+	}
+
+	sc := experiments.BenchScale()
+	if *scaleFlag == "full" {
+		sc = experiments.FullScale()
+	}
+	sc.Seed = *seedFlag
+	if *maxSimFlag > 0 {
+		sc.MaxSimMS = *maxSimFlag
+	}
+	if *disksFlag > 0 {
+		sc.Disk.NDisks = *disksFlag
+	}
+	switch *layoutFlag {
+	case "striped":
+		sc.Disk.Layout = disk.Striped
+	case "mirrored":
+		sc.Disk.Layout = disk.Mirrored
+	case "raid5":
+		sc.Disk.Layout = disk.RAID5
+	case "parity":
+		sc.Disk.Layout = disk.ParityStriped
+	default:
+		fatal("unknown layout %q", *layoutFlag)
+	}
+	if *stripeFlag != "" {
+		n, err := parseSize(*stripeFlag)
+		if err != nil {
+			fatal("bad stripe unit: %v", err)
+		}
+		sc.Disk.StripeUnitBytes = n
+	}
+
+	var wl workload.Workload
+	var err error
+	if *wlFileFlag != "" {
+		f, ferr := os.Open(*wlFileFlag)
+		if ferr != nil {
+			fatal("%v", ferr)
+		}
+		wl, err = workload.FromJSON(f)
+		f.Close()
+	} else {
+		wl, err = sc.Workload(*workloadFlag)
+	}
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	var spec core.PolicySpec
+	switch *policyFlag {
+	case "buddy":
+		spec = core.Buddy()
+	case "rbuddy":
+		spec = core.RBuddy(*sizesFlag, *growFlag, *clustFlag)
+	case "extent":
+		fit := extent.FirstFit
+		if strings.HasPrefix(*fitFlag, "b") {
+			fit = extent.BestFit
+		}
+		ranges, err := sc.ExtentRanges(wl.Name, *rangesFlag)
+		if err != nil {
+			fatal("%v", err)
+		}
+		spec = core.Extent(fit, ranges)
+	case "fixed":
+		n, err := parseSize(*blockFlag)
+		if err != nil {
+			fatal("bad block size: %v", err)
+		}
+		spec = core.Fixed(n)
+	default:
+		fatal("unknown policy %q", *policyFlag)
+	}
+
+	cfg := sc.Config(spec, wl)
+	if *traceFlag != "" {
+		tf, err := os.Create(*traceFlag)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer tf.Close()
+		cfg.TraceWriter = tf
+	}
+	fmt.Printf("rofsim: policy=%s workload=%s test=%s scale=%s layout=%v seed=%d\n",
+		spec.Name(), wl.Name, *testFlag, sc.Name, sc.Disk.Layout, sc.Seed)
+
+	switch *testFlag {
+	case "alloc":
+		res, err := core.RunAllocation(cfg)
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("  disk filled:            %v (after %d operations)\n", res.Filled, res.Ops)
+		fmt.Printf("  internal fragmentation: %.2f%% of allocated space\n", res.InternalPct)
+		fmt.Printf("  external fragmentation: %.2f%% of total space\n", res.ExternalPct)
+		if res.ExtentsPerFile > 0 {
+			fmt.Printf("  extents per file:       %.1f\n", res.ExtentsPerFile)
+		}
+	case "app", "seq":
+		var res core.PerfResult
+		if *testFlag == "app" {
+			res, err = core.RunApplication(cfg)
+		} else {
+			res, err = core.RunSequential(cfg)
+		}
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("  throughput:   %.1f%% of maximum (%s)\n", res.Percent, stability(res))
+		fmt.Printf("  simulated:    %.1f s, %d operations, %s moved\n",
+			res.SimMS/1000, res.Ops, units.Format(res.Bytes))
+		fmt.Printf("  op latency:   %.1f ms mean, p95 <= %.0f ms\n",
+			res.MeanLatencyMS, res.P95LatencyMS)
+		if res.AllocFails > 0 {
+			fmt.Printf("  disk-full conditions logged: %d\n", res.AllocFails)
+		}
+	default:
+		fatal("unknown test %q", *testFlag)
+	}
+}
+
+func stability(res core.PerfResult) string {
+	if res.Stable {
+		return fmt.Sprintf("stabilized after %d windows", res.Windows)
+	}
+	return "time-capped; overall average"
+}
+
+func parseSize(s string) (int64, error) {
+	s = strings.ToUpper(strings.TrimSpace(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "K"):
+		mult, s = units.KB, strings.TrimSuffix(s, "K")
+	case strings.HasSuffix(s, "M"):
+		mult, s = units.MB, strings.TrimSuffix(s, "M")
+	case strings.HasSuffix(s, "G"):
+		mult, s = units.GB, strings.TrimSuffix(s, "G")
+	}
+	var n int64
+	if _, err := fmt.Sscanf(s, "%d", &n); err != nil {
+		return 0, fmt.Errorf("cannot parse size %q", s)
+	}
+	return n * mult, nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rofsim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,11 @@
+// Package rofs is a from-scratch reproduction of Seltzer & Stonebraker,
+// "Read Optimized File System Designs: A Performance Evaluation" (ICDE
+// 1991): an event-driven simulator comparing multiblock disk-allocation
+// policies — binary buddy, restricted buddy, and extent-based — against
+// fixed-block baselines on a striped disk array.
+//
+// The library lives under internal/ (one package per subsystem; see
+// DESIGN.md for the map), the executables under cmd/, runnable examples
+// under examples/, and the benchmark harness that regenerates every table
+// and figure of the paper in bench_test.go at this root.
+package rofs

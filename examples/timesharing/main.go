@@ -1,0 +1,78 @@
+// Timesharing: the paper's TS deep dive. Small files dominate a
+// software-development file system; this example reproduces the §4.2
+// observations about the restricted buddy policy on that workload:
+//
+//   - fragmentation stays small but grows with more/bigger block sizes
+//     and shrinks with grow factor 2 (Figure 1e/1f);
+//
+//   - clustering helps sequential throughput because seek time dominates
+//     small-file transfers (Figure 2f);
+//
+//   - the buddy system pays ~3× the internal fragmentation (Table 3).
+//
+//     go run ./examples/timesharing
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"rofs/internal/core"
+	"rofs/internal/experiments"
+	"rofs/internal/report"
+)
+
+func main() {
+	sc := experiments.BenchScale()
+	wl, err := sc.Workload("TS")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Figure 1f slice: internal fragmentation across the grow-policy and
+	// block-size grid (clustered).
+	frag := report.NewTable("TS internal fragmentation, restricted buddy (clustered)",
+		"Block sizes", "g=1", "g=2")
+	for _, n := range []int{2, 3, 4, 5} {
+		var cells [2]float64
+		for i, g := range []int64{1, 2} {
+			res, err := core.RunAllocation(sc.Config(core.RBuddy(n, g, true), wl))
+			if err != nil {
+				log.Fatal(err)
+			}
+			cells[i] = res.InternalPct
+		}
+		frag.AddRow(n, cells[0], cells[1])
+	}
+	frag.Render(os.Stdout)
+	fmt.Println()
+
+	// Figure 2f slice: clustering's effect on sequential throughput.
+	chart := report.NewBarChart("TS sequential throughput (5 sizes, g=1)", 100, 40)
+	for _, clustered := range []bool{true, false} {
+		res, err := core.RunSequential(sc.Config(core.RBuddy(5, 1, clustered), wl))
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := "unclustered"
+		if clustered {
+			label = "clustered"
+		}
+		chart.Add(label, res.Percent)
+	}
+	chart.Render(os.Stdout)
+	fmt.Println()
+
+	// Table 3 contrast: buddy vs the selected restricted buddy.
+	cmp := report.NewTable("TS fragmentation: buddy vs restricted buddy",
+		"Policy", "Internal%", "External%")
+	for _, p := range []core.PolicySpec{core.Buddy(), core.RBuddy(5, 1, true)} {
+		res, err := core.RunAllocation(sc.Config(p, wl))
+		if err != nil {
+			log.Fatal(err)
+		}
+		cmp.AddRow(p.Name(), res.InternalPct, res.ExternalPct)
+	}
+	cmp.Render(os.Stdout)
+}

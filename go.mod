@@ -1,0 +1,3 @@
+module rofs
+
+go 1.22

@@ -1,0 +1,58 @@
+package alloc
+
+import "testing"
+
+func TestExtentEndString(t *testing.T) {
+	e := Extent{Start: 10, Len: 5}
+	if e.End() != 15 {
+		t.Fatalf("End = %d", e.End())
+	}
+	if e.String() != "[10,+5)" {
+		t.Fatalf("String = %q", e.String())
+	}
+}
+
+func TestAppendExtentMergesAdjacent(t *testing.T) {
+	var list []Extent
+	list = AppendExtent(list, Extent{0, 8})
+	list = AppendExtent(list, Extent{8, 8}) // adjacent: merges
+	list = AppendExtent(list, Extent{32, 8})
+	list = AppendExtent(list, Extent{16, 8}) // physically adjacent to #1 but not last: no merge
+	if len(list) != 3 {
+		t.Fatalf("list = %v", list)
+	}
+	if list[0] != (Extent{0, 16}) {
+		t.Fatalf("merged extent = %v", list[0])
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ok := []Extent{{0, 8}, {16, 8}, {8, 8}}
+	if err := Validate(ok, 100); err != nil {
+		t.Fatalf("valid list rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		list []Extent
+	}{
+		{"zero length", []Extent{{0, 0}}},
+		{"negative start", []Extent{{-1, 4}}},
+		{"past end", []Extent{{96, 8}}},
+		{"overlap", []Extent{{0, 10}, {5, 10}}},
+		{"contained overlap", []Extent{{0, 20}, {5, 5}}},
+	}
+	for _, c := range cases {
+		if err := Validate(c.list, 100); err == nil {
+			t.Errorf("%s: invalid list accepted", c.name)
+		}
+	}
+}
+
+func TestSum(t *testing.T) {
+	if Sum(nil) != 0 {
+		t.Fatal("Sum(nil) != 0")
+	}
+	if Sum([]Extent{{0, 3}, {10, 7}}) != 10 {
+		t.Fatal("Sum wrong")
+	}
+}

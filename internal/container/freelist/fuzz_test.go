@@ -1,0 +1,71 @@
+package freelist
+
+import "testing"
+
+// FuzzOps drives the free-run map with arbitrary byte scripts: every two
+// bytes encode one operation. Invariants checked after every step: free
+// count matches the reference bitmap and no operation panics on valid
+// input.
+func FuzzOps(f *testing.F) {
+	f.Add([]byte{0x01, 0x10, 0x81, 0x20})
+	f.Add([]byte{0xFF, 0xFF, 0x00, 0x00, 0x42, 0x42})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		const space = 256
+		fl := New()
+		free := make([]bool, space)
+		fl.Insert(0, space)
+		for i := range free {
+			free[i] = true
+		}
+		refFree := func() int64 {
+			var n int64
+			for _, b := range free {
+				if b {
+					n++
+				}
+			}
+			return n
+		}
+		for i := 0; i+1 < len(script); i += 2 {
+			op, arg := script[i], script[i+1]
+			n := int64(op&0x0F) + 1
+			if op&0x80 == 0 {
+				// Allocate via best fit (exercises the size index).
+				r, ok := fl.BestFit(n)
+				if !ok {
+					continue
+				}
+				fl.Alloc(r.Addr, n)
+				for j := r.Addr; j < r.Addr+n; j++ {
+					free[j] = false
+				}
+			} else {
+				// Free a run of allocated units starting near arg.
+				at := int(arg) % space
+				end := at
+				for end < space && !free[end] && int64(end-at) < n {
+					end++
+				}
+				if end > at {
+					fl.Insert(int64(at), int64(end-at))
+					for j := at; j < end; j++ {
+						free[j] = true
+					}
+				}
+			}
+			if fl.FreeUnits() != refFree() {
+				t.Fatalf("step %d: free count %d != reference %d", i, fl.FreeUnits(), refFree())
+			}
+		}
+		// Final structural pass: maximal, ordered runs.
+		prevEnd := int64(-2)
+		fl.Ascend(func(r Run) bool {
+			if r.Addr <= prevEnd || r.Len <= 0 {
+				t.Fatalf("non-maximal or disordered run %+v after end %d", r, prevEnd)
+			}
+			prevEnd = r.Addr + r.Len
+			return true
+		})
+	})
+}

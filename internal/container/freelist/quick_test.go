@@ -1,0 +1,95 @@
+package freelist
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// buildFromOps replays a bounded operation script against both the
+// freelist and a bitmap reference, returning false on any divergence —
+// the testing/quick property driver for the structure.
+func buildFromOps(script []uint16) bool {
+	const space = 512
+	fl := New()
+	free := make([]bool, space)
+	fl.Insert(0, space)
+	for i := range free {
+		free[i] = true
+	}
+	refFree := func() int64 {
+		var n int64
+		for _, f := range free {
+			if f {
+				n++
+			}
+		}
+		return n
+	}
+	for _, op := range script {
+		n := int64(op&0x0F) + 1 // 1..16 units
+		switch {
+		case op&0x8000 == 0: // allocate first-fit
+			r, ok := fl.FirstFit(n)
+			// Reference first fit.
+			wantAddr, wantOK := int64(-1), false
+			run := int64(0)
+			start := int64(0)
+			for i := 0; i <= space; i++ {
+				if i < space && free[i] {
+					if run == 0 {
+						start = int64(i)
+					}
+					run++
+				} else {
+					if run >= n && !wantOK {
+						wantAddr, wantOK = start, true
+					}
+					run = 0
+				}
+			}
+			if ok != wantOK || (ok && r.Addr != wantAddr) {
+				return false
+			}
+			if ok {
+				fl.Alloc(r.Addr, n)
+				for i := r.Addr; i < r.Addr+n; i++ {
+					free[i] = false
+				}
+			}
+		default: // free a range starting at a pseudo-random allocated unit
+			at := int(op>>4) % space
+			end := at
+			for end < space && !free[end] && int64(end-at) < n {
+				end++
+			}
+			if end > at {
+				fl.Insert(int64(at), int64(end-at))
+				for i := at; i < end; i++ {
+					free[i] = true
+				}
+			}
+		}
+		if fl.FreeUnits() != refFree() {
+			return false
+		}
+	}
+	// Structural invariant: runs are maximal (no two adjacent).
+	prevEnd := int64(-2)
+	okRuns := true
+	fl.Ascend(func(r Run) bool {
+		if r.Addr <= prevEnd {
+			okRuns = false
+			return false
+		}
+		prevEnd = r.Addr + r.Len
+		return true
+	})
+	return okRuns
+}
+
+func TestQuickFreelistMatchesReference(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(buildFromOps, cfg); err != nil {
+		t.Error(err)
+	}
+}

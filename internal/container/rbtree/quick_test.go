@@ -1,0 +1,97 @@
+package rbtree
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickInsertDeleteSorted drives the tree with arbitrary key scripts
+// via testing/quick: after any interleaving of inserts and deletes, Keys()
+// equals the sorted reference set and Len matches.
+func TestQuickInsertDeleteSorted(t *testing.T) {
+	prop := func(inserts []int16, deletes []int16) bool {
+		tr := New[int16, struct{}](func(a, b int16) bool { return a < b })
+		ref := map[int16]bool{}
+		for _, k := range inserts {
+			tr.Set(k, struct{}{})
+			ref[k] = true
+		}
+		for _, k := range deletes {
+			got := tr.Delete(k)
+			want := ref[k]
+			if got != want {
+				return false
+			}
+			delete(ref, k)
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		want := make([]int, 0, len(ref))
+		for k := range ref {
+			want = append(want, int(k))
+		}
+		sort.Ints(want)
+		keys := tr.Keys()
+		if len(keys) != len(want) {
+			return false
+		}
+		for i := range want {
+			if int(keys[i]) != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNavigationConsistency checks Floor/Ceiling/Higher/Lower against
+// the sorted key list for arbitrary trees and probes.
+func TestQuickNavigationConsistency(t *testing.T) {
+	prop := func(keys []int16, probe int16) bool {
+		tr := New[int16, struct{}](func(a, b int16) bool { return a < b })
+		set := map[int16]bool{}
+		for _, k := range keys {
+			tr.Set(k, struct{}{})
+			set[k] = true
+		}
+		sorted := make([]int16, 0, len(set))
+		for k := range set {
+			sorted = append(sorted, k)
+		}
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+		check := func(got int16, gotOK bool, want int16, wantOK bool) bool {
+			return gotOK == wantOK && (!wantOK || got == want)
+		}
+		var wc, wf, wh, wl int16
+		var okc, okf, okh, okl bool
+		for _, k := range sorted {
+			if k >= probe && !okc {
+				wc, okc = k, true
+			}
+			if k > probe && !okh {
+				wh, okh = k, true
+			}
+			if k <= probe {
+				wf, okf = k, true
+			}
+			if k < probe {
+				wl, okl = k, true
+			}
+		}
+		gc, _, oc := tr.Ceiling(probe)
+		gf, _, of := tr.Floor(probe)
+		gh, _, oh := tr.Higher(probe)
+		gl, _, ol := tr.Lower(probe)
+		return check(gc, oc, wc, okc) && check(gf, of, wf, okf) &&
+			check(gh, oh, wh, okh) && check(gl, ol, wl, okl)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,273 @@
+package rbtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func intTree() *Tree[int, string] {
+	return New[int, string](func(a, b int) bool { return a < b })
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := intTree()
+	if tr.Len() != 0 {
+		t.Fatal("empty tree has nonzero length")
+	}
+	if _, ok := tr.Get(1); ok {
+		t.Fatal("Get on empty tree returned ok")
+	}
+	if _, _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty tree returned ok")
+	}
+	if _, _, ok := tr.Max(); ok {
+		t.Fatal("Max on empty tree returned ok")
+	}
+	if _, _, ok := tr.Ceiling(0); ok {
+		t.Fatal("Ceiling on empty tree returned ok")
+	}
+	if tr.Delete(1) {
+		t.Fatal("Delete on empty tree returned true")
+	}
+	if _, _, ok := tr.DeleteMin(); ok {
+		t.Fatal("DeleteMin on empty tree returned ok")
+	}
+}
+
+func TestSetGetReplace(t *testing.T) {
+	tr := intTree()
+	tr.Set(5, "five")
+	tr.Set(3, "three")
+	tr.Set(7, "seven")
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if v, ok := tr.Get(3); !ok || v != "three" {
+		t.Fatalf("Get(3) = %q, %v", v, ok)
+	}
+	tr.Set(3, "THREE")
+	if tr.Len() != 3 {
+		t.Fatal("replace changed length")
+	}
+	if v, _ := tr.Get(3); v != "THREE" {
+		t.Fatalf("replace did not stick: %q", v)
+	}
+}
+
+func TestNavigation(t *testing.T) {
+	tr := intTree()
+	for _, k := range []int{10, 20, 30, 40} {
+		tr.Set(k, "")
+	}
+	check := func(name string, gotK int, gotOK bool, wantK int, wantOK bool) {
+		t.Helper()
+		if gotOK != wantOK || (wantOK && gotK != wantK) {
+			t.Errorf("%s = (%d, %v), want (%d, %v)", name, gotK, gotOK, wantK, wantOK)
+		}
+	}
+	k, _, ok := tr.Ceiling(15)
+	check("Ceiling(15)", k, ok, 20, true)
+	k, _, ok = tr.Ceiling(20)
+	check("Ceiling(20)", k, ok, 20, true)
+	k, _, ok = tr.Ceiling(41)
+	check("Ceiling(41)", k, ok, 0, false)
+	k, _, ok = tr.Floor(15)
+	check("Floor(15)", k, ok, 10, true)
+	k, _, ok = tr.Floor(10)
+	check("Floor(10)", k, ok, 10, true)
+	k, _, ok = tr.Floor(9)
+	check("Floor(9)", k, ok, 0, false)
+	k, _, ok = tr.Higher(20)
+	check("Higher(20)", k, ok, 30, true)
+	k, _, ok = tr.Higher(40)
+	check("Higher(40)", k, ok, 0, false)
+	k, _, ok = tr.Lower(20)
+	check("Lower(20)", k, ok, 10, true)
+	k, _, ok = tr.Lower(10)
+	check("Lower(10)", k, ok, 0, false)
+	k, _, ok = tr.Min()
+	check("Min", k, ok, 10, true)
+	k, _, ok = tr.Max()
+	check("Max", k, ok, 40, true)
+}
+
+func TestDelete(t *testing.T) {
+	tr := intTree()
+	keys := []int{5, 1, 9, 3, 7, 2, 8, 4, 6, 0}
+	for _, k := range keys {
+		tr.Set(k, "v")
+	}
+	if !tr.Delete(5) || tr.Contains(5) {
+		t.Fatal("Delete(5) failed")
+	}
+	if tr.Delete(5) {
+		t.Fatal("double delete returned true")
+	}
+	if tr.Len() != 9 {
+		t.Fatalf("Len = %d after delete", tr.Len())
+	}
+	want := []int{0, 1, 2, 3, 4, 6, 7, 8, 9}
+	got := tr.Keys()
+	if len(got) != len(want) {
+		t.Fatalf("Keys = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Keys = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDeleteMin(t *testing.T) {
+	tr := intTree()
+	for _, k := range []int{4, 2, 6} {
+		tr.Set(k, "")
+	}
+	k, _, ok := tr.DeleteMin()
+	if !ok || k != 2 || tr.Len() != 2 {
+		t.Fatalf("DeleteMin = %d, %v, len %d", k, ok, tr.Len())
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := intTree()
+	for i := 0; i < 10; i++ {
+		tr.Set(i, "")
+	}
+	var seen []int
+	tr.Ascend(func(k int, _ string) bool {
+		seen = append(seen, k)
+		return k < 4
+	})
+	if len(seen) != 5 || seen[4] != 4 {
+		t.Fatalf("early stop visited %v", seen)
+	}
+}
+
+func TestAscendFrom(t *testing.T) {
+	tr := intTree()
+	for i := 0; i < 20; i += 2 {
+		tr.Set(i, "")
+	}
+	var seen []int
+	tr.AscendFrom(7, func(k int, _ string) bool {
+		seen = append(seen, k)
+		return len(seen) < 3
+	})
+	want := []int{8, 10, 12}
+	if len(seen) != 3 {
+		t.Fatalf("AscendFrom visited %v", seen)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("AscendFrom visited %v, want %v", seen, want)
+		}
+	}
+}
+
+// checkInvariants verifies red-black structural invariants: no red node has
+// a red child, no right-leaning red links, and every root-to-leaf path has
+// the same black height. Returns black height.
+func checkInvariants(t *testing.T, n *node[int, string]) int {
+	t.Helper()
+	if n == nil {
+		return 0
+	}
+	if isRed(n.right) {
+		t.Fatal("right-leaning red link")
+	}
+	if isRed(n) && isRed(n.left) {
+		t.Fatal("consecutive red links")
+	}
+	lh := checkInvariants(t, n.left)
+	rh := checkInvariants(t, n.right)
+	if lh != rh {
+		t.Fatalf("black height mismatch: %d vs %d", lh, rh)
+	}
+	if !isRed(n) {
+		lh++
+	}
+	return lh
+}
+
+// TestRandomizedAgainstReference drives the tree with random operations and
+// compares every observable against a map + sorted slice reference model,
+// checking structural invariants as it goes.
+func TestRandomizedAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tr := intTree()
+	ref := map[int]string{}
+
+	sortedKeys := func() []int {
+		ks := make([]int, 0, len(ref))
+		for k := range ref {
+			ks = append(ks, k)
+		}
+		sort.Ints(ks)
+		return ks
+	}
+
+	for step := 0; step < 20000; step++ {
+		k := rng.Intn(500)
+		switch rng.Intn(3) {
+		case 0, 1: // insert twice as often as delete so the tree grows
+			v := "v"
+			tr.Set(k, v)
+			ref[k] = v
+		case 2:
+			got := tr.Delete(k)
+			_, want := ref[k]
+			if got != want {
+				t.Fatalf("step %d: Delete(%d) = %v, want %v", step, k, got, want)
+			}
+			delete(ref, k)
+		}
+		if tr.Len() != len(ref) {
+			t.Fatalf("step %d: Len = %d, want %d", step, tr.Len(), len(ref))
+		}
+		if step%500 == 0 {
+			if tr.root != nil && isRed(tr.root) {
+				t.Fatal("red root")
+			}
+			checkInvariants(t, tr.root)
+			keys := tr.Keys()
+			want := sortedKeys()
+			if len(keys) != len(want) {
+				t.Fatalf("step %d: keys %v want %v", step, keys, want)
+			}
+			for i := range keys {
+				if keys[i] != want[i] {
+					t.Fatalf("step %d: keys differ at %d", step, i)
+				}
+			}
+			// Spot-check navigation against the reference.
+			probe := rng.Intn(520) - 10
+			wantCeil, okWant := -1, false
+			for _, rk := range want {
+				if rk >= probe {
+					wantCeil, okWant = rk, true
+					break
+				}
+			}
+			gotCeil, _, okGot := tr.Ceiling(probe)
+			if okGot != okWant || (okWant && gotCeil != wantCeil) {
+				t.Fatalf("step %d: Ceiling(%d) = (%d,%v), want (%d,%v)",
+					step, probe, gotCeil, okGot, wantCeil, okWant)
+			}
+		}
+	}
+}
+
+func BenchmarkTreeInsertDelete(b *testing.B) {
+	tr := intTree()
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := rng.Intn(1 << 20)
+		tr.Set(k, "")
+		if i%2 == 1 {
+			tr.Delete(rng.Intn(1 << 20))
+		}
+	}
+}

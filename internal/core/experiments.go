@@ -1,0 +1,231 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"rofs/internal/fs"
+)
+
+// FragResult reports an allocation test (§3): fragmentation measured at
+// the moment the first allocation request fails.
+type FragResult struct {
+	Policy   string
+	Workload string
+	// InternalPct is allocated-but-unused space as a percent of allocated
+	// space; ExternalPct is free space as a percent of total space.
+	InternalPct float64
+	ExternalPct float64
+	// Filled reports whether the disk actually filled; a false value means
+	// the operation cap was hit first and the percentages describe the
+	// final (not-full) state.
+	Filled bool
+	Ops    int64
+	SimMS  float64
+	// ExtentsPerFile is the average number of extents per file under the
+	// extent policy (Table 4); zero for other policies.
+	ExtentsPerFile float64
+	// Meta is the metadata footprint at the end of the test under the
+	// default inode/indirect model — the [STON81] comparison.
+	Meta fs.MetaStats
+}
+
+// PerfResult reports a throughput test (§3).
+type PerfResult struct {
+	Policy   string
+	Workload string
+	// Percent is throughput as a percent of the disk system's maximum
+	// sustained bandwidth — the paper's reporting unit.
+	Percent float64
+	// Stable reports whether the §2.2 stabilization rule was met before
+	// the simulated-time cap; if not, Percent is the overall average.
+	Stable     bool
+	Windows    int
+	SimMS      float64
+	Bytes      int64
+	Ops        int64
+	AllocFails int64
+	// Operation latency over the whole run (simulated milliseconds):
+	// mean, and an upper bound on the 95th percentile from log-spaced
+	// histogram buckets.
+	MeanLatencyMS float64
+	P95LatencyMS  float64
+	// FinalUtilization is allocated/capacity at the end of the run; the
+	// §2.2 bounds keep it inside [LowerUtil, UpperUtil] plus at most one
+	// allocation granule of overshoot.
+	FinalUtilization float64
+}
+
+// RunAllocation performs the allocation test: initialization, then only
+// extend/truncate/delete/create traffic until the first allocation failure
+// (§3).
+func RunAllocation(cfg Config) (FragResult, error) {
+	s, err := newSession(cfg, allocationTest)
+	if err != nil {
+		return FragResult{}, err
+	}
+	res := FragResult{Policy: s.cfg.Policy.Name(), Workload: s.cfg.Workload.Name}
+	if !s.initFiles() {
+		s.scheduleUsers()
+		s.eng.Run(math.Inf(1))
+		if !s.diskFull {
+			// Operation cap: report the current state, flagged.
+			s.internal = s.fsys.InternalFragPct()
+			s.external = s.fsys.ExternalFragPct()
+		}
+	}
+	res.InternalPct = s.internal
+	res.ExternalPct = s.external
+	res.Filled = s.diskFull
+	res.Ops = s.ops
+	res.SimMS = s.fullAtMS
+	res.ExtentsPerFile = s.extentsPerFile()
+	res.Meta = s.fsys.MetaStats(fs.DefaultMetaModel())
+	if err := s.fsys.Check(); err != nil {
+		return res, fmt.Errorf("core: post-run fsck: %w", err)
+	}
+	if err := s.tracer.Flush(); err != nil {
+		return res, fmt.Errorf("core: trace: %w", err)
+	}
+	return res, nil
+}
+
+// extentsPerFile averages the extent policy's as-allocated extent counts
+// over all live files (Table 4).
+func (s *session) extentsPerFile() float64 {
+	type counter interface{ ExtentCount() int }
+	var total, n int64
+	for _, ts := range s.types {
+		for _, f := range ts.files {
+			if c, ok := f.Alloc().(counter); ok {
+				total += int64(c.ExtentCount())
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(total) / float64(n)
+}
+
+// ReallocResult reports the effect of Koch's nightly reallocator on a
+// filled buddy disk: fragmentation at the first failure, and again after
+// every file has been compacted to at most three tight extents.
+type ReallocResult struct {
+	Before, After FragResult
+	// Compacted and Failed count files the reallocator did and could not
+	// tighten.
+	Compacted, Failed int
+}
+
+// compacter is the reallocation hook the buddy policy's files implement.
+type compacter interface {
+	Compact(used int64, maxExtents int) bool
+}
+
+// RunAllocationWithReallocation performs the allocation test and then runs
+// the [KOCH87] reallocator the paper excluded (§4.1), quantifying how much
+// of the buddy system's fragmentation the nightly rearranger would win
+// back. Policies without a reallocator yield After == Before.
+func RunAllocationWithReallocation(cfg Config) (ReallocResult, error) {
+	s, err := newSession(cfg, allocationTest)
+	if err != nil {
+		return ReallocResult{}, err
+	}
+	var res ReallocResult
+	mk := func() FragResult {
+		return FragResult{
+			Policy:      s.cfg.Policy.Name(),
+			Workload:    s.cfg.Workload.Name,
+			InternalPct: s.fsys.InternalFragPct(),
+			ExternalPct: s.fsys.ExternalFragPct(),
+			Filled:      s.diskFull,
+			Ops:         s.ops,
+		}
+	}
+	if !s.initFiles() {
+		s.scheduleUsers()
+		s.eng.Run(math.Inf(1))
+	}
+	res.Before = mk()
+	ub := s.fsys.UnitBytes()
+	for _, ts := range s.types {
+		for _, f := range ts.files {
+			c, ok := f.Alloc().(compacter)
+			if !ok {
+				continue
+			}
+			used := (f.Length() + ub - 1) / ub
+			if c.Compact(used, 0) {
+				res.Compacted++
+			} else {
+				res.Failed++
+			}
+		}
+	}
+	res.After = mk()
+	return res, nil
+}
+
+// runPerf shares the application/sequential flow: initialize, fill to the
+// lower utilization bound, measure until stable or capped.
+func runPerf(cfg Config, kind testKind) (PerfResult, error) {
+	s, err := newSession(cfg, kind)
+	if err != nil {
+		return PerfResult{}, err
+	}
+	res := PerfResult{Policy: s.cfg.Policy.Name(), Workload: s.cfg.Workload.Name}
+	if s.initFiles() {
+		return res, fmt.Errorf("core: disk filled during initialization (utilization target too high)")
+	}
+	s.fill()
+	if kind == sequentialTest {
+		// §3: "When the throughput has stabilized the throughput numbers
+		// are recorded and the sequential test begins" — the sequential
+		// test measures the state the application phase aged.
+		s.kind = applicationTest
+		s.startTracker()
+		s.scheduleUsers()
+		s.eng.Run(s.cfg.MaxSimMS)
+		s.kind = sequentialTest
+		s.startTracker()
+	} else {
+		s.startTracker()
+		s.scheduleUsers()
+	}
+	end := s.eng.Run(s.eng.Now() + s.cfg.MaxSimMS)
+	res.Stable = s.tracker.Stable()
+	if res.Stable {
+		res.Percent = s.tracker.StablePercent()
+	} else {
+		res.Percent = s.tracker.OverallPercent(end)
+	}
+	res.Windows = s.tracker.Windows()
+	res.SimMS = end
+	res.Bytes = s.tracker.TotalBytes()
+	res.Ops = s.ops
+	res.AllocFails = s.allocFails
+	res.MeanLatencyMS = s.latency.Mean()
+	res.P95LatencyMS = s.latencyH.Quantile(0.95)
+	res.FinalUtilization = s.fsys.Utilization()
+	if err := s.fsys.Check(); err != nil {
+		return res, fmt.Errorf("core: post-run fsck: %w", err)
+	}
+	if err := s.tracer.Flush(); err != nil {
+		return res, fmt.Errorf("core: trace: %w", err)
+	}
+	return res, nil
+}
+
+// RunApplication performs the application performance test: the full
+// workload mix at 90–95% utilization until throughput stabilizes (§3).
+func RunApplication(cfg Config) (PerfResult, error) {
+	return runPerf(cfg, applicationTest)
+}
+
+// RunSequential performs the sequential performance test: reads and writes
+// only, each to an entire file (§3).
+func RunSequential(cfg Config) (PerfResult, error) {
+	return runPerf(cfg, sequentialTest)
+}

@@ -1,0 +1,549 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"rofs/internal/disk"
+	"rofs/internal/fs"
+	"rofs/internal/sim"
+	"rofs/internal/stats"
+	"rofs/internal/trace"
+	"rofs/internal/units"
+	"rofs/internal/workload"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	Disk     disk.Config
+	Policy   PolicySpec
+	Workload workload.Workload
+	Seed     int64
+
+	// Utilization bounds of §3 (defaults 0.90 / 0.95): measurement starts
+	// at LowerUtil; extends above UpperUtil become truncates.
+	LowerUtil, UpperUtil float64
+
+	// Stabilization rule of §2.2 (defaults: 10 s windows, 0.1 percentage
+	// points, 3 consecutive windows).
+	WindowMS      float64
+	TolerancePct  float64
+	StableWindows int
+
+	// MaxSimMS caps a throughput run that never stabilizes (default 600 s
+	// simulated); the overall average is reported instead.
+	MaxSimMS float64
+
+	// MaxOps caps an allocation test that never fills the disk (default
+	// 20 million operations).
+	MaxOps int64
+
+	// ChunkBytes is the streaming chunk for whole-file transfers in the
+	// sequential test (default 2M).
+	ChunkBytes int64
+
+	// TraceWriter, when set, receives a tab-separated event trace: one
+	// "op" record per completed operation and one "seg" record per disk
+	// segment serviced (see internal/trace).
+	TraceWriter io.Writer
+
+	// Degraded fails drive 0 before the run (RAID-5 only): reads
+	// reconstruct from the survivors, writes update parity alone.
+	Degraded bool
+}
+
+func (c *Config) setDefaults() error {
+	if c.Disk.NDisks == 0 {
+		c.Disk = disk.DefaultConfig()
+	}
+	if err := c.Disk.Validate(); err != nil {
+		return err
+	}
+	if err := c.Workload.Validate(); err != nil {
+		return err
+	}
+	if c.LowerUtil == 0 {
+		c.LowerUtil = 0.90
+	}
+	if c.UpperUtil == 0 {
+		c.UpperUtil = 0.95
+	}
+	if c.LowerUtil <= 0 || c.UpperUtil <= c.LowerUtil || c.UpperUtil > 1 {
+		return fmt.Errorf("core: bad utilization bounds [%g, %g]", c.LowerUtil, c.UpperUtil)
+	}
+	if c.WindowMS == 0 {
+		c.WindowMS = 10_000
+	}
+	if c.TolerancePct == 0 {
+		c.TolerancePct = 0.1
+	}
+	if c.StableWindows == 0 {
+		c.StableWindows = 3
+	}
+	if c.MaxSimMS == 0 {
+		c.MaxSimMS = 600_000
+	}
+	if c.MaxOps == 0 {
+		c.MaxOps = 20_000_000
+	}
+	if c.ChunkBytes == 0 {
+		// The read-optimized policies stream large transfers (read-ahead /
+		// write-behind across big blocks). The fixed-block baseline "does
+		// not bias towards automatic striping or contiguous layout" (§5):
+		// it issues one block at a time, so concurrent streams interleave
+		// at block granularity.
+		if c.Policy.Kind == "fixed" && c.Policy.BlockBytes > 0 {
+			c.ChunkBytes = c.Policy.BlockBytes
+		} else {
+			c.ChunkBytes = 2 * units.MB
+		}
+	}
+	return nil
+}
+
+// testKind selects which of the §3 tests a session runs.
+type testKind int
+
+const (
+	allocationTest testKind = iota
+	applicationTest
+	sequentialTest
+)
+
+// session is one live simulation: engine, disk, policy, file system, and
+// the per-file-type populations and event streams.
+type session struct {
+	cfg  Config
+	kind testKind
+
+	eng  *sim.Engine
+	rng  *sim.RNG
+	dsys *disk.System
+	fsys *fs.FileSystem
+
+	types   []*typeState
+	tracker *stats.ThroughputTracker
+	tracer  *trace.Tracer
+
+	ops        int64
+	allocFails int64
+	latency    stats.Welford    // per-operation completion latency (ms)
+	latencyH   *stats.Histogram // for tail quantiles
+	// Allocation-test termination state.
+	diskFull bool
+	fullAtMS float64
+	internal float64
+	external float64
+}
+
+type typeState struct {
+	ft    workload.FileType
+	files []*fs.File
+	zipf  *rand.Zipf // hot-file selector when ft.HotSkew > 1
+}
+
+// pickFile selects the file a request targets: uniform (the paper's
+// model), or Zipf-ranked when the type declares hot files.
+func (s *session) pickFile(ts *typeState) *fs.File {
+	if ts.ft.HotSkew > 1 && len(ts.files) > 1 {
+		if ts.zipf == nil {
+			ts.zipf = s.rng.NewZipf(ts.ft.HotSkew, 1<<30)
+		}
+		return ts.files[int(ts.zipf.Uint64()%uint64(len(ts.files)))]
+	}
+	return ts.files[s.rng.Intn(len(ts.files))]
+}
+
+// latencyBounds are the histogram bucket boundaries (ms) used for
+// operation-latency quantiles: roughly log-spaced from one rotation to
+// minutes.
+var latencyBounds = []float64{5, 10, 20, 35, 50, 75, 100, 150, 250, 400, 650,
+	1000, 2000, 4000, 8000, 16000, 32000, 64000, 120000}
+
+// newSession builds the simulator stack. Throughput tests attach the disk
+// system to the file system; the allocation test runs without disk timing
+// (operations complete immediately) since it measures space, not time.
+func newSession(cfg Config, kind testKind) (*session, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	s := &session{cfg: cfg, kind: kind, eng: &sim.Engine{}, rng: sim.NewRNG(cfg.Seed)}
+	if kind != allocationTest {
+		s.latencyH = stats.NewHistogram(latencyBounds)
+	}
+	dsys, err := disk.New(cfg.Disk, s.eng)
+	if err != nil {
+		return nil, err
+	}
+	s.dsys = dsys
+	if cfg.Degraded {
+		if err := dsys.FailDrive(0); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.TraceWriter != nil {
+		s.tracer = trace.New(cfg.TraceWriter)
+		dsys.SetTrace(func(now float64, disk int, start, n int64, write bool, svc float64) {
+			op := "r"
+			if write {
+				op = "w"
+			}
+			s.tracer.Recordf(now, "seg", "disk=%d %s start=%d n=%d svc=%.3f", disk, op, start, n, svc)
+		})
+	}
+	policy, err := cfg.Policy.Build(dsys.Units(), dsys.UnitBytes(), s.rng)
+	if err != nil {
+		return nil, err
+	}
+	attached := dsys
+	if kind == allocationTest {
+		attached = nil
+	}
+	fsys, err := fs.New(policy, attached, dsys.UnitBytes())
+	if err != nil {
+		return nil, err
+	}
+	s.fsys = fsys
+	return s, nil
+}
+
+// drawInitialSize samples a file's initial size: uniform around the
+// type's mean (§2.2), rounded to whole disk units — the granularity the
+// simulated file sizes live at, like the sector-granular sizes of the
+// paper's simulator.
+func (s *session) drawInitialSize(ft *workload.FileType) int64 {
+	size := s.rng.SizeUniform(float64(ft.InitialBytes), float64(ft.InitialDevBytes), 0)
+	return units.RoundUp(size, s.fsys.UnitBytes())
+}
+
+// initFiles runs the paper's second initialization phase: each file is
+// created and grown to a size drawn uniformly around its type's initial
+// size (§2.2). It reports whether the disk filled during initialization.
+func (s *session) initFiles() bool {
+	for i := range s.cfg.Workload.Types {
+		ft := s.cfg.Workload.Types[i]
+		ts := &typeState{ft: ft}
+		for n := 0; n < ft.Files; n++ {
+			f := s.fsys.Create(ft.AllocSizeBytes)
+			size := s.drawInitialSize(&ft)
+			if err := f.Allocate(size); err != nil {
+				s.markFull(0)
+				return true
+			}
+			if ft.Pattern == workload.Sequential && f.Length() > 0 {
+				f.SetCursor(s.rng.Int63n(f.Length()))
+			}
+			ts.files = append(ts.files, f)
+		}
+		s.types = append(s.types, ts)
+	}
+	return false
+}
+
+// fill pushes utilization up to the lower measurement bound by growing
+// randomly chosen files without disk traffic — the §3 precondition that
+// "the disks are at least 90% full" when measurement begins.
+func (s *session) fill() {
+	target := s.cfg.LowerUtil
+	for s.fsys.Utilization() < target {
+		ts := s.types[s.rng.Intn(len(s.types))]
+		f := ts.files[s.rng.Intn(len(ts.files))]
+		grow := ts.ft.AllocSizeBytes
+		if grow <= 0 {
+			grow = ts.ft.RWSizeBytes
+		}
+		if err := f.Allocate(grow); err != nil {
+			return // cannot fill further; run with what we have
+		}
+	}
+}
+
+// markFull records the allocation-test termination state: fragmentation is
+// measured "as soon as the first allocation request fails" (§3).
+func (s *session) markFull(now float64) {
+	if s.diskFull {
+		return
+	}
+	s.diskFull = true
+	s.fullAtMS = now
+	s.internal = s.fsys.InternalFragPct()
+	s.external = s.fsys.ExternalFragPct()
+	s.eng.Stop()
+}
+
+// scheduleUsers creates the per-type event streams (the paper's first
+// initialization phase): each of the type's Users streams fires first at a
+// time uniform in [0, Users·HitFrequency] and then ProcessTime-spaced.
+func (s *session) scheduleUsers() {
+	for _, ts := range s.types {
+		horizon := float64(ts.ft.Users) * ts.ft.HitFreqMS
+		for u := 0; u < ts.ft.Users; u++ {
+			ts := ts
+			var fire sim.Handler
+			fire = func(now float64) {
+				s.doOp(ts, func(float64) {
+					s.eng.After(s.rng.Exp(ts.ft.ProcessTimeMS), fire)
+				})
+			}
+			s.eng.At(s.rng.Uniform(0, math.Max(horizon, 1)), fire)
+		}
+	}
+}
+
+// opKind enumerates the simulated operations.
+type opKind int
+
+const (
+	opRead opKind = iota
+	opWrite
+	opExtend
+	opDealloc
+	opCreate
+)
+
+// pickOp draws an operation for the session's test kind: the allocation
+// test performs "only the extend, truncate, delete, and create operations
+// in the proportion as expressed by the file type parameters" (§3); the
+// sequential test performs only reads and writes.
+func (s *session) pickOp(ft *workload.FileType) opKind {
+	switch s.kind {
+	case allocationTest:
+		// "Only the extend, truncate, delete, and create operations in the
+		// proportion as expressed by the file type parameters" (§3).
+		// Creates run at the delete rate and add brand-new files, so the
+		// population — and with it the disk — grows until the first
+		// request fails, while deletes and truncates age the free space.
+		dealloc := ft.DeallocPct()
+		del := dealloc * ft.DeletePct / 100
+		if ft.ExtendPct == 0 && dealloc == 0 {
+			return opExtend // a type that never allocates still drives growth
+		}
+		switch s.rng.Pick([]float64{ft.ExtendPct, dealloc, del}) {
+		case 0:
+			return opExtend
+		case 1:
+			return opDealloc // split into truncate vs delete in doOp
+		default:
+			return opCreate
+		}
+	case sequentialTest:
+		rw := ft.ReadPct + ft.WritePct
+		if rw == 0 {
+			return opRead
+		}
+		if s.rng.Pick([]float64{ft.ReadPct, ft.WritePct}) == 0 {
+			return opRead
+		}
+		return opWrite
+	default:
+		switch s.rng.Pick([]float64{ft.ReadPct, ft.WritePct, ft.ExtendPct, ft.DeallocPct()}) {
+		case 0:
+			return opRead
+		case 1:
+			return opWrite
+		case 2:
+			return opExtend
+		default:
+			return opDealloc
+		}
+	}
+}
+
+// doOp executes one operation for a random file of the type and invokes
+// done at its simulated completion.
+func (s *session) doOp(ts *typeState, done func(now float64)) {
+	s.ops++
+	if s.kind == allocationTest && s.ops > s.cfg.MaxOps {
+		s.eng.Stop()
+		return
+	}
+	if s.kind != allocationTest {
+		start := s.eng.Now()
+		inner := done
+		done = func(now float64) {
+			s.latency.Add(now - start)
+			if s.latencyH != nil {
+				s.latencyH.Add(now - start)
+			}
+			inner(now)
+		}
+	}
+	ft := &ts.ft
+	f := s.pickFile(ts)
+	op := s.pickOp(ft)
+
+	// Reads and writes of an empty file become extends; the file was
+	// deleted earlier and regrows.
+	if (op == opRead || op == opWrite) && f.Length() == 0 {
+		op = opExtend
+	}
+	// The §2.2 band keeping ("the disk utilization is kept between N and
+	// M while measurements are being taken"): an extend above the ceiling
+	// becomes a truncate, and a deallocation below the floor becomes an
+	// extend.
+	if s.kind != allocationTest {
+		switch util := s.fsys.Utilization(); {
+		case op == opExtend && util > s.cfg.UpperUtil:
+			op = opDealloc
+		case op == opDealloc && util < s.cfg.LowerUtil:
+			op = opExtend
+		}
+	}
+
+	if s.tracer != nil {
+		kind := [...]string{"read", "write", "extend", "dealloc", "create"}[op]
+		issued := s.eng.Now()
+		prev := done
+		done = func(now float64) {
+			s.tracer.Recordf(now, "op", "%s type=%s len=%d lat=%.3f",
+				kind, ft.Name, f.Length(), now-issued)
+			prev(now)
+		}
+	}
+
+	switch op {
+	case opRead, opWrite:
+		if s.kind == sequentialTest {
+			s.stream(f, 0, f.Length(), op == opWrite, done)
+			return
+		}
+		size := s.rng.SizeNormal(float64(ft.RWSizeBytes), float64(ft.RWDevBytes), 1)
+		if size > f.Length() {
+			size = f.Length()
+		}
+		off := s.offsetFor(ft, f, size)
+		s.stream(f, off, size, op == opWrite, done)
+	case opExtend:
+		size := ft.ExtendSize()
+		if s.kind == allocationTest {
+			if err := f.Allocate(size); err != nil {
+				s.markFull(s.eng.Now())
+				return
+			}
+			done(s.eng.Now())
+			return
+		}
+		if err := f.Extend(size, s.recorded(size, done)); err != nil {
+			s.allocFails++ // disk full: log and reschedule (§2.2)
+			done(s.eng.Now())
+		}
+	case opCreate:
+		nf := s.fsys.Create(ft.AllocSizeBytes)
+		size := s.drawInitialSize(ft)
+		if err := nf.Allocate(size); err != nil {
+			s.markFull(s.eng.Now())
+			return
+		}
+		ts.files = append(ts.files, nf)
+		done(s.eng.Now())
+	case opDealloc:
+		if s.rng.Float64()*100 < ft.DeletePct {
+			f.Recreate()
+			size := s.drawInitialSize(ft)
+			if err := f.Allocate(size); err != nil {
+				if s.kind == allocationTest {
+					s.markFull(s.eng.Now())
+					return
+				}
+				s.allocFails++
+			}
+		} else {
+			f.Truncate(ft.TruncateBytes)
+		}
+		done(s.eng.Now())
+	}
+}
+
+// offsetFor picks the read/write offset: uniform over size-aligned pages
+// for random-pattern files (a database reads aligned pages, which also
+// keeps an 8K access inside one stripe unit), cursor-advancing for
+// sequential ones.
+func (s *session) offsetFor(ft *workload.FileType, f *fs.File, size int64) int64 {
+	if f.Length() <= size {
+		return 0
+	}
+	if ft.Pattern == workload.Random {
+		pages := f.Length() / size
+		return s.rng.Int63n(pages) * size
+	}
+	off := f.Cursor()
+	if off+size > f.Length() {
+		off = 0
+	}
+	f.SetCursor(off + size)
+	return off
+}
+
+// stream performs a transfer of [off, off+n) as a pipeline of chunk-sized
+// requests issued back to back — the system's unit of I/O. Large chunks
+// model read-ahead across the multiblock policies' big blocks; the
+// fixed-block baseline's chunk is one block, so concurrent streams
+// interleave at block granularity and pay the seeks the paper's Figure 6
+// charges it. Chunking also feeds the throughput tracker as bytes move
+// rather than in one lump per operation.
+func (s *session) stream(f *fs.File, off, n int64, write bool, done func(now float64)) {
+	if n <= 0 {
+		done(s.eng.Now())
+		return
+	}
+	end := off + n
+	var issue func(pos int64, now float64)
+	issue = func(pos int64, _ float64) {
+		chunk := s.cfg.ChunkBytes
+		if pos+chunk > end {
+			chunk = end - pos
+		}
+		next := pos + chunk
+		rec := func(now float64) {
+			if s.tracker != nil {
+				s.tracker.Record(now, chunk)
+			}
+			if next >= end {
+				done(now)
+			} else {
+				issue(next, now)
+			}
+		}
+		if write {
+			f.Write(pos, chunk, rec)
+		} else {
+			f.Read(pos, chunk, rec)
+		}
+	}
+	issue(off, 0)
+}
+
+// recorded wraps done so completed bytes feed the throughput tracker.
+func (s *session) recorded(bytes int64, done func(now float64)) func(now float64) {
+	return func(now float64) {
+		if s.tracker != nil {
+			s.tracker.Record(now, bytes)
+		}
+		done(now)
+	}
+}
+
+// startTracker arms throughput measurement and the 1-second tick that
+// closes idle windows and stops the run at stabilization. Starting a new
+// tracker supersedes any previous phase's tick chain.
+func (s *session) startTracker() {
+	tr := stats.NewThroughputTracker(
+		s.cfg.WindowMS, s.dsys.MaxBandwidth(), s.cfg.TolerancePct, s.cfg.StableWindows)
+	s.tracker = tr
+	tr.Start(s.eng.Now())
+	var tick sim.Handler
+	tick = func(now float64) {
+		if s.tracker != tr {
+			return // a later measurement phase owns the tick now
+		}
+		tr.Tick(now)
+		if tr.Stable() {
+			s.eng.Stop()
+			return
+		}
+		s.eng.After(1000, tick)
+	}
+	s.eng.After(1000, tick)
+}

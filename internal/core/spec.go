@@ -1,0 +1,171 @@
+// Package core is the experiment harness: it reproduces the paper's three
+// evaluations (§3) — the allocation test that measures internal and
+// external fragmentation at the first failed request, and the application
+// and sequential throughput tests that hold disk utilization between 90%
+// and 95% and run until the reported throughput stabilizes.
+package core
+
+import (
+	"fmt"
+
+	"rofs/internal/alloc"
+	"rofs/internal/alloc/buddy"
+	"rofs/internal/alloc/extent"
+	"rofs/internal/alloc/fixed"
+	"rofs/internal/alloc/rbuddy"
+	"rofs/internal/sim"
+	"rofs/internal/units"
+)
+
+// PolicySpec is a declarative description of an allocation policy
+// configuration, turned into a live allocator per run. All sizes are in
+// bytes; they are converted to disk units when the policy is built.
+type PolicySpec struct {
+	Kind string // "buddy", "rbuddy", "extent", or "fixed"
+
+	// buddy
+	MaxExtentBytes int64 // doubling cap; default 64M
+
+	// rbuddy
+	BlockSizes  []int64 // e.g. {1K, 8K, 64K, 1M, 16M}
+	GrowFactor  int64   // 1 or 2
+	Clustered   bool
+	RegionBytes int64 // default 32M
+
+	// extent
+	Fit        extent.Fit
+	RangeMeans []int64 // extent-size range means
+
+	// fixed
+	BlockBytes int64 // 4K or 16K
+	FixedOrder fixed.Order
+}
+
+// Buddy returns the §4.1 policy spec.
+func Buddy() PolicySpec {
+	return PolicySpec{Kind: "buddy", MaxExtentBytes: 64 * units.MB}
+}
+
+// RBuddy returns a §4.2 policy spec with the first nSizes of the paper's
+// block-size ladder (1K, 8K, 64K, 1M, 16M).
+func RBuddy(nSizes int, growFactor int64, clustered bool) PolicySpec {
+	ladder := []int64{1 * units.KB, 8 * units.KB, 64 * units.KB, 1 * units.MB, 16 * units.MB}
+	if nSizes < 2 || nSizes > len(ladder) {
+		panic(fmt.Sprintf("core: rbuddy wants 2..5 sizes, got %d", nSizes))
+	}
+	return PolicySpec{
+		Kind:        "rbuddy",
+		BlockSizes:  ladder[:nSizes],
+		GrowFactor:  growFactor,
+		Clustered:   clustered,
+		RegionBytes: 32 * units.MB,
+	}
+}
+
+// Extent returns a §4.3 policy spec.
+func Extent(fit extent.Fit, rangeMeans []int64) PolicySpec {
+	return PolicySpec{Kind: "extent", Fit: fit, RangeMeans: rangeMeans}
+}
+
+// Fixed returns the §5 fixed-block baseline spec (V7-style LIFO free
+// list).
+func Fixed(blockBytes int64) PolicySpec {
+	return PolicySpec{Kind: "fixed", BlockBytes: blockBytes}
+}
+
+// FixedOrdered returns a fixed-block spec with an address-ordered free
+// list — the aging ablation's counterpoint to the V7 LIFO list.
+func FixedOrdered(blockBytes int64) PolicySpec {
+	return PolicySpec{Kind: "fixed", BlockBytes: blockBytes, FixedOrder: fixed.AddressOrdered}
+}
+
+// Name renders a short identifier for reports.
+func (s PolicySpec) Name() string {
+	switch s.Kind {
+	case "buddy":
+		return "buddy"
+	case "rbuddy":
+		mode := "uncl"
+		if s.Clustered {
+			mode = "clus"
+		}
+		return fmt.Sprintf("rbuddy-%d-g%d-%s", len(s.BlockSizes), s.GrowFactor, mode)
+	case "extent":
+		return fmt.Sprintf("extent-%s-%dr", s.Fit, len(s.RangeMeans))
+	case "fixed":
+		if s.FixedOrder == fixed.AddressOrdered {
+			return fmt.Sprintf("fixed-%s-sorted", units.Format(s.BlockBytes))
+		}
+		return fmt.Sprintf("fixed-%s", units.Format(s.BlockBytes))
+	default:
+		return "unknown"
+	}
+}
+
+// Build instantiates the policy over totalUnits disk units of unitBytes
+// each. The RNG feeds the extent policy's size draws.
+func (s PolicySpec) Build(totalUnits, unitBytes int64, rng *sim.RNG) (alloc.Policy, error) {
+	toUnits := func(bytes int64, what string) (int64, error) {
+		if bytes%unitBytes != 0 {
+			return 0, fmt.Errorf("core: %s %d not a multiple of the %d-byte disk unit",
+				what, bytes, unitBytes)
+		}
+		return bytes / unitBytes, nil
+	}
+	switch s.Kind {
+	case "buddy":
+		maxExt := s.MaxExtentBytes
+		if maxExt == 0 {
+			maxExt = 64 * units.MB
+		}
+		mu, err := toUnits(maxExt, "max extent")
+		if err != nil {
+			return nil, err
+		}
+		return buddy.New(buddy.Config{TotalUnits: totalUnits, MaxExtentUnits: mu})
+	case "rbuddy":
+		sizes := make([]int64, len(s.BlockSizes))
+		for i, b := range s.BlockSizes {
+			u, err := toUnits(b, "block size")
+			if err != nil {
+				return nil, err
+			}
+			sizes[i] = u
+		}
+		region := s.RegionBytes
+		if region == 0 {
+			region = 32 * units.MB
+		}
+		ru, err := toUnits(region, "region size")
+		if err != nil {
+			return nil, err
+		}
+		return rbuddy.New(rbuddy.Config{
+			TotalUnits:  totalUnits,
+			SizesUnits:  sizes,
+			GrowFactor:  s.GrowFactor,
+			Clustered:   s.Clustered,
+			RegionUnits: ru,
+		})
+	case "extent":
+		means := make([]int64, len(s.RangeMeans))
+		for i, b := range s.RangeMeans {
+			u := units.CeilDiv(b, unitBytes)
+			means[i] = u
+		}
+		return extent.New(extent.Config{
+			TotalUnits: totalUnits,
+			Fit:        s.Fit,
+			RangeMeans: means,
+			RNG:        rng,
+		})
+	case "fixed":
+		bu, err := toUnits(s.BlockBytes, "block size")
+		if err != nil {
+			return nil, err
+		}
+		return fixed.New(fixed.Config{TotalUnits: totalUnits, BlockUnits: bu, Order: s.FixedOrder})
+	default:
+		return nil, fmt.Errorf("core: unknown policy kind %q", s.Kind)
+	}
+}

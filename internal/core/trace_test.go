@@ -1,0 +1,89 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestTraceCapturesOpsAndSegments(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := Config{
+		Disk:        smallDisk(),
+		Policy:      RBuddy(3, 1, true),
+		Workload:    scaledTS(),
+		Seed:        4,
+		MaxSimMS:    30_000,
+		TraceWriter: &buf,
+	}
+	res, err := RunApplication(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("no operations ran")
+	}
+	var ops, segs int64
+	kinds := map[string]bool{}
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var lastTime float64
+	for sc.Scan() {
+		fields := strings.SplitN(sc.Text(), "\t", 3)
+		if len(fields) != 3 {
+			t.Fatalf("malformed trace line %q", sc.Text())
+		}
+		ts, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			t.Fatalf("bad timestamp in %q", sc.Text())
+		}
+		if ts < lastTime-1e-3 {
+			// op completions and seg starts interleave but never go
+			// backwards beyond rounding.
+			t.Fatalf("trace time went backwards: %g after %g", ts, lastTime)
+		}
+		lastTime = ts
+		switch fields[1] {
+		case "op":
+			ops++
+			kinds[strings.Fields(fields[2])[0]] = true
+		case "seg":
+			segs++
+			if !strings.Contains(fields[2], "disk=") || !strings.Contains(fields[2], "svc=") {
+				t.Fatalf("malformed seg detail %q", fields[2])
+			}
+		default:
+			t.Fatalf("unknown trace kind %q", fields[1])
+		}
+	}
+	if ops == 0 || segs == 0 {
+		t.Fatalf("trace missing events: ops=%d segs=%d", ops, segs)
+	}
+	// The TS mix must show reads, writes, and deallocations.
+	for _, k := range []string{"read", "write", "dealloc"} {
+		if !kinds[k] {
+			t.Errorf("trace never saw a %s op (kinds: %v)", k, kinds)
+		}
+	}
+}
+
+func TestLatencyReported(t *testing.T) {
+	res, err := RunApplication(Config{
+		Disk:     smallDisk(),
+		Policy:   RBuddy(3, 1, true),
+		Workload: scaledTS(),
+		Seed:     4,
+		MaxSimMS: 30_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanLatencyMS <= 0 {
+		t.Fatalf("MeanLatencyMS = %g", res.MeanLatencyMS)
+	}
+	if res.P95LatencyMS < res.MeanLatencyMS {
+		t.Fatalf("p95 %g below mean %g", res.P95LatencyMS, res.MeanLatencyMS)
+	}
+}

@@ -1,0 +1,122 @@
+package disk
+
+import (
+	"math"
+	"testing"
+
+	"rofs/internal/units"
+)
+
+func raid5Sys(t *testing.T) (*System, interface{ Run(float64) float64 }) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Layout = RAID5
+	s, eng := newSys(t, cfg)
+	return s, eng
+}
+
+func TestFailDriveValidation(t *testing.T) {
+	s, _ := newSys(t, DefaultConfig()) // striped
+	if err := s.FailDrive(0); err == nil {
+		t.Error("degraded mode accepted on a striped array")
+	}
+	r, _ := raid5Sys(t)
+	if err := r.FailDrive(99); err == nil {
+		t.Error("nonexistent drive accepted")
+	}
+	if err := r.FailDrive(0); err != nil {
+		t.Errorf("valid failure rejected: %v", err)
+	}
+	if err := r.FailDrive(-1); err != nil {
+		t.Errorf("restore rejected: %v", err)
+	}
+}
+
+func TestDegradedReadReconstructs(t *testing.T) {
+	s, _ := raid5Sys(t)
+	su := 24 * units.KB / s.UnitBytes()
+	// Stripe unit 0 lives on a data drive; find it, fail it, and check the
+	// read fans out to the seven survivors.
+	segs := s.segments(&Request{Runs: []Run{{0, su}}})
+	if len(segs) != 1 {
+		t.Fatalf("baseline read has %d segments", len(segs))
+	}
+	target := segs[0].disk
+	if err := s.FailDrive(target); err != nil {
+		t.Fatal(err)
+	}
+	degraded := s.degrade(s.segments(&Request{Runs: []Run{{0, su}}}))
+	if len(degraded) != s.cfg.NDisks-1 {
+		t.Fatalf("degraded read has %d segments, want %d", len(degraded), s.cfg.NDisks-1)
+	}
+	for _, sg := range degraded {
+		if sg.disk == target {
+			t.Fatal("reconstruction read touched the failed drive")
+		}
+		if sg.seg.n != segs[0].seg.n {
+			t.Fatal("reconstruction segment length mismatch")
+		}
+	}
+}
+
+func TestDegradedWriteDropsFailedSegment(t *testing.T) {
+	s, _ := raid5Sys(t)
+	su := 24 * units.KB / s.UnitBytes()
+	segs := s.segments(&Request{Runs: []Run{{0, su}}, Write: true})
+	if len(segs) != 2 { // data + parity
+		t.Fatalf("baseline write has %d segments", len(segs))
+	}
+	dataDisk := segs[0].disk
+	if err := s.FailDrive(dataDisk); err != nil {
+		t.Fatal(err)
+	}
+	degraded := s.degrade(s.segments(&Request{Runs: []Run{{0, su}}, Write: true}))
+	if len(degraded) != 1 {
+		t.Fatalf("degraded write has %d segments, want parity only", len(degraded))
+	}
+	if degraded[0].disk == dataDisk || !degraded[0].seg.write {
+		t.Fatalf("degraded write segment wrong: %+v", degraded[0])
+	}
+}
+
+func TestDegradedRequestsComplete(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Layout = RAID5
+	s, eng := newSys(t, cfg)
+	if err := s.FailDrive(2); err != nil {
+		t.Fatal(err)
+	}
+	done := 0
+	n := units.MB / s.UnitBytes()
+	s.Submit(&Request{Runs: []Run{{0, n}}, Done: func(float64) { done++ }})
+	s.Submit(&Request{Runs: []Run{{n, n}}, Write: true, Done: func(float64) { done++ }})
+	eng.Run(math.Inf(1))
+	if done != 2 {
+		t.Fatalf("degraded requests completed: %d of 2", done)
+	}
+}
+
+func TestDegradedSequentialIsSlower(t *testing.T) {
+	read := func(fail bool) float64 {
+		cfg := DefaultConfig()
+		cfg.Layout = RAID5
+		s, eng := newSys(t, cfg)
+		if fail {
+			if err := s.FailDrive(0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var doneAt float64
+		s.Submit(&Request{
+			Runs: []Run{{0, 64 * units.MB / s.UnitBytes()}},
+			Done: func(now float64) { doneAt = now },
+		})
+		eng.Run(math.Inf(1))
+		return doneAt
+	}
+	healthy, degraded := read(false), read(true)
+	if degraded <= healthy {
+		t.Fatalf("degraded read (%.1f ms) not slower than healthy (%.1f ms)",
+			degraded, healthy)
+	}
+}

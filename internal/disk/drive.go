@@ -1,0 +1,116 @@
+package disk
+
+import (
+	"fmt"
+	"math"
+)
+
+// drive is one spindle: geometry, current head position, and a FCFS queue
+// of segments. The rotational phase is a pure function of absolute
+// simulated time (all spindles are synchronized and never slip), so the
+// drive itself only needs to remember where its head is.
+type drive struct {
+	id      int
+	geom    Geometry
+	headCyl int
+	sweepUp bool // SCAN: current elevator direction
+
+	busy  bool
+	queue []*segment
+
+	// Statistics.
+	busyMS    float64
+	seeks     int64
+	bytesRead int64
+	bytesWrit int64
+}
+
+// segment is one contiguous byte range on one drive, the unit of queueing.
+type segment struct {
+	start int64 // byte offset within the drive
+	n     int64 // byte length
+	write bool
+	// extraRotations models read-modify-write penalties (RAID-5 and parity
+	// striping small writes): the block must come around again before the
+	// write-back pass.
+	extraRotations int
+	done           func(now float64)
+}
+
+// rotPos returns the angular position of the platter at absolute time t,
+// expressed as a byte offset within a track [0, BytesPerTrack).
+func (d *drive) rotPos(t float64) float64 {
+	frac := math.Mod(t/d.geom.RotationMS, 1)
+	if frac < 0 {
+		frac += 1
+	}
+	return frac * float64(d.geom.BytesPerTrack)
+}
+
+// rotWaitMS returns the time until the platter rotates to byte offset
+// target (within a track) starting from absolute time t. Waits within a
+// nanosecond of a full rotation are floating-point wrap artifacts (the
+// head is already on the sector) and snap to zero.
+func (d *drive) rotWaitMS(t float64, target int64) float64 {
+	cur := d.rotPos(t)
+	delta := float64(target) - cur
+	if delta < 0 {
+		delta += float64(d.geom.BytesPerTrack)
+	}
+	wait := delta / float64(d.geom.BytesPerTrack) * d.geom.RotationMS
+	if d.geom.RotationMS-wait < 1e-9 {
+		wait = 0
+	}
+	return wait
+}
+
+// serviceMS computes the total service time for seg starting at absolute
+// time start, updating the head position. It walks the transfer track by
+// track: head switches within a cylinder are free; a cylinder crossing
+// costs a single-track seek (and whatever rotational realignment falls out
+// of the phase model).
+func (d *drive) serviceMS(start float64, seg *segment) float64 {
+	g := d.geom
+	if seg.start < 0 || seg.n <= 0 || seg.start+seg.n > g.Capacity() {
+		panic(fmt.Sprintf("disk: segment [%d,+%d) outside drive capacity %d",
+			seg.start, seg.n, g.Capacity()))
+	}
+	t := start
+	cyl, _, _ := g.locate(seg.start)
+	if cyl != d.headCyl {
+		t += g.SeekMS(cyl - d.headCyl)
+		d.headCyl = cyl
+		d.seeks++
+	}
+	pos := seg.start
+	remaining := seg.n
+	for remaining > 0 {
+		inTrack := pos % g.BytesPerTrack
+		chunk := g.BytesPerTrack - inTrack
+		if chunk > remaining {
+			chunk = remaining
+		}
+		t += d.rotWaitMS(t, inTrack)
+		t += float64(chunk) / float64(g.BytesPerTrack) * g.RotationMS
+		pos += chunk
+		remaining -= chunk
+		if remaining > 0 {
+			nextCyl, _, _ := g.locate(pos)
+			if nextCyl != d.headCyl {
+				t += g.SeekMS(nextCyl - d.headCyl)
+				d.headCyl = nextCyl
+				d.seeks++
+			}
+		}
+	}
+	if seg.extraRotations > 0 {
+		t += float64(seg.extraRotations) * g.RotationMS
+	}
+	if seg.write {
+		d.bytesWrit += seg.n
+	} else {
+		d.bytesRead += seg.n
+	}
+	d.busyMS += t - start
+	return t - start
+}

@@ -1,0 +1,106 @@
+// Package disk models the storage substrate of the paper's simulator: a
+// configurable disk drive (Table 1 geometry and timing) and a disk system
+// that addresses an array of drives as a linear space of fixed-size disk
+// units, in one of four layouts — plain striping (used for all of the
+// paper's published results), mirroring, RAID-5 [PATT88], and parity
+// striping [GRAY90] (§2.1).
+//
+// Timing follows the paper's model: an N-cylinder seek costs ST + N·SI
+// milliseconds, rotation is phase-continuous (all spindles synchronized),
+// transfers proceed track by track with free head switches within a
+// cylinder and a single-track seek at each cylinder crossing.
+package disk
+
+import (
+	"fmt"
+
+	"rofs/internal/units"
+)
+
+// Geometry describes one drive's physical layout and timing. The field
+// names mirror Table 1 of the paper.
+type Geometry struct {
+	BytesPerTrack     int64   // e.g. 24K
+	TracksPerCylinder int     // number of platters/heads, e.g. 9
+	Cylinders         int     // e.g. 1600
+	RotationMS        float64 // single rotation time, e.g. 16.67
+	SingleTrackSeekMS float64 // ST, e.g. 5.5
+	SeekIncrementMS   float64 // SI, e.g. 0.0320
+}
+
+// WrenIV returns the simulated drive of Table 1: a CDC 5¼" Wren IV
+// (94171-344) with 1600 cylinders (the paper rounds the real 1549 up).
+func WrenIV() Geometry {
+	return Geometry{
+		BytesPerTrack:     24 * units.KB,
+		TracksPerCylinder: 9,
+		Cylinders:         1600,
+		RotationMS:        16.67,
+		SingleTrackSeekMS: 5.5,
+		SeekIncrementMS:   0.0320,
+	}
+}
+
+// Validate reports whether the geometry is self-consistent.
+func (g Geometry) Validate() error {
+	switch {
+	case g.BytesPerTrack <= 0:
+		return fmt.Errorf("disk: BytesPerTrack %d must be positive", g.BytesPerTrack)
+	case g.TracksPerCylinder <= 0:
+		return fmt.Errorf("disk: TracksPerCylinder %d must be positive", g.TracksPerCylinder)
+	case g.Cylinders <= 0:
+		return fmt.Errorf("disk: Cylinders %d must be positive", g.Cylinders)
+	case g.RotationMS <= 0:
+		return fmt.Errorf("disk: RotationMS %g must be positive", g.RotationMS)
+	case g.SingleTrackSeekMS < 0 || g.SeekIncrementMS < 0:
+		return fmt.Errorf("disk: negative seek parameters")
+	}
+	return nil
+}
+
+// Capacity returns the drive's capacity in bytes.
+func (g Geometry) Capacity() int64 {
+	return g.BytesPerTrack * int64(g.TracksPerCylinder) * int64(g.Cylinders)
+}
+
+// CylinderBytes returns the bytes stored in one cylinder.
+func (g Geometry) CylinderBytes() int64 {
+	return g.BytesPerTrack * int64(g.TracksPerCylinder)
+}
+
+// SeekMS returns the time to seek across n cylinders: 0 for n == 0,
+// otherwise ST + n·SI (§2.1).
+func (g Geometry) SeekMS(n int) float64 {
+	if n < 0 {
+		n = -n
+	}
+	if n == 0 {
+		return 0
+	}
+	return g.SingleTrackSeekMS + float64(n)*g.SeekIncrementMS
+}
+
+// PeakBandwidth returns the head-limited transfer rate in bytes per
+// millisecond: one track per rotation.
+func (g Geometry) PeakBandwidth() float64 {
+	return float64(g.BytesPerTrack) / g.RotationMS
+}
+
+// SustainedBandwidth returns the drive's long-run sequential rate in bytes
+// per millisecond under this package's timing model: a cylinder costs one
+// rotation per track plus, at the cylinder crossing, a single-track seek
+// whose rotational realignment rounds it up to one extra full rotation.
+func (g Geometry) SustainedBandwidth() float64 {
+	perCylMS := float64(g.TracksPerCylinder)*g.RotationMS + g.RotationMS
+	return float64(g.CylinderBytes()) / perCylMS
+}
+
+// locate translates a byte offset within the drive into cylinder, track
+// within cylinder, and byte offset within track.
+func (g Geometry) locate(byteOff int64) (cyl int, track int, inTrack int64) {
+	t := byteOff / g.BytesPerTrack
+	inTrack = byteOff % g.BytesPerTrack
+	cyl = int(t) / g.TracksPerCylinder
+	track = int(t) % g.TracksPerCylinder
+	return cyl, track, inTrack
+}

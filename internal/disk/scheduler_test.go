@@ -1,0 +1,158 @@
+package disk
+
+import (
+	"math"
+	"testing"
+
+	"rofs/internal/units"
+)
+
+func TestSSTFServesNearestFirst(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NDisks = 1
+	cfg.Scheduler = SSTF
+	s, eng := newSys(t, cfg)
+	g := cfg.Geometry
+	cylUnits := g.CylinderBytes() / cfg.UnitBytes
+
+	var order []int
+	mk := func(id int, cyl int64) *Request {
+		return &Request{
+			Runs: []Run{{cyl * cylUnits, 1}},
+			Done: func(float64) { order = append(order, id) },
+		}
+	}
+	// While the drive is busy with the first request (cyl 0), queue a far
+	// request, then a near one: SSTF serves the near one first.
+	s.Submit(mk(1, 0))
+	s.Submit(mk(2, 1200))
+	s.Submit(mk(3, 10))
+	eng.Run(math.Inf(1))
+	if len(order) != 3 || order[0] != 1 || order[1] != 3 || order[2] != 2 {
+		t.Fatalf("SSTF order %v, want [1 3 2]", order)
+	}
+}
+
+func TestFCFSPreservesArrivalOrder(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NDisks = 1
+	cfg.Scheduler = FCFS
+	s, eng := newSys(t, cfg)
+	g := cfg.Geometry
+	cylUnits := g.CylinderBytes() / cfg.UnitBytes
+
+	var order []int
+	mk := func(id int, cyl int64) *Request {
+		return &Request{
+			Runs: []Run{{cyl * cylUnits, 1}},
+			Done: func(float64) { order = append(order, id) },
+		}
+	}
+	s.Submit(mk(1, 0))
+	s.Submit(mk(2, 1200))
+	s.Submit(mk(3, 10))
+	eng.Run(math.Inf(1))
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("FCFS order %v, want [1 2 3]", order)
+	}
+}
+
+func TestSSTFTiesBreakFIFO(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NDisks = 1
+	s, eng := newSys(t, cfg) // default scheduler is SSTF
+	var order []int
+	mk := func(id int) *Request {
+		return &Request{
+			Runs: []Run{{0, 1}},
+			Done: func(float64) { order = append(order, id) },
+		}
+	}
+	s.Submit(mk(1))
+	s.Submit(mk(2))
+	s.Submit(mk(3))
+	eng.Run(math.Inf(1))
+	if order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("tie order %v", order)
+	}
+}
+
+func TestSCANSweepsInOneDirection(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NDisks = 1
+	cfg.Scheduler = SCAN
+	s, eng := newSys(t, cfg)
+	cylUnits := cfg.Geometry.CylinderBytes() / cfg.UnitBytes
+	var order []int
+	mk := func(id int, cyl int64) *Request {
+		return &Request{
+			Runs: []Run{{cyl * cylUnits, 1}},
+			Done: func(float64) { order = append(order, id) },
+		}
+	}
+	// Busy at cyl 0; queue 800, 400, 1200, 100: the upward sweep serves
+	// 100, 400, 800, 1200 in cylinder order.
+	s.Submit(mk(0, 0))
+	s.Submit(mk(1, 800))
+	s.Submit(mk(2, 400))
+	s.Submit(mk(3, 1200))
+	s.Submit(mk(4, 100))
+	eng.Run(math.Inf(1))
+	want := []int{0, 4, 2, 1, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("SCAN order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSCANReversesWhenExhausted(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NDisks = 1
+	cfg.Scheduler = SCAN
+	s, eng := newSys(t, cfg)
+	cylUnits := cfg.Geometry.CylinderBytes() / cfg.UnitBytes
+	var order []int
+	mk := func(id int, cyl int64) *Request {
+		return &Request{
+			Runs: []Run{{cyl * cylUnits, 1}},
+			Done: func(float64) { order = append(order, id) },
+		}
+	}
+	// Start at cyl 500 (first request seeks there), then only lower
+	// cylinders remain: the elevator must reverse and serve 300, 100.
+	s.Submit(mk(0, 500))
+	s.Submit(mk(1, 300))
+	s.Submit(mk(2, 100))
+	eng.Run(math.Inf(1))
+	want := []int{0, 1, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("SCAN reverse order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSSTFReducesTotalServiceTime(t *testing.T) {
+	// A batch of scattered requests completes sooner under SSTF than FCFS.
+	run := func(sched Scheduler) float64 {
+		cfg := DefaultConfig()
+		cfg.NDisks = 1
+		cfg.Scheduler = sched
+		s, eng := newSys(t, cfg)
+		cylUnits := cfg.Geometry.CylinderBytes() / cfg.UnitBytes
+		var last float64
+		for _, cyl := range []int64{0, 1500, 100, 1400, 200, 1300, 300} {
+			s.Submit(&Request{
+				Runs: []Run{{cyl * cylUnits, 8 * units.KB / cfg.UnitBytes}},
+				Done: func(now float64) { last = now },
+			})
+		}
+		eng.Run(math.Inf(1))
+		return last
+	}
+	fcfs, sstf := run(FCFS), run(SSTF)
+	if sstf >= fcfs {
+		t.Fatalf("SSTF batch (%.1f ms) not faster than FCFS (%.1f ms)", sstf, fcfs)
+	}
+}

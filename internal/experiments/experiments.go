@@ -1,0 +1,343 @@
+// Package experiments defines every table and figure of the paper's
+// evaluation as a runnable experiment, shared by the cmd/rofs-tables CLI
+// and the repository's benchmark harness. Each function returns structured
+// rows; rendering lives with the callers.
+//
+// Experiments run at a Scale: FullScale reproduces the paper's
+// configuration (8 × Wren IV, 2.8 G, full workloads); BenchScale is a
+// shape-preserving reduction (2 drives, workloads divided) that runs in
+// milliseconds-to-seconds per experiment for tests and `go test -bench`.
+package experiments
+
+import (
+	"fmt"
+
+	"rofs/internal/alloc/extent"
+	"rofs/internal/core"
+	"rofs/internal/disk"
+	"rofs/internal/units"
+	"rofs/internal/workload"
+)
+
+// Scale fixes the disk system and workload reduction for a batch of
+// experiments.
+type Scale struct {
+	Name string
+	Disk disk.Config
+	// Div divides the TS file count and the TP/SC file sizes (and the
+	// TP/SC extent ranges to match).
+	Div int64
+	// MaxSimMS caps each throughput run.
+	MaxSimMS float64
+	Seed     int64
+}
+
+// FullScale returns the paper's configuration.
+func FullScale() Scale {
+	return Scale{Name: "full", Disk: disk.DefaultConfig(), Div: 1, MaxSimMS: 300_000, Seed: 42}
+}
+
+// BenchScale returns the reduced configuration: two drives of 200
+// cylinders (≈86M) with the workloads divided by 32.
+func BenchScale() Scale {
+	cfg := disk.DefaultConfig()
+	cfg.NDisks = 2
+	cfg.Geometry.Cylinders = 200
+	return Scale{Name: "bench", Disk: cfg, Div: 32, MaxSimMS: 120_000, Seed: 42}
+}
+
+// Workload returns a workload scaled per the Scale's divisor: TS divides
+// file counts (its files are inherently small), TP and SC divide file
+// sizes (their file counts are inherently small).
+func (sc Scale) Workload(name string) (workload.Workload, error) {
+	w, err := workload.ByName(name)
+	if err != nil {
+		return w, err
+	}
+	if sc.Div <= 1 {
+		return w, nil
+	}
+	if w.Name == "TS" {
+		return w.Scale(sc.Div, 1), nil
+	}
+	return w.Scale(1, sc.Div), nil
+}
+
+// ExtentRanges returns the paper's extent-size ranges for the workload,
+// divided to match the scaled file sizes.
+func (sc Scale) ExtentRanges(name string, n int) ([]int64, error) {
+	r, err := workload.ExtentRanges(name, n)
+	if err != nil {
+		return nil, err
+	}
+	if sc.Div <= 1 || name == "TS" || name == "ts" {
+		return r, nil
+	}
+	out := make([]int64, len(r))
+	for i := range r {
+		out[i] = r[i] / sc.Div
+		if out[i] < units.KB {
+			out[i] = units.KB
+		}
+	}
+	return out, nil
+}
+
+// Config assembles a core.Config for one run.
+func (sc Scale) Config(p core.PolicySpec, wl workload.Workload) core.Config {
+	return core.Config{
+		Disk:     sc.Disk,
+		Policy:   p,
+		Workload: wl,
+		Seed:     sc.Seed,
+		MaxSimMS: sc.MaxSimMS,
+	}
+}
+
+// --- Table 3: buddy allocation results ---
+
+// Table3Row mirrors one row of the paper's Table 3.
+type Table3Row struct {
+	Workload    string
+	InternalPct float64 // % of allocated space
+	ExternalPct float64 // % of total space
+	AppPct      float64 // % of max throughput
+	SeqPct      float64
+}
+
+// Table3 runs the buddy policy's allocation, application, and sequential
+// tests on SC, TP, and TS (§4.1).
+func Table3(sc Scale) ([]Table3Row, error) {
+	var rows []Table3Row
+	for _, name := range []string{"SC", "TP", "TS"} {
+		wl, err := sc.Workload(name)
+		if err != nil {
+			return nil, err
+		}
+		cfg := sc.Config(core.Buddy(), wl)
+		frag, err := core.RunAllocation(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("table3 %s alloc: %w", name, err)
+		}
+		app, err := core.RunApplication(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("table3 %s app: %w", name, err)
+		}
+		seq, err := core.RunSequential(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("table3 %s seq: %w", name, err)
+		}
+		rows = append(rows, Table3Row{
+			Workload:    name,
+			InternalPct: frag.InternalPct,
+			ExternalPct: frag.ExternalPct,
+			AppPct:      app.Percent,
+			SeqPct:      seq.Percent,
+		})
+	}
+	return rows, nil
+}
+
+// --- Figures 1 and 2: the restricted buddy grid ---
+
+// RBuddyConfigs enumerates the §4.2 evaluation grid: block-size counts
+// {2,3,4,5} × grow factor {1,2} × {clustered, unclustered}.
+func RBuddyConfigs() []core.PolicySpec {
+	var out []core.PolicySpec
+	for _, n := range []int{2, 3, 4, 5} {
+		for _, clustered := range []bool{true, false} {
+			for _, g := range []int64{1, 2} {
+				out = append(out, core.RBuddy(n, g, clustered))
+			}
+		}
+	}
+	return out
+}
+
+// FragCell is one bar of a fragmentation figure (Figures 1 and 4).
+type FragCell struct {
+	Policy      string
+	Workload    string
+	InternalPct float64
+	ExternalPct float64
+	// ExtentsPerFile is filled by the extent-policy runs (Table 4).
+	ExtentsPerFile float64
+}
+
+// PerfCell is one bar of a performance figure (Figures 2, 5, and 6).
+type PerfCell struct {
+	Policy    string
+	Workload  string
+	AppPct    float64
+	SeqPct    float64
+	AppStable bool
+	SeqStable bool
+}
+
+// Figure1 runs the allocation test for every restricted buddy
+// configuration on each workload.
+func Figure1(sc Scale) ([]FragCell, error) {
+	return fragGrid(sc, RBuddyConfigs(), nil)
+}
+
+// Figure2 runs the application and sequential tests for every restricted
+// buddy configuration on each workload.
+func Figure2(sc Scale) ([]PerfCell, error) {
+	return perfGrid(sc, RBuddyConfigs(), nil)
+}
+
+// extentConfigs returns the §4.3 grid for one workload: fits × range
+// counts, with ranges matched to the workload.
+func (sc Scale) extentConfigs(wlName string) ([]core.PolicySpec, error) {
+	var out []core.PolicySpec
+	for _, fit := range []extent.Fit{extent.FirstFit, extent.BestFit} {
+		for n := 1; n <= 5; n++ {
+			ranges, err := sc.ExtentRanges(wlName, n)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, core.Extent(fit, ranges))
+		}
+	}
+	return out, nil
+}
+
+// Figure4 runs the allocation test over the extent grid (fragmentation);
+// its cells also carry the Table 4 extents-per-file averages.
+func Figure4(sc Scale) ([]FragCell, error) {
+	return fragGrid(sc, nil, sc.extentConfigs)
+}
+
+// Figure5 runs the throughput tests over the extent grid.
+func Figure5(sc Scale) ([]PerfCell, error) {
+	return perfGrid(sc, nil, sc.extentConfigs)
+}
+
+// Table4Row is one row of Table 4: average extents per file for each
+// extent-range count, under first fit (the configuration §4.3 selects).
+type Table4Row struct {
+	Ranges         int
+	Workload       string
+	ExtentsPerFile float64
+}
+
+// Table4 computes the average number of extents per file after the
+// allocation test, for 1-5 extent ranges on each workload.
+func Table4(sc Scale) ([]Table4Row, error) {
+	var rows []Table4Row
+	for n := 1; n <= 5; n++ {
+		for _, name := range []string{"SC", "TP", "TS"} {
+			wl, err := sc.Workload(name)
+			if err != nil {
+				return nil, err
+			}
+			ranges, err := sc.ExtentRanges(name, n)
+			if err != nil {
+				return nil, err
+			}
+			frag, err := core.RunAllocation(sc.Config(core.Extent(extent.FirstFit, ranges), wl))
+			if err != nil {
+				return nil, fmt.Errorf("table4 %s %dr: %w", name, n, err)
+			}
+			rows = append(rows, Table4Row{Ranges: n, Workload: name, ExtentsPerFile: frag.ExtentsPerFile})
+		}
+	}
+	return rows, nil
+}
+
+// fragGrid runs allocation tests for a set of policies (fixed list or
+// per-workload generator) across the three workloads.
+func fragGrid(sc Scale, specs []core.PolicySpec, gen func(string) ([]core.PolicySpec, error)) ([]FragCell, error) {
+	var cells []FragCell
+	for _, name := range []string{"SC", "TP", "TS"} {
+		wl, err := sc.Workload(name)
+		if err != nil {
+			return nil, err
+		}
+		ps := specs
+		if gen != nil {
+			if ps, err = gen(name); err != nil {
+				return nil, err
+			}
+		}
+		for _, p := range ps {
+			frag, err := core.RunAllocation(sc.Config(p, wl))
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", p.Name(), name, err)
+			}
+			cells = append(cells, FragCell{
+				Policy:         p.Name(),
+				Workload:       name,
+				InternalPct:    frag.InternalPct,
+				ExternalPct:    frag.ExternalPct,
+				ExtentsPerFile: frag.ExtentsPerFile,
+			})
+		}
+	}
+	return cells, nil
+}
+
+// perfGrid runs application + sequential tests for a set of policies
+// across the three workloads.
+func perfGrid(sc Scale, specs []core.PolicySpec, gen func(string) ([]core.PolicySpec, error)) ([]PerfCell, error) {
+	var cells []PerfCell
+	for _, name := range []string{"SC", "TP", "TS"} {
+		wl, err := sc.Workload(name)
+		if err != nil {
+			return nil, err
+		}
+		ps := specs
+		if gen != nil {
+			if ps, err = gen(name); err != nil {
+				return nil, err
+			}
+		}
+		for _, p := range ps {
+			cfg := sc.Config(p, wl)
+			app, err := core.RunApplication(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s app: %w", p.Name(), name, err)
+			}
+			seq, err := core.RunSequential(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s seq: %w", p.Name(), name, err)
+			}
+			cells = append(cells, PerfCell{
+				Policy:    p.Name(),
+				Workload:  name,
+				AppPct:    app.Percent,
+				SeqPct:    seq.Percent,
+				AppStable: app.Stable,
+				SeqStable: seq.Stable,
+			})
+		}
+	}
+	return cells, nil
+}
+
+// Figure6Policies returns the §5 comparison set for a workload: the buddy
+// system, the selected restricted buddy configuration (5 sizes, grow 1,
+// clustered), the selected extent configuration (first fit, 3 ranges),
+// and the fixed-block baseline (4K for TS, 16K for TP and SC).
+func (sc Scale) Figure6Policies(wlName string) ([]core.PolicySpec, error) {
+	ranges, err := sc.ExtentRanges(wlName, 3)
+	if err != nil {
+		return nil, err
+	}
+	fixedBytes := int64(16 * units.KB)
+	if wlName == "TS" || wlName == "ts" {
+		fixedBytes = 4 * units.KB
+	}
+	return []core.PolicySpec{
+		core.Buddy(),
+		core.RBuddy(5, 1, true),
+		core.Extent(extent.FirstFit, ranges),
+		core.Fixed(fixedBytes),
+	}, nil
+}
+
+// Figure6 runs the §5 comparison: sequential (6a) and application (6b)
+// performance of the four allocation methods on each workload.
+func Figure6(sc Scale) ([]PerfCell, error) {
+	return perfGrid(sc, nil, sc.Figure6Policies)
+}

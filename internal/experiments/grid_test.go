@@ -1,0 +1,338 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The grid tests run the complete evaluation at bench scale — they are the
+// repository's integration tests, asserting the paper's qualitative
+// results end to end. They are skipped under -short.
+
+func TestFigure2Grid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid run in short mode")
+	}
+	cells, err := Figure2(BenchScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 48 {
+		t.Fatalf("got %d cells, want 48", len(cells))
+	}
+	// Index by workload and policy for the shape assertions.
+	get := func(wl, policy string) PerfCell {
+		for _, c := range cells {
+			if c.Workload == wl && c.Policy == policy {
+				return c
+			}
+		}
+		t.Fatalf("missing cell %s/%s", wl, policy)
+		return PerfCell{}
+	}
+	// §4.2: large-file workloads run fast sequentially under every
+	// configuration.
+	for _, wl := range []string{"SC", "TP"} {
+		for _, p := range []string{"rbuddy-2-g1-clus", "rbuddy-5-g1-clus"} {
+			if c := get(wl, p); c.SeqPct < 60 {
+				t.Errorf("%s %s sequential %.1f%%; expected high", wl, p, c.SeqPct)
+			}
+		}
+	}
+	// TS stays far below the large-file workloads under every config.
+	for _, c := range cells {
+		if c.Workload != "TS" {
+			continue
+		}
+		if c.SeqPct > get("SC", c.Policy).SeqPct {
+			t.Errorf("TS %s sequential %.1f%% above SC", c.Policy, c.SeqPct)
+		}
+	}
+	// All percentages sane.
+	for _, c := range cells {
+		if c.AppPct <= 0 || c.AppPct > 115 || c.SeqPct <= 0 || c.SeqPct > 115 {
+			t.Errorf("out-of-range cell %+v", c)
+		}
+	}
+}
+
+func TestFigure4And5Extent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid run in short mode")
+	}
+	sc := BenchScale()
+	frag, err := Figure4(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frag) != 30 { // 2 fits × 5 ranges × 3 workloads
+		t.Fatalf("figure 4: %d cells, want 30", len(frag))
+	}
+	// The paper's headline: neither internal nor external fragmentation
+	// surpasses ~5% for the extent policies.
+	for _, c := range frag {
+		if c.InternalPct > 8 || c.ExternalPct > 8 {
+			t.Errorf("extent fragmentation out of regime: %+v", c)
+		}
+	}
+	// Best fit consistently yields less (or equal) total fragmentation on
+	// average — the §4.3 observation.
+	var firstTotal, bestTotal float64
+	for _, c := range frag {
+		if strings.Contains(c.Policy, "best") {
+			bestTotal += c.InternalPct + c.ExternalPct
+		} else {
+			firstTotal += c.InternalPct + c.ExternalPct
+		}
+	}
+	t.Logf("total frag: first-fit %.1f, best-fit %.1f", firstTotal, bestTotal)
+
+	perf, err := Figure5(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perf) != 30 {
+		t.Fatalf("figure 5: %d cells, want 30", len(perf))
+	}
+	// Throughput "fairly insensitive to the selection of best fit or
+	// first fit" (§4.3): compare pairwise, tolerate noise.
+	for _, c := range perf {
+		if !strings.Contains(c.Policy, "first") {
+			continue
+		}
+		counterpart := strings.Replace(c.Policy, "first-fit", "best-fit", 1)
+		for _, d := range perf {
+			if d.Workload == c.Workload && d.Policy == counterpart {
+				if diff := c.SeqPct - d.SeqPct; diff > 25 || diff < -25 {
+					t.Errorf("fit sensitivity too large: %s vs %s on %s: %.1f vs %.1f",
+						c.Policy, d.Policy, c.Workload, c.SeqPct, d.SeqPct)
+				}
+			}
+		}
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid run in short mode")
+	}
+	rows, err := Table4(BenchScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 15 {
+		t.Fatalf("got %d rows, want 15", len(rows))
+	}
+	get := func(n int, wl string) float64 {
+		for _, r := range rows {
+			if r.Ranges == n && r.Workload == wl {
+				return r.ExtentsPerFile
+			}
+		}
+		t.Fatalf("missing row %d/%s", n, wl)
+		return 0
+	}
+	for _, r := range rows {
+		t.Logf("%d ranges %s: %.1f extents/file", r.Ranges, r.Workload, r.ExtentsPerFile)
+	}
+	// Table 4's signature shape: the single-range configurations force
+	// hundreds of extents per large file; adding a large range collapses
+	// the count by an order of magnitude.
+	if get(1, "TP") < 5*get(2, "TP") {
+		t.Errorf("TP 1-range (%.0f) should dwarf 2-range (%.0f)", get(1, "TP"), get(2, "TP"))
+	}
+	if get(1, "SC") < 2*get(3, "SC") {
+		t.Errorf("SC 1-range (%.0f) should dwarf 3-range (%.0f)", get(1, "SC"), get(3, "SC"))
+	}
+	// TS files are small: extent counts stay single-digit-ish everywhere.
+	for n := 1; n <= 5; n++ {
+		if get(n, "TS") > 30 {
+			t.Errorf("TS %d-range extents/file %.1f implausibly high", n, get(n, "TS"))
+		}
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid run in short mode")
+	}
+	cells, err := Figure6(BenchScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 12 {
+		t.Fatalf("got %d cells, want 12", len(cells))
+	}
+	get := func(wl, prefix string) PerfCell {
+		for _, c := range cells {
+			if c.Workload == wl && strings.HasPrefix(c.Policy, prefix) {
+				return c
+			}
+		}
+		t.Fatalf("missing %s/%s*", wl, prefix)
+		return PerfCell{}
+	}
+	// Figure 6a: every multiblock policy beats fixed block sequentially on
+	// the large-file workloads. (SSTF scheduling narrows the gap at the
+	// tiny bench scale — the elevator re-sorts the baseline's per-block
+	// requests — so the bench assertion is 1.25×; the full-scale gap in
+	// EXPERIMENTS.md is far wider.)
+	for _, wl := range []string{"SC", "TP"} {
+		fixed := get(wl, "fixed").SeqPct
+		for _, p := range []string{"buddy", "rbuddy", "extent"} {
+			if m := get(wl, p).SeqPct; m < 1.25*fixed {
+				t.Errorf("%s: %s sequential %.1f%% not well above fixed %.1f%%", wl, p, m, fixed)
+			}
+		}
+	}
+	// Figure 6b: TP application throughput is limited by the random reads
+	// and writes for every policy — they cluster together.
+	var lo, hi float64 = 1e9, 0
+	for _, p := range []string{"buddy", "rbuddy", "extent", "fixed"} {
+		v := get("TP", p).AppPct
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi > 2.5*lo {
+		t.Errorf("TP application spread too wide: %.1f .. %.1f", lo, hi)
+	}
+}
+
+func TestAblationRAIDShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid run in short mode")
+	}
+	cells, err := AblationRAID(BenchScale(), "TP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 5 {
+		t.Fatalf("got %d layout variants", len(cells))
+	}
+	var striped, raid5, degraded float64
+	for _, c := range cells {
+		switch c.Name() {
+		case "striped":
+			striped = c.AppPct
+		case "raid5":
+			raid5 = c.AppPct
+		case "raid5-degraded":
+			degraded = c.AppPct
+		}
+		t.Logf("%s: app=%.1f seq=%.1f", c.Name(), c.AppPct, c.SeqPct)
+	}
+	// §6: RAID reduces small-write performance; a failed drive makes it
+	// worse still.
+	if raid5 >= striped {
+		t.Errorf("RAID-5 app %.1f%% should be below striped %.1f%%", raid5, striped)
+	}
+	if degraded > raid5*1.1 {
+		t.Errorf("degraded RAID-5 app %.1f%% above healthy %.1f%%", degraded, raid5)
+	}
+}
+
+func TestAblationReallocRecoversKochFragmentation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid run in short mode")
+	}
+	cells, err := AblationRealloc(BenchScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3 {
+		t.Fatalf("got %d cells", len(cells))
+	}
+	for _, c := range cells {
+		t.Logf("%s: int %.1f%% -> %.1f%%, compacted %d failed %d",
+			c.Workload, c.InternalBefore, c.After, c.Compacted, c.Failed)
+		// Koch: under 4% internal fragmentation once the rearranger runs.
+		if c.After > 4 {
+			t.Errorf("%s: post-reallocation internal frag %.1f%% above Koch's 4%%", c.Workload, c.After)
+		}
+		if c.After >= c.InternalBefore && c.InternalBefore > 4 {
+			t.Errorf("%s: reallocator did not help (%.1f%% -> %.1f%%)",
+				c.Workload, c.InternalBefore, c.After)
+		}
+		if c.Compacted == 0 {
+			t.Errorf("%s: nothing compacted", c.Workload)
+		}
+	}
+}
+
+func TestAblationSkewHelpsLocality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid run in short mode")
+	}
+	cells, err := AblationSkew(BenchScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3 {
+		t.Fatalf("got %d cells", len(cells))
+	}
+	for _, c := range cells {
+		t.Logf("skew=%.1f: app=%.1f%% lat=%.1fms", c.HotSkew, c.AppPct, c.MeanLatencyMS)
+		if c.AppPct <= 0 {
+			t.Errorf("skew %.1f produced no throughput", c.HotSkew)
+		}
+	}
+	// Strong skew should not hurt: hot files buy seek locality.
+	if cells[2].AppPct < cells[0].AppPct*0.9 {
+		t.Errorf("heavy skew %.1f%% well below uniform %.1f%%", cells[2].AppPct, cells[0].AppPct)
+	}
+}
+
+func TestAblationStripeAndClustering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid run in short mode")
+	}
+	sc := BenchScale()
+	stripes, err := AblationStripeUnit(sc, "SC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stripes) != 4 {
+		t.Fatalf("got %d stripe cells", len(stripes))
+	}
+	for _, c := range stripes {
+		if c.SeqPct < 40 {
+			t.Errorf("SC sequential collapsed at stripe %d: %.1f%%", c.StripeBytes, c.SeqPct)
+		}
+	}
+	scheds, err := AblationScheduler(sc, "TP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scheds) != 3 {
+		t.Fatalf("got %d scheduler cells", len(scheds))
+	}
+	sstf, fcfs := scheds[0], scheds[2]
+	if sstf.AppPct < fcfs.AppPct {
+		t.Errorf("SSTF app %.1f%% below FCFS %.1f%%", sstf.AppPct, fcfs.AppPct)
+	}
+	for _, c := range scheds {
+		if c.MeanLatencyMS <= 0 || c.P95LatencyMS < c.MeanLatencyMS {
+			t.Errorf("implausible latency for %v: mean=%.1f p95=%.1f",
+				c.Scheduler, c.MeanLatencyMS, c.P95LatencyMS)
+		}
+		t.Logf("%v: app=%.1f%% lat mean=%.1fms p95<=%.0fms",
+			c.Scheduler, c.AppPct, c.MeanLatencyMS, c.P95LatencyMS)
+	}
+	clusters, err := AblationClustering(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 4 {
+		t.Fatalf("got %d cluster cells", len(clusters))
+	}
+	for _, c := range clusters {
+		if c.SeqPct <= 0 || c.InternalPct < 0 {
+			t.Errorf("bad cluster cell %+v", c)
+		}
+		t.Logf("clustered=%v g=%d: seq=%.1f int=%.1f", c.Clustered, c.GrowFactor, c.SeqPct, c.InternalPct)
+	}
+}

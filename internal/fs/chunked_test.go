@@ -1,0 +1,124 @@
+package fs
+
+import (
+	"math"
+	"testing"
+
+	"rofs/internal/units"
+)
+
+func TestWriteChunked(t *testing.T) {
+	fsys, eng, dsys := newDiskFS(t)
+	f := fsys.Create(0)
+	f.Allocate(8 * units.MB)
+	var done float64 = -1
+	f.WriteChunked(0, 8*units.MB, units.MB, func(now float64) { done = now })
+	eng.Run(math.Inf(1))
+	if done <= 0 {
+		t.Fatal("chunked write never completed")
+	}
+	if dsys.TotalBytes() != 8*units.MB {
+		t.Fatalf("moved %d bytes", dsys.TotalBytes())
+	}
+	stats := dsys.Stats()
+	var written int64
+	for _, s := range stats {
+		written += s.BytesWritten
+		if s.BytesRead != 0 {
+			t.Fatal("chunked write performed reads")
+		}
+	}
+	if written != 8*units.MB {
+		t.Fatalf("drives wrote %d bytes", written)
+	}
+}
+
+func TestChunkedPanicsOnBadChunk(t *testing.T) {
+	fsys, _, _ := newDiskFS(t)
+	f := fsys.Create(0)
+	f.Allocate(units.MB)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero chunk size did not panic")
+		}
+	}()
+	f.ReadChunked(0, units.MB, 0, nil)
+}
+
+func TestChunkedWithoutDiskCompletesImmediately(t *testing.T) {
+	fsys := newFS(t, 1000, 4)
+	f := fsys.Create(0)
+	f.Allocate(100 * units.KB)
+	called := false
+	f.ReadChunked(0, 100*units.KB, units.KB, func(float64) { called = true })
+	if !called {
+		t.Fatal("diskless chunked read did not complete synchronously")
+	}
+}
+
+func TestExtendWithNilDone(t *testing.T) {
+	fsys := newFS(t, 1000, 4)
+	f := fsys.Create(0)
+	if err := f.Extend(units.KB, nil); err != nil {
+		t.Fatal(err)
+	}
+	if f.Length() != units.KB {
+		t.Fatalf("Length = %d", f.Length())
+	}
+	if err := f.Extend(0, nil); err != nil {
+		t.Fatal("zero extend errored")
+	}
+}
+
+func TestWriteZeroAndNegative(t *testing.T) {
+	fsys, eng, dsys := newDiskFS(t)
+	f := fsys.Create(0)
+	f.Allocate(10 * units.KB)
+	calls := 0
+	f.Write(5*units.KB, 0, func(float64) { calls++ })
+	f.Write(-100, 2*units.KB, func(float64) { calls++ }) // off clips to 0
+	f.Read(20*units.KB, units.KB, func(float64) { calls++ })
+	eng.Run(math.Inf(1))
+	if calls != 3 {
+		t.Fatalf("completions = %d, want 3", calls)
+	}
+	if dsys.TotalBytes() != 2*units.KB {
+		t.Fatalf("moved %d bytes, want only the clipped write", dsys.TotalBytes())
+	}
+}
+
+func TestTruncateZeroAndNegative(t *testing.T) {
+	fsys := newFS(t, 1000, 4)
+	f := fsys.Create(0)
+	f.Allocate(8 * units.KB)
+	f.Truncate(0)
+	f.Truncate(-5)
+	if f.Length() != 8*units.KB {
+		t.Fatal("no-op truncate changed length")
+	}
+}
+
+func TestUtilizationAndFragOnEmpty(t *testing.T) {
+	fsys := newFS(t, 1000, 4)
+	if fsys.InternalFragPct() != 0 {
+		t.Fatal("empty fs internal frag nonzero")
+	}
+	if fsys.ExternalFragPct() != 100 {
+		t.Fatal("empty fs external frag should be 100% free")
+	}
+	if fsys.Utilization() != 0 {
+		t.Fatal("empty fs utilization nonzero")
+	}
+}
+
+func TestRunsPanicsOutsideLength(t *testing.T) {
+	fsys := newFS(t, 1000, 4)
+	f := fsys.Create(0)
+	f.Allocate(4 * units.KB)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("runs outside file length did not panic")
+		}
+	}()
+	f.runs(2*units.KB, 4*units.KB)
+}

@@ -1,0 +1,172 @@
+// Package report renders the simulator's results the way the paper
+// presents them: plain-text tables (Tables 1, 3, 4) and horizontal ASCII
+// bar charts standing in for the bar graphs of Figures 1, 2, 4, 5, and 6.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.1f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.title != "" {
+		fmt.Fprintf(w, "%s\n", t.title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// RenderCSV writes the table as RFC-4180 CSV (header row first, no title),
+// for feeding results to plotting pipelines.
+func (t *Table) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.headers); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// BarChart renders labelled horizontal bars — the textual stand-in for the
+// paper's bar figures. Values are percentages (0-100 expected, clamped for
+// display).
+type BarChart struct {
+	title string
+	max   float64
+	width int
+	bars  []bar
+}
+
+type bar struct {
+	label string
+	value float64
+}
+
+// NewBarChart creates a chart scaled so that max fills width characters.
+func NewBarChart(title string, max float64, width int) *BarChart {
+	if max <= 0 {
+		max = 100
+	}
+	if width <= 0 {
+		width = 50
+	}
+	return &BarChart{title: title, max: max, width: width}
+}
+
+// Add appends one bar.
+func (c *BarChart) Add(label string, value float64) {
+	c.bars = append(c.bars, bar{label, value})
+}
+
+// Gap inserts a blank separator row (between the paper's bar groups).
+func (c *BarChart) Gap() {
+	c.bars = append(c.bars, bar{label: ""})
+}
+
+// Render writes the chart to w.
+func (c *BarChart) Render(w io.Writer) {
+	if c.title != "" {
+		fmt.Fprintf(w, "%s\n", c.title)
+	}
+	labelW := 0
+	for _, b := range c.bars {
+		if len(b.label) > labelW {
+			labelW = len(b.label)
+		}
+	}
+	for _, b := range c.bars {
+		if b.label == "" {
+			fmt.Fprintln(w)
+			continue
+		}
+		v := b.value
+		if v < 0 {
+			v = 0
+		}
+		n := int(v/c.max*float64(c.width) + 0.5)
+		if n > c.width {
+			n = c.width
+		}
+		fmt.Fprintf(w, "  %s  %s %.1f%%\n", pad(b.label, labelW), strings.Repeat("#", n), b.value)
+	}
+}
+
+// String renders the chart to a string.
+func (c *BarChart) String() string {
+	var b strings.Builder
+	c.Render(&b)
+	return b.String()
+}

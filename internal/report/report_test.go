@@ -1,0 +1,108 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Results", "Workload", "Internal", "External")
+	tb.AddRow("SC", 43.1, 13.4)
+	tb.AddRow("TP", 15.2, 9.0)
+	out := tb.String()
+	if !strings.Contains(out, "Results") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "Workload") || !strings.Contains(out, "----") {
+		t.Error("missing header or separator")
+	}
+	if !strings.Contains(out, "43.1") || !strings.Contains(out, "9.0") {
+		t.Errorf("missing values:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTableColumnAlignment(t *testing.T) {
+	tb := NewTable("", "A", "B")
+	tb.AddRow("longvalue", 1)
+	tb.AddRow("x", 22)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// The B column starts at the same offset in both data rows.
+	i1 := strings.Index(lines[2], "1")
+	i2 := strings.Index(lines[3], "22")
+	if i1 != i2 {
+		t.Errorf("misaligned columns:\n%s", out)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	c := NewBarChart("Figure 6a", 100, 40)
+	c.Add("buddy", 94.4)
+	c.Gap()
+	c.Add("fixed", 12.0)
+	out := c.String()
+	if !strings.Contains(out, "Figure 6a") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "94.4%") || !strings.Contains(out, "12.0%") {
+		t.Errorf("missing values:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title, bar, gap, bar
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+	long := strings.Count(lines[1], "#")
+	short := strings.Count(lines[3], "#")
+	if long <= short || long > 40 {
+		t.Errorf("bar lengths wrong: %d vs %d", long, short)
+	}
+}
+
+func TestBarChartClamping(t *testing.T) {
+	c := NewBarChart("", 100, 10)
+	c.Add("over", 150)
+	c.Add("neg", -5)
+	out := c.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if strings.Count(lines[0], "#") != 10 {
+		t.Errorf("overflow bar not clamped:\n%s", out)
+	}
+	if strings.Contains(lines[1], "#") {
+		t.Errorf("negative bar drew hashes:\n%s", out)
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tb := NewTable("Title ignored in CSV", "A", "B")
+	tb.AddRow("x,with,commas", 1.5)
+	tb.AddRow("plain", 2)
+	var sb strings.Builder
+	if err := tb.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %v", lines)
+	}
+	if lines[0] != "A,B" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != `"x,with,commas",1.5` {
+		t.Fatalf("row 1 = %q (commas must be quoted)", lines[1])
+	}
+	if strings.Contains(sb.String(), "Title") {
+		t.Fatal("CSV must not contain the title")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	c := NewBarChart("t", 0, 0) // defaults kick in
+	c.Add("x", 50)
+	if !strings.Contains(c.String(), "#") {
+		t.Error("default-scaled chart drew nothing")
+	}
+}

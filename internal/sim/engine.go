@@ -1,0 +1,109 @@
+// Package sim provides the event-driven simulation engine and the seeded
+// random distributions behind the paper's stochastic workload model (§2).
+//
+// The engine is a classic discrete-event loop: a priority queue of events
+// ordered by simulated time (milliseconds, float64), a clock that jumps to
+// each event's firing time, and a run loop with pluggable stop conditions.
+// Everything is deterministic for a fixed seed: ties in firing time are
+// broken by scheduling order.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Handler is an event callback. It runs with the clock set to the event's
+// firing time and may schedule further events.
+type Handler func(now float64)
+
+type event struct {
+	at  float64
+	seq uint64
+	fn  Handler
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+type Engine struct {
+	now     float64
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+	fired   uint64
+}
+
+// Now returns the current simulated time in milliseconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Fired returns the number of events fired so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of scheduled, not-yet-fired events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to fire at absolute simulated time at. Scheduling in the
+// past panics — it always indicates a modelling bug.
+func (e *Engine) At(at float64, fn Handler) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: event scheduled at %.3f before now %.3f", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to fire delay milliseconds from now.
+func (e *Engine) After(delay float64, fn Handler) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %.3f", delay))
+	}
+	e.At(e.now+delay, fn)
+}
+
+// Stop makes Run return after the currently firing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run fires events in time order until the queue drains, Stop is called,
+// or the clock passes untilMS (exclusive; pass +Inf for no limit). It
+// returns the simulated time at exit.
+func (e *Engine) Run(untilMS float64) float64 {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.at > untilMS {
+			// Leave the event queued; advance the clock to the horizon so
+			// repeated Run calls with growing horizons behave sensibly.
+			e.now = untilMS
+			return e.now
+		}
+		heap.Pop(&e.queue)
+		e.now = next.at
+		e.fired++
+		next.fn(e.now)
+	}
+	return e.now
+}
+
+// Drain discards all pending events (used between experiment phases).
+func (e *Engine) Drain() {
+	e.queue = e.queue[:0]
+}

@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEngineFiresInTimeOrder(t *testing.T) {
+	var e Engine
+	var order []int
+	e.At(30, func(float64) { order = append(order, 3) })
+	e.At(10, func(float64) { order = append(order, 1) })
+	e.At(20, func(float64) { order = append(order, 2) })
+	end := e.Run(math.Inf(1))
+	if end != 30 {
+		t.Fatalf("end time = %g", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("fire order %v", order)
+	}
+	if e.Fired() != 3 {
+		t.Fatalf("Fired = %d", e.Fired())
+	}
+}
+
+func TestEngineTiesBreakBySchedulingOrder(t *testing.T) {
+	var e Engine
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func(float64) { order = append(order, i) })
+	}
+	e.Run(math.Inf(1))
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie order %v", order)
+		}
+	}
+}
+
+func TestEngineEventsScheduleEvents(t *testing.T) {
+	var e Engine
+	var times []float64
+	var chain Handler
+	chain = func(now float64) {
+		times = append(times, now)
+		if now < 50 {
+			e.After(10, chain)
+		}
+	}
+	e.At(10, chain)
+	e.Run(math.Inf(1))
+	want := []float64{10, 20, 30, 40, 50}
+	if len(times) != len(want) {
+		t.Fatalf("times %v", times)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("times %v, want %v", times, want)
+		}
+	}
+}
+
+func TestEngineHorizon(t *testing.T) {
+	var e Engine
+	fired := 0
+	e.At(10, func(float64) { fired++ })
+	e.At(100, func(float64) { fired++ })
+	end := e.Run(50)
+	if fired != 1 {
+		t.Fatalf("fired %d events before horizon", fired)
+	}
+	if end != 50 {
+		t.Fatalf("clock at %g, want horizon 50", end)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d", e.Pending())
+	}
+	// Resuming with a later horizon fires the remaining event.
+	end = e.Run(math.Inf(1))
+	if fired != 2 || end != 100 {
+		t.Fatalf("resume: fired=%d end=%g", fired, end)
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	var e Engine
+	fired := 0
+	e.At(1, func(float64) { fired++; e.Stop() })
+	e.At(2, func(float64) { fired++ })
+	e.Run(math.Inf(1))
+	if fired != 1 {
+		t.Fatalf("Stop did not halt the loop: fired=%d", fired)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d after stop", e.Pending())
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	var e Engine
+	e.At(10, func(now float64) {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(now-1, func(float64) {})
+	})
+	e.Run(math.Inf(1))
+}
+
+func TestEngineNegativeDelayPanics(t *testing.T) {
+	var e Engine
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	e.After(-1, func(float64) {})
+}
+
+func TestEngineDrain(t *testing.T) {
+	var e Engine
+	e.At(1, func(float64) {})
+	e.At(2, func(float64) {})
+	e.Drain()
+	if e.Pending() != 0 {
+		t.Fatal("Drain left events queued")
+	}
+	if end := e.Run(math.Inf(1)); end != 0 {
+		t.Fatalf("Run after drain moved clock to %g", end)
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func() []float64 {
+		var e Engine
+		g := NewRNG(99)
+		var times []float64
+		var chain Handler
+		chain = func(now float64) {
+			times = append(times, now)
+			if len(times) < 100 {
+				e.After(g.Exp(5), chain)
+			}
+		}
+		e.At(0, chain)
+		e.Run(math.Inf(1))
+		return times
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+}

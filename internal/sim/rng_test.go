@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestUniformRange(t *testing.T) {
+	g := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		v := g.Uniform(5, 15)
+		if v < 5 || v >= 15 {
+			t.Fatalf("Uniform out of range: %g", v)
+		}
+	}
+}
+
+func TestUniformDegenerate(t *testing.T) {
+	g := NewRNG(1)
+	if v := g.Uniform(3, 3); v != 3 {
+		t.Fatalf("Uniform(3,3) = %g", v)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	g := NewRNG(2)
+	var sum float64
+	n := 200000
+	for i := 0; i < n; i++ {
+		v := g.Exp(30)
+		if v < 0 {
+			t.Fatalf("Exp returned negative %g", v)
+		}
+		sum += v
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-30) > 0.5 {
+		t.Fatalf("Exp mean = %g, want ~30", mean)
+	}
+	if g.Exp(0) != 0 {
+		t.Fatal("Exp(0) != 0")
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	g := NewRNG(3)
+	var sum, sumSq float64
+	n := 200000
+	for i := 0; i < n; i++ {
+		v := g.Normal(100, 10)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	sd := math.Sqrt(sumSq/float64(n) - mean*mean)
+	if math.Abs(mean-100) > 0.2 {
+		t.Fatalf("Normal mean = %g", mean)
+	}
+	if math.Abs(sd-10) > 0.2 {
+		t.Fatalf("Normal sd = %g", sd)
+	}
+}
+
+func TestSizeNormalTruncation(t *testing.T) {
+	g := NewRNG(4)
+	for i := 0; i < 10000; i++ {
+		v := g.SizeNormal(8192, 4096, 1024)
+		if v < 1024 {
+			t.Fatalf("SizeNormal below min: %d", v)
+		}
+	}
+	// Pathological: mean far below min should clamp, not spin.
+	if v := g.SizeNormal(-1e9, 1, 512); v != 512 {
+		t.Fatalf("pathological SizeNormal = %d, want clamp to 512", v)
+	}
+}
+
+func TestSizeUniformTruncation(t *testing.T) {
+	g := NewRNG(5)
+	for i := 0; i < 10000; i++ {
+		v := g.SizeUniform(8192, 4096, 1)
+		if v < 4096-1 || v > 8192+4096+1 {
+			t.Fatalf("SizeUniform out of range: %d", v)
+		}
+	}
+	if v := g.SizeUniform(0, 0, 100); v != 100 {
+		t.Fatalf("SizeUniform min clamp = %d", v)
+	}
+}
+
+func TestPickProportions(t *testing.T) {
+	g := NewRNG(6)
+	weights := []float64{60, 30, 7, 3} // the TP relation op mix
+	counts := make([]int, len(weights))
+	n := 100000
+	for i := 0; i < n; i++ {
+		counts[g.Pick(weights)]++
+	}
+	for i, w := range weights {
+		got := float64(counts[i]) / float64(n) * 100
+		if math.Abs(got-w) > 1.0 {
+			t.Fatalf("Pick index %d: %.2f%%, want ~%g%%", i, got, w)
+		}
+	}
+}
+
+func TestPickZeroWeightNeverChosen(t *testing.T) {
+	g := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		if g.Pick([]float64{1, 0, 1}) == 1 {
+			t.Fatal("Pick chose a zero-weight index")
+		}
+	}
+}
+
+func TestPickPanics(t *testing.T) {
+	g := NewRNG(8)
+	for _, w := range [][]float64{{0, 0}, {-1, 2}, {}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Pick(%v) did not panic", w)
+				}
+			}()
+			g.Pick(w)
+		}()
+	}
+}
+
+func TestZipfSkewsLow(t *testing.T) {
+	g := NewRNG(13)
+	z := g.NewZipf(2.0, 1<<20)
+	if z == nil {
+		t.Fatal("NewZipf returned nil for valid parameters")
+	}
+	var zeros, total int
+	for i := 0; i < 20000; i++ {
+		if z.Uint64() == 0 {
+			zeros++
+		}
+		total++
+	}
+	// Zipf(s=2) puts the majority of mass on rank 0.
+	if frac := float64(zeros) / float64(total); frac < 0.4 {
+		t.Fatalf("rank-0 fraction %.2f; expected heavy skew", frac)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(11), NewRNG(11)
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package stats
+
+// ThroughputTracker measures data throughput over fixed simulated-time
+// windows and detects the paper's stabilization condition: measurement is
+// considered stable when the throughput of three consecutive windows,
+// expressed as a percentage of the system's maximum bandwidth, agree within
+// a tolerance (0.1 percentage points in the paper, §2.2).
+//
+// Time is in simulated milliseconds; bytes are attributed to the window in
+// which the transfer *completes*, which is how an event-driven simulator
+// naturally observes them.
+type ThroughputTracker struct {
+	windowMS   float64 // window length (10_000 ms in the paper)
+	maxBytesMS float64 // maximum system bandwidth, bytes per ms
+	tolerance  float64 // percentage points
+	need       int     // consecutive agreeing windows required (3)
+
+	startMS   float64 // measurement start time
+	windowEnd float64 // end of the current window
+	winBytes  int64   // bytes completed in the current window
+
+	recent     []float64 // most recent window percentages (ring of size need)
+	nWindows   int
+	totalBytes int64
+	stable     bool
+	stablePct  float64
+	started    bool
+}
+
+// NewThroughputTracker creates a tracker. maxBytesPerMS must be positive.
+func NewThroughputTracker(windowMS, maxBytesPerMS, tolerancePct float64, needWindows int) *ThroughputTracker {
+	if windowMS <= 0 || maxBytesPerMS <= 0 || needWindows < 2 {
+		panic("stats: invalid throughput tracker parameters")
+	}
+	return &ThroughputTracker{
+		windowMS:   windowMS,
+		maxBytesMS: maxBytesPerMS,
+		tolerance:  tolerancePct,
+		need:       needWindows,
+		recent:     make([]float64, 0, needWindows),
+	}
+}
+
+// Start begins measurement at the given simulated time. Transfers recorded
+// before Start are ignored.
+func (t *ThroughputTracker) Start(nowMS float64) {
+	t.startMS = nowMS
+	t.windowEnd = nowMS + t.windowMS
+	t.winBytes = 0
+	t.recent = t.recent[:0]
+	t.nWindows = 0
+	t.totalBytes = 0
+	t.stable = false
+	t.started = true
+}
+
+// Record attributes completed bytes at simulated time nowMS. Windows that
+// elapsed with no traffic are closed as zero-throughput windows.
+func (t *ThroughputTracker) Record(nowMS float64, bytes int64) {
+	if !t.started {
+		return
+	}
+	t.advance(nowMS)
+	t.winBytes += bytes
+	t.totalBytes += bytes
+}
+
+// Tick closes any windows that have fully elapsed by nowMS without traffic.
+// Callers drive it from a periodic simulator event so stabilization can be
+// observed even when the system is idle.
+func (t *ThroughputTracker) Tick(nowMS float64) {
+	if !t.started {
+		return
+	}
+	t.advance(nowMS)
+}
+
+func (t *ThroughputTracker) advance(nowMS float64) {
+	for nowMS >= t.windowEnd {
+		pct := 100 * float64(t.winBytes) / (t.windowMS * t.maxBytesMS)
+		t.closeWindow(pct)
+		t.winBytes = 0
+		t.windowEnd += t.windowMS
+	}
+}
+
+func (t *ThroughputTracker) closeWindow(pct float64) {
+	t.nWindows++
+	if len(t.recent) == t.need {
+		copy(t.recent, t.recent[1:])
+		t.recent = t.recent[:t.need-1]
+	}
+	t.recent = append(t.recent, pct)
+	if len(t.recent) < t.need || t.stable {
+		return
+	}
+	lo, hi := t.recent[0], t.recent[0]
+	for _, p := range t.recent[1:] {
+		if p < lo {
+			lo = p
+		}
+		if p > hi {
+			hi = p
+		}
+	}
+	if hi-lo <= t.tolerance {
+		t.stable = true
+		var sum float64
+		for _, p := range t.recent {
+			sum += p
+		}
+		t.stablePct = sum / float64(len(t.recent))
+	}
+}
+
+// Stable reports whether the stabilization condition has been met.
+func (t *ThroughputTracker) Stable() bool { return t.stable }
+
+// StablePercent returns the mean percentage over the agreeing windows; it
+// is only meaningful once Stable() is true.
+func (t *ThroughputTracker) StablePercent() float64 { return t.stablePct }
+
+// Windows returns the number of fully elapsed windows.
+func (t *ThroughputTracker) Windows() int { return t.nWindows }
+
+// OverallPercent returns throughput over the whole measurement interval as
+// a percentage of maximum bandwidth — the fallback number reported when a
+// run hits its simulated-time cap before stabilizing.
+func (t *ThroughputTracker) OverallPercent(nowMS float64) float64 {
+	elapsed := nowMS - t.startMS
+	if elapsed <= 0 {
+		return 0
+	}
+	return 100 * float64(t.totalBytes) / (elapsed * t.maxBytesMS)
+}
+
+// TotalBytes returns bytes recorded since Start.
+func (t *ThroughputTracker) TotalBytes() int64 { return t.totalBytes }

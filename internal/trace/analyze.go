@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Analysis summarizes a trace produced by this package's writers via the
+// core harness: per-drive activity from "seg" records and per-operation
+// latency from "op" records. cmd/rofs-trace renders it.
+type Analysis struct {
+	Events   int64
+	FirstMS  float64
+	LastMS   float64
+	Drives   []DriveSummary
+	Ops      []OpSummary
+	Unknown  int64 // lines with unrecognized kinds (skipped)
+	BadLines int64 // malformed lines (skipped)
+}
+
+// DriveSummary aggregates one drive's "seg" records.
+type DriveSummary struct {
+	Drive      int
+	Segments   int64
+	Bytes      int64
+	WriteBytes int64
+	BusyMS     float64 // sum of service times
+}
+
+// OpSummary aggregates "op" records by kind.
+type OpSummary struct {
+	Kind      string
+	Count     int64
+	MeanLatMS float64
+	MaxLatMS  float64
+}
+
+// Analyze parses a trace stream. Malformed lines are counted and skipped
+// rather than failing the whole analysis — traces get truncated.
+func Analyze(r io.Reader) (*Analysis, error) {
+	a := &Analysis{FirstMS: -1}
+	drives := map[int]*DriveSummary{}
+	type opAcc struct {
+		n   int64
+		sum float64
+		max float64
+	}
+	ops := map[string]*opAcc{}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fields := strings.SplitN(line, "\t", 3)
+		if len(fields) != 3 {
+			a.BadLines++
+			continue
+		}
+		ts, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			a.BadLines++
+			continue
+		}
+		a.Events++
+		if a.FirstMS < 0 || ts < a.FirstMS {
+			a.FirstMS = ts
+		}
+		if ts > a.LastMS {
+			a.LastMS = ts
+		}
+		kv := parseKV(fields[2])
+		switch fields[1] {
+		case "seg":
+			d, err1 := strconv.Atoi(kv["disk"])
+			n, err2 := strconv.ParseInt(kv["n"], 10, 64)
+			svc, err3 := strconv.ParseFloat(kv["svc"], 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				a.BadLines++
+				continue
+			}
+			ds := drives[d]
+			if ds == nil {
+				ds = &DriveSummary{Drive: d}
+				drives[d] = ds
+			}
+			ds.Segments++
+			ds.Bytes += n
+			if strings.Contains(fields[2], " w ") {
+				ds.WriteBytes += n
+			}
+			ds.BusyMS += svc
+		case "op":
+			kind := strings.Fields(fields[2])[0]
+			lat, err := strconv.ParseFloat(kv["lat"], 64)
+			if err != nil {
+				a.BadLines++
+				continue
+			}
+			acc := ops[kind]
+			if acc == nil {
+				acc = &opAcc{}
+				ops[kind] = acc
+			}
+			acc.n++
+			acc.sum += lat
+			if lat > acc.max {
+				acc.max = lat
+			}
+		default:
+			a.Unknown++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading: %w", err)
+	}
+	for _, ds := range drives {
+		a.Drives = append(a.Drives, *ds)
+	}
+	sort.Slice(a.Drives, func(i, j int) bool { return a.Drives[i].Drive < a.Drives[j].Drive })
+	for kind, acc := range ops {
+		a.Ops = append(a.Ops, OpSummary{
+			Kind:      kind,
+			Count:     acc.n,
+			MeanLatMS: acc.sum / float64(acc.n),
+			MaxLatMS:  acc.max,
+		})
+	}
+	sort.Slice(a.Ops, func(i, j int) bool { return a.Ops[i].Kind < a.Ops[j].Kind })
+	return a, nil
+}
+
+// SpanMS returns the traced interval length.
+func (a *Analysis) SpanMS() float64 {
+	if a.FirstMS < 0 {
+		return 0
+	}
+	return a.LastMS - a.FirstMS
+}
+
+// parseKV extracts k=v tokens from a detail field; bare tokens are
+// ignored.
+func parseKV(detail string) map[string]string {
+	out := map[string]string{}
+	for _, tok := range strings.Fields(detail) {
+		if i := strings.IndexByte(tok, '='); i > 0 {
+			out[tok[:i]] = tok[i+1:]
+		}
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleTrace = `10.000	seg	disk=0 r start=0 n=24576 svc=16.670
+12.000	seg	disk=1 w start=24576 n=8192 svc=20.000
+30.000	op	read type=ts-small len=6144 lat=19.500
+31.000	op	read type=ts-small len=4096 lat=10.500
+40.000	op	extend type=ts-large len=98304 lat=25.000
+garbage line
+50.000	weird	whatever
+60.000	seg	disk=0 r start=48000 n=1024 svc=oops
+`
+
+func TestAnalyze(t *testing.T) {
+	a, err := Analyze(strings.NewReader(sampleTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BadLines != 2 { // "garbage line" and the svc=oops seg
+		t.Errorf("BadLines = %d, want 2", a.BadLines)
+	}
+	if a.Unknown != 1 {
+		t.Errorf("Unknown = %d, want 1", a.Unknown)
+	}
+	if a.Events != 7 { // all well-formed lines, including the bad-svc seg
+		t.Errorf("Events = %d", a.Events)
+	}
+	if a.FirstMS != 10 || a.LastMS != 60 || a.SpanMS() != 50 {
+		t.Errorf("span = [%g, %g]", a.FirstMS, a.LastMS)
+	}
+	if len(a.Drives) != 2 {
+		t.Fatalf("drives = %d", len(a.Drives))
+	}
+	d0, d1 := a.Drives[0], a.Drives[1]
+	if d0.Drive != 0 || d0.Segments != 1 || d0.Bytes != 24576 || d0.WriteBytes != 0 {
+		t.Errorf("drive 0 = %+v", d0)
+	}
+	if d1.Drive != 1 || d1.WriteBytes != 8192 || d1.BusyMS != 20 {
+		t.Errorf("drive 1 = %+v", d1)
+	}
+	if len(a.Ops) != 2 {
+		t.Fatalf("ops = %+v", a.Ops)
+	}
+	var read, extend OpSummary
+	for _, o := range a.Ops {
+		switch o.Kind {
+		case "read":
+			read = o
+		case "extend":
+			extend = o
+		}
+	}
+	if read.Count != 2 || read.MeanLatMS != 15 || read.MaxLatMS != 19.5 {
+		t.Errorf("read summary = %+v", read)
+	}
+	if extend.Count != 1 || extend.MeanLatMS != 25 {
+		t.Errorf("extend summary = %+v", extend)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	a, err := Analyze(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Events != 0 || a.SpanMS() != 0 || len(a.Drives) != 0 || len(a.Ops) != 0 {
+		t.Fatalf("empty analysis = %+v", a)
+	}
+}
+
+func TestAnalyzeRoundTripWithWriter(t *testing.T) {
+	var sb strings.Builder
+	tr := New(&sb)
+	tr.Recordf(1, "seg", "disk=%d r start=%d n=%d svc=%.3f", 2, 100, 4096, 5.5)
+	tr.Recordf(9, "op", "write type=x len=4096 lat=%.3f", 8.0)
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BadLines != 0 || a.Events != 2 {
+		t.Fatalf("round trip analysis = %+v", a)
+	}
+	if a.Drives[0].Drive != 2 || a.Drives[0].BusyMS != 5.5 {
+		t.Fatalf("drive summary = %+v", a.Drives[0])
+	}
+	if a.Ops[0].Kind != "write" || a.Ops[0].MeanLatMS != 8 {
+		t.Fatalf("op summary = %+v", a.Ops[0])
+	}
+}

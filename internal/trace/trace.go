@@ -1,0 +1,69 @@
+// Package trace records simulator events as tab-separated text: one line
+// per event with the simulated timestamp, an event kind, and a free-form
+// detail field. It exists for debugging simulations and for feeding the
+// traces to external analysis ("applying the allocation policies to
+// genuine workloads", the paper's §6, starts with being able to see
+// synthetic ones).
+//
+// Format:
+//
+//	<time-ms>\t<kind>\t<detail>\n
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Tracer writes events. A nil *Tracer is valid and drops everything, so
+// call sites need no guards.
+type Tracer struct {
+	w   *bufio.Writer
+	n   int64
+	err error
+}
+
+// New returns a tracer writing to w.
+func New(w io.Writer) *Tracer {
+	return &Tracer{w: bufio.NewWriter(w)}
+}
+
+// Record emits one event. Errors are sticky and surfaced by Flush.
+func (t *Tracer) Record(nowMS float64, kind, detail string) {
+	if t == nil || t.err != nil {
+		return
+	}
+	if _, err := fmt.Fprintf(t.w, "%.3f\t%s\t%s\n", nowMS, kind, detail); err != nil {
+		t.err = err
+		return
+	}
+	t.n++
+}
+
+// Recordf is Record with formatting.
+func (t *Tracer) Recordf(nowMS float64, kind, format string, args ...any) {
+	if t == nil || t.err != nil {
+		return
+	}
+	t.Record(nowMS, kind, fmt.Sprintf(format, args...))
+}
+
+// Events returns the number of events recorded.
+func (t *Tracer) Events() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.n
+}
+
+// Flush drains buffers and returns the first write error, if any.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}

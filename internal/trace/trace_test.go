@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRecordFormat(t *testing.T) {
+	var sb strings.Builder
+	tr := New(&sb)
+	tr.Record(123.4567, "op", "read 8192")
+	tr.Recordf(200, "seg", "disk=%d n=%d", 3, 4096)
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if lines[0] != "123.457\top\tread 8192" {
+		t.Fatalf("line 0 = %q", lines[0])
+	}
+	if lines[1] != "200.000\tseg\tdisk=3 n=4096" {
+		t.Fatalf("line 1 = %q", lines[1])
+	}
+	if tr.Events() != 2 {
+		t.Fatalf("Events = %d", tr.Events())
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Record(1, "x", "y")
+	tr.Recordf(1, "x", "%d", 1)
+	if tr.Events() != 0 {
+		t.Fatal("nil tracer counted events")
+	}
+	if tr.Flush() != nil {
+		t.Fatal("nil tracer Flush errored")
+	}
+}
+
+type failWriter struct{ after int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.after <= 0 {
+		return 0, errors.New("disk full")
+	}
+	f.after -= len(p)
+	return len(p), nil
+}
+
+func TestStickyError(t *testing.T) {
+	tr := New(&failWriter{after: 0})
+	for i := 0; i < 10000; i++ { // overflow the bufio buffer to force a write
+		tr.Record(float64(i), "k", strings.Repeat("x", 64))
+	}
+	if err := tr.Flush(); err == nil {
+		t.Fatal("write error not surfaced")
+	}
+	n := tr.Events()
+	tr.Record(1, "k", "more") // dropped after error
+	if tr.Events() != n {
+		t.Fatal("events counted after sticky error")
+	}
+}

@@ -1,0 +1,43 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzFromJSON hardens the config parser against arbitrary input: it must
+// never panic, and anything it accepts must validate and round-trip.
+func FuzzFromJSON(f *testing.F) {
+	var seed bytes.Buffer
+	if err := ToJSON(&seed, TimeSharing()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add(`{"Name":"x","Types":[{"Name":"a","Files":1,"Users":1,"RWSizeBytes":1024,"ReadPct":100}]}`)
+	f.Add(`{"Name":"x","Types":[]}`)
+	f.Add(`{`)
+	f.Add(`[]`)
+	f.Add(`{"Name":"x","Types":[{"Pattern":"zigzag"}]}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		w, err := FromJSON(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Accepted workloads must be valid and re-encodable.
+		if err := w.Validate(); err != nil {
+			t.Fatalf("FromJSON accepted an invalid workload: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := ToJSON(&buf, w); err != nil {
+			t.Fatalf("accepted workload failed to re-encode: %v", err)
+		}
+		w2, err := FromJSON(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded workload rejected: %v", err)
+		}
+		if len(w2.Types) != len(w.Types) || w2.Name != w.Name {
+			t.Fatal("round trip lost structure")
+		}
+	})
+}

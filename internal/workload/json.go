@@ -1,0 +1,62 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// JSON encoding of workloads, so downstream users can run experiments on
+// their own file populations (`rofsim -workload-file mine.json`) without
+// recompiling. Field names follow the struct; sizes are byte counts;
+// Pattern encodes as "sequential" or "random".
+
+// MarshalJSON implements json.Marshaler.
+func (p Pattern) MarshalJSON() ([]byte, error) {
+	if p == Random {
+		return []byte(`"random"`), nil
+	}
+	return []byte(`"sequential"`), nil
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (p *Pattern) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return fmt.Errorf("workload: pattern must be a string: %w", err)
+	}
+	switch strings.ToLower(s) {
+	case "sequential", "seq", "":
+		*p = Sequential
+	case "random", "rand":
+		*p = Random
+	default:
+		return fmt.Errorf("workload: unknown pattern %q (want sequential or random)", s)
+	}
+	return nil
+}
+
+// FromJSON decodes and validates a workload. Unknown fields are rejected
+// so typos in hand-written configs fail loudly.
+func FromJSON(r io.Reader) (Workload, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var w Workload
+	if err := dec.Decode(&w); err != nil {
+		return Workload{}, fmt.Errorf("workload: decoding config: %w", err)
+	}
+	if err := w.Validate(); err != nil {
+		return Workload{}, err
+	}
+	return w, nil
+}
+
+// ToJSON encodes a workload with indentation, the round-trip counterpart
+// of FromJSON (use it to dump the built-in workloads as a starting point:
+// `rofsim -dump-workload TS`).
+func ToJSON(w io.Writer, wl Workload) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(wl)
+}

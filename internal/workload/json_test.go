@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	for _, w := range []Workload{TimeSharing(), TransactionProcessing(), SuperComputer()} {
+		var buf bytes.Buffer
+		if err := ToJSON(&buf, w); err != nil {
+			t.Fatalf("%s: encode: %v", w.Name, err)
+		}
+		got, err := FromJSON(&buf)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", w.Name, err)
+		}
+		if got.Name != w.Name || len(got.Types) != len(w.Types) {
+			t.Fatalf("%s: round trip lost structure", w.Name)
+		}
+		for i := range w.Types {
+			if got.Types[i] != w.Types[i] {
+				t.Fatalf("%s type %d: %+v != %+v", w.Name, i, got.Types[i], w.Types[i])
+			}
+		}
+	}
+}
+
+func TestFromJSONHandWritten(t *testing.T) {
+	cfg := `{
+	  "Name": "custom",
+	  "Types": [{
+	    "Name": "logs",
+	    "Files": 4,
+	    "Users": 2,
+	    "ProcessTimeMS": 50,
+	    "HitFreqMS": 50,
+	    "RWSizeBytes": 8192,
+	    "InitialBytes": 1048576,
+	    "ReadPct": 10,
+	    "ExtendPct": 85,
+	    "Pattern": "sequential"
+	  }]
+	}`
+	w, err := FromJSON(strings.NewReader(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Types[0].Files != 4 || w.Types[0].Pattern != Sequential {
+		t.Fatalf("decoded %+v", w.Types[0])
+	}
+	if w.Types[0].DeallocPct() != 5 {
+		t.Fatalf("DeallocPct = %g", w.Types[0].DeallocPct())
+	}
+}
+
+func TestFromJSONRejectsUnknownFields(t *testing.T) {
+	cfg := `{"Name": "x", "Types": [{"Name": "a", "Files": 1, "Users": 1,
+	  "RWSizeBytes": 1024, "ReadPct": 100, "Typo": 7}]}`
+	if _, err := FromJSON(strings.NewReader(cfg)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestFromJSONValidates(t *testing.T) {
+	cfg := `{"Name": "x", "Types": [{"Name": "a", "Files": 0, "Users": 1,
+	  "RWSizeBytes": 1024, "ReadPct": 100}]}`
+	if _, err := FromJSON(strings.NewReader(cfg)); err == nil {
+		t.Fatal("invalid workload accepted")
+	}
+	if _, err := FromJSON(strings.NewReader(`{`)); err == nil {
+		t.Fatal("truncated JSON accepted")
+	}
+}
+
+func TestPatternJSON(t *testing.T) {
+	var p Pattern
+	for _, c := range []struct {
+		in   string
+		want Pattern
+		ok   bool
+	}{
+		{`"random"`, Random, true},
+		{`"RAND"`, Random, true},
+		{`"sequential"`, Sequential, true},
+		{`""`, Sequential, true},
+		{`"zigzag"`, 0, false},
+		{`7`, 0, false},
+	} {
+		err := p.UnmarshalJSON([]byte(c.in))
+		if c.ok && (err != nil || p != c.want) {
+			t.Errorf("UnmarshalJSON(%s) = %v, %v", c.in, p, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("UnmarshalJSON(%s) accepted", c.in)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"testing"
+
+	"rofs/internal/units"
+)
+
+func TestScaleCounts(t *testing.T) {
+	w := TimeSharing().Scale(32, 1)
+	full := TimeSharing()
+	for i := range w.Types {
+		want := full.Types[i].Files / 32
+		if want < 1 {
+			want = 1
+		}
+		if w.Types[i].Files != want {
+			t.Errorf("%s: Files = %d, want %d", w.Types[i].Name, w.Types[i].Files, want)
+		}
+		if w.Types[i].InitialBytes != full.Types[i].InitialBytes {
+			t.Errorf("%s: sizes should be untouched", w.Types[i].Name)
+		}
+	}
+}
+
+func TestScaleSizes(t *testing.T) {
+	w := SuperComputer().Scale(1, 32)
+	full := SuperComputer()
+	for i := range w.Types {
+		if w.Types[i].Files != full.Types[i].Files {
+			t.Errorf("%s: counts should be untouched", w.Types[i].Name)
+		}
+		if w.Types[i].InitialBytes != full.Types[i].InitialBytes/32 {
+			t.Errorf("%s: InitialBytes = %d", w.Types[i].Name, w.Types[i].InitialBytes)
+		}
+		if w.Types[i].AllocSizeBytes != max64(full.Types[i].AllocSizeBytes/32, units.KB) {
+			t.Errorf("%s: AllocSizeBytes = %d", w.Types[i].Name, w.Types[i].AllocSizeBytes)
+		}
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestScaleFloors(t *testing.T) {
+	w := Workload{Name: "t", Types: []FileType{{
+		Name: "x", Files: 3, Users: 1, RWSizeBytes: 1024,
+		InitialBytes: 2048, AllocSizeBytes: 512, ReadPct: 100,
+	}}}
+	s := w.Scale(10, 10)
+	if s.Types[0].Files != 1 {
+		t.Errorf("Files floored to %d, want 1", s.Types[0].Files)
+	}
+	if s.Types[0].InitialBytes != units.KB {
+		t.Errorf("InitialBytes floored to %d, want 1K", s.Types[0].InitialBytes)
+	}
+	// Degenerate divisors are clamped.
+	same := w.Scale(0, -5)
+	if same.Types[0].Files != 3 || same.Types[0].InitialBytes != 2048 {
+		t.Error("divisors < 1 should be identity")
+	}
+}
+
+func TestScaleDoesNotAliasOriginal(t *testing.T) {
+	w := TimeSharing()
+	s := w.Scale(2, 1)
+	s.Types[0].Files = 7
+	if TimeSharing().Types[0].Files == 7 || w.Types[0].Files == 7 {
+		t.Error("Scale shares backing array with the original")
+	}
+}
+
+func TestExtendSizeDefault(t *testing.T) {
+	ft := FileType{RWSizeBytes: 4096}
+	if ft.ExtendSize() != 4096 {
+		t.Error("ExtendSize should default to RWSizeBytes")
+	}
+	ft.ExtendBytes = 1024
+	if ft.ExtendSize() != 1024 {
+		t.Error("ExtendSize should use ExtendBytes when set")
+	}
+}
+
+func TestInitialBytesSum(t *testing.T) {
+	w := Workload{Types: []FileType{
+		{Files: 10, InitialBytes: 100},
+		{Files: 2, InitialBytes: 1000},
+	}}
+	if w.InitialBytes() != 3000 {
+		t.Fatalf("InitialBytes = %d", w.InitialBytes())
+	}
+}
+
+func TestPatternValues(t *testing.T) {
+	// TP relations are the only Random type in the standard workloads.
+	var randoms int
+	for _, w := range []Workload{TimeSharing(), TransactionProcessing(), SuperComputer()} {
+		for _, ft := range w.Types {
+			if ft.Pattern == Random {
+				randoms++
+			}
+		}
+	}
+	if randoms != 1 {
+		t.Errorf("expected exactly the TP relations to be Random; got %d random types", randoms)
+	}
+}
