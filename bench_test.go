@@ -11,16 +11,35 @@
 package rofs_test
 
 import (
+	"context"
 	"testing"
 
 	"rofs/internal/alloc/extent"
 	"rofs/internal/core"
 	"rofs/internal/experiments"
+	"rofs/internal/runner"
 	"rofs/internal/sim"
 	"rofs/internal/units"
 )
 
 func scale() experiments.Scale { return experiments.BenchScale() }
+
+// bench runs specs on a fresh pool each call: no cross-iteration cache,
+// so every iteration measures real simulation work, while batches still
+// exercise the pool's bounded parallelism.
+func bench(b *testing.B, specs ...runner.Spec) []runner.Result {
+	b.Helper()
+	res, err := runner.New(0).Run(context.Background(), specs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// pooled hands an experiment a context and fresh pool per iteration.
+func pooled() (context.Context, *runner.Pool) {
+	return context.Background(), runner.New(0)
+}
 
 // BenchmarkTable1DiskModel measures the raw disk model: one sustained
 // sequential scan, reported as a percentage of the analytic maximum the
@@ -32,13 +51,10 @@ func BenchmarkTable1DiskModel(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		cfg := sc.Config(core.RBuddy(5, 1, true), wl)
-		cfg.MaxSimMS = 60_000
-		res, err := core.RunSequential(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.ReportMetric(res.Percent, "seq-%max")
+		sp := sc.Spec(core.RBuddy(5, 1, true), wl, core.Sequential)
+		sp.MaxSimMS = 60_000
+		res := bench(b, sp)
+		b.ReportMetric(res[0].Outcome.Perf.Percent, "seq-%max")
 	}
 }
 
@@ -50,23 +66,14 @@ func benchTable3(b *testing.B, wlName string) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		cfg := sc.Config(core.Buddy(), wl)
-		frag, err := core.RunAllocation(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		app, err := core.RunApplication(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		seq, err := core.RunSequential(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.ReportMetric(frag.InternalPct, "int-frag-%")
-		b.ReportMetric(frag.ExternalPct, "ext-frag-%")
-		b.ReportMetric(app.Percent, "app-%max")
-		b.ReportMetric(seq.Percent, "seq-%max")
+		res := bench(b,
+			sc.Spec(core.Buddy(), wl, core.Allocation),
+			sc.Spec(core.Buddy(), wl, core.Application),
+			sc.Spec(core.Buddy(), wl, core.Sequential))
+		b.ReportMetric(res[0].Outcome.Frag.InternalPct, "int-frag-%")
+		b.ReportMetric(res[0].Outcome.Frag.ExternalPct, "ext-frag-%")
+		b.ReportMetric(res[1].Outcome.Perf.Percent, "app-%max")
+		b.ReportMetric(res[2].Outcome.Perf.Percent, "seq-%max")
 	}
 }
 
@@ -79,7 +86,8 @@ func BenchmarkTable3BuddyTS(b *testing.B) { benchTable3(b, "TS") }
 func BenchmarkFig1RestrictedBuddyFrag(b *testing.B) {
 	sc := scale()
 	for i := 0; i < b.N; i++ {
-		cells, err := experiments.Figure1(sc)
+		ctx, pool := pooled()
+		cells, err := experiments.Figure1(ctx, pool, sc)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -103,20 +111,20 @@ func BenchmarkFig1RestrictedBuddyFrag(b *testing.B) {
 func BenchmarkFig2RestrictedBuddyPerf(b *testing.B) {
 	sc := scale()
 	for i := 0; i < b.N; i++ {
-		var best float64
+		var specs []runner.Spec
 		for _, name := range []string{"SC", "TP", "TS"} {
 			wl, err := sc.Workload(name)
 			if err != nil {
 				b.Fatal(err)
 			}
 			for _, clustered := range []bool{true, false} {
-				res, err := core.RunSequential(sc.Config(core.RBuddy(5, 1, clustered), wl))
-				if err != nil {
-					b.Fatal(err)
-				}
-				if res.Percent > best {
-					best = res.Percent
-				}
+				specs = append(specs, sc.Spec(core.RBuddy(5, 1, clustered), wl, core.Sequential))
+			}
+		}
+		var best float64
+		for _, r := range bench(b, specs...) {
+			if r.Outcome.Perf.Percent > best {
+				best = r.Outcome.Perf.Percent
 			}
 		}
 		b.ReportMetric(best, "best-seq-%max")
@@ -126,7 +134,8 @@ func BenchmarkFig2RestrictedBuddyPerf(b *testing.B) {
 // BenchmarkFig3GrowBreak exercises the Figure 3 walk-through.
 func BenchmarkFig3GrowBreak(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Figure3()
+		ctx, pool := pooled()
+		res, err := experiments.Figure3(ctx, pool)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -140,7 +149,8 @@ func BenchmarkFig3GrowBreak(b *testing.B) {
 func BenchmarkFig4ExtentFrag(b *testing.B) {
 	sc := scale()
 	for i := 0; i < b.N; i++ {
-		cells, err := experiments.Figure4(sc)
+		ctx, pool := pooled()
+		cells, err := experiments.Figure4(ctx, pool, sc)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -163,7 +173,9 @@ func BenchmarkFig4ExtentFrag(b *testing.B) {
 func BenchmarkFig5ExtentPerf(b *testing.B) {
 	sc := scale()
 	for i := 0; i < b.N; i++ {
-		for _, fit := range []extent.Fit{extent.FirstFit, extent.BestFit} {
+		fits := []extent.Fit{extent.FirstFit, extent.BestFit}
+		var specs []runner.Spec
+		for _, fit := range fits {
 			wl, err := sc.Workload("TP")
 			if err != nil {
 				b.Fatal(err)
@@ -172,11 +184,10 @@ func BenchmarkFig5ExtentPerf(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			res, err := core.RunSequential(sc.Config(core.Extent(fit, ranges), wl))
-			if err != nil {
-				b.Fatal(err)
-			}
-			b.ReportMetric(res.Percent, fit.String()+"-seq-%max")
+			specs = append(specs, sc.Spec(core.Extent(fit, ranges), wl, core.Sequential))
+		}
+		for i, r := range bench(b, specs...) {
+			b.ReportMetric(r.Outcome.Perf.Percent, fits[i].String()+"-seq-%max")
 		}
 	}
 }
@@ -186,6 +197,7 @@ func BenchmarkFig5ExtentPerf(b *testing.B) {
 func BenchmarkTable4ExtentsPerFile(b *testing.B) {
 	sc := scale()
 	for i := 0; i < b.N; i++ {
+		var specs []runner.Spec
 		for _, n := range []int{1, 3} {
 			wl, err := sc.Workload("TP")
 			if err != nil {
@@ -195,16 +207,11 @@ func BenchmarkTable4ExtentsPerFile(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			frag, err := core.RunAllocation(sc.Config(core.Extent(extent.FirstFit, ranges), wl))
-			if err != nil {
-				b.Fatal(err)
-			}
-			if n == 1 {
-				b.ReportMetric(frag.ExtentsPerFile, "tp-1r-extents/file")
-			} else {
-				b.ReportMetric(frag.ExtentsPerFile, "tp-3r-extents/file")
-			}
+			specs = append(specs, sc.Spec(core.Extent(extent.FirstFit, ranges), wl, core.Allocation))
 		}
+		res := bench(b, specs...)
+		b.ReportMetric(res[0].Outcome.Frag.ExtentsPerFile, "tp-1r-extents/file")
+		b.ReportMetric(res[1].Outcome.Frag.ExtentsPerFile, "tp-3r-extents/file")
 	}
 }
 
@@ -213,7 +220,8 @@ func BenchmarkTable4ExtentsPerFile(b *testing.B) {
 func BenchmarkFig6Comparison(b *testing.B) {
 	sc := scale()
 	for i := 0; i < b.N; i++ {
-		cells, err := experiments.Figure6(sc)
+		ctx, pool := pooled()
+		cells, err := experiments.Figure6(ctx, pool, sc)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -240,7 +248,8 @@ func BenchmarkFig6Comparison(b *testing.B) {
 func BenchmarkAblationRAID5(b *testing.B) {
 	sc := scale()
 	for i := 0; i < b.N; i++ {
-		cells, err := experiments.AblationRAID(sc, "TP")
+		ctx, pool := pooled()
+		cells, err := experiments.AblationRAID(ctx, pool, sc, "TP")
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -263,7 +272,8 @@ func BenchmarkAblationRAID5(b *testing.B) {
 func BenchmarkAblationStripeUnit(b *testing.B) {
 	sc := scale()
 	for i := 0; i < b.N; i++ {
-		cells, err := experiments.AblationStripeUnit(sc, "SC")
+		ctx, pool := pooled()
+		cells, err := experiments.AblationStripeUnit(ctx, pool, sc, "SC")
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -277,7 +287,8 @@ func BenchmarkAblationStripeUnit(b *testing.B) {
 func BenchmarkAblationFileMix(b *testing.B) {
 	sc := scale()
 	for i := 0; i < b.N; i++ {
-		cells, err := experiments.AblationFileMix(sc)
+		ctx, pool := pooled()
+		cells, err := experiments.AblationFileMix(ctx, pool, sc)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -300,7 +311,8 @@ func BenchmarkAblationFileMix(b *testing.B) {
 func BenchmarkAblationClustering(b *testing.B) {
 	sc := scale()
 	for i := 0; i < b.N; i++ {
-		cells, err := experiments.AblationClustering(sc)
+		ctx, pool := pooled()
+		cells, err := experiments.AblationClustering(ctx, pool, sc)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -322,7 +334,8 @@ func BenchmarkAblationClustering(b *testing.B) {
 func BenchmarkAblationScheduler(b *testing.B) {
 	sc := scale()
 	for i := 0; i < b.N; i++ {
-		cells, err := experiments.AblationScheduler(sc, "TP")
+		ctx, pool := pooled()
+		cells, err := experiments.AblationScheduler(ctx, pool, sc, "TP")
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -337,7 +350,8 @@ func BenchmarkAblationScheduler(b *testing.B) {
 func BenchmarkAblationRealloc(b *testing.B) {
 	sc := scale()
 	for i := 0; i < b.N; i++ {
-		cells, err := experiments.AblationRealloc(sc)
+		ctx, pool := pooled()
+		cells, err := experiments.AblationRealloc(ctx, pool, sc)
 		if err != nil {
 			b.Fatal(err)
 		}

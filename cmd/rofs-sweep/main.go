@@ -8,26 +8,31 @@
 //	users    scale every file type's user count
 //	stripe   stripe-unit size (bytes, powers of the base value)
 //	disks    number of drives
-//	grow     restricted buddy grow factor
+//	grow     restricted buddy grow factor (fractional values allowed)
 //	sizes    restricted buddy block-size count (2-5)
 //
 // Examples:
 //
 //	rofs-sweep -param seed -values 1,2,3,4,5 -workload TP -test app
 //	rofs-sweep -param stripe -values 8192,24576,98304 -workload SC -test seq
-//	rofs-sweep -param users -values 8,16,32,64 -workload TP -test app -scale full
+//	rofs-sweep -param grow -values 1,1.5,2 -workload TS -test alloc
+//	rofs-sweep -param users -values 8,16,32,64 -workload TP -test app -scale full -jobs 4
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
 	"rofs/internal/core"
 	"rofs/internal/experiments"
 	"rofs/internal/report"
+	"rofs/internal/runner"
 	"rofs/internal/stats"
 )
 
@@ -40,81 +45,86 @@ func main() {
 		scaleFlag    = flag.String("scale", "bench", "full | bench")
 		csvFlag      = flag.Bool("csv", true, "emit CSV (false: aligned table)")
 		summaryFlag  = flag.Bool("summary", false, "append mean ± 95% CI rows per metric (useful with -param seed)")
+		jobsFlag     = flag.Int("jobs", runtime.GOMAXPROCS(0), "maximum simulations running at once")
+		timeoutFlag  = flag.Duration("timeout", 0, "overall deadline (e.g. 10m; 0 means none)")
 	)
 	flag.Parse()
 
-	var values []int64
-	for _, tok := range strings.Split(*valuesFlag, ",") {
-		v, err := strconv.ParseInt(strings.TrimSpace(tok), 10, 64)
-		if err != nil {
-			fatal("bad value %q: %v", tok, err)
-		}
-		values = append(values, v)
-	}
-	if len(values) == 0 {
-		fatal("no values to sweep")
+	values, err := parseValues(*valuesFlag)
+	if err != nil {
+		fatal("%v", err)
 	}
 
+	// The scale is the same for every point; select it once.
+	var sc experiments.Scale
+	switch *scaleFlag {
+	case "full":
+		sc = experiments.FullScale()
+	case "bench":
+		sc = experiments.BenchScale()
+	default:
+		fatal("unknown scale %q", *scaleFlag)
+	}
+
+	kind, err := parseTest(*testFlag)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	specs, err := buildSpecs(sc, *paramFlag, *workloadFlag, kind, values)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	ctx := context.Background()
+	if *timeoutFlag > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeoutFlag)
+		defer cancel()
+	}
+	pool := runner.New(*jobsFlag)
+	pool.OnResult = func(_ int, r runner.Result) {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "  run %-42s FAILED: %v\n", r.Spec.Label(), r.Err)
+			return
+		}
+		st := r.Outcome.Stats
+		note := ""
+		if r.Cached {
+			note = "  (cached)"
+		}
+		fmt.Fprintf(os.Stderr, "  run %-42s %6.2fs wall  %12.0f ms simulated  %9d events  %8.0f events/sec%s\n",
+			r.Spec.Label(), r.Wall.Seconds(), st.SimMS, st.Events,
+			float64(st.Events)/r.Wall.Seconds(), note)
+	}
+	outs, err := pool.Run(ctx, specs)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	// Rows come back in submission order, so the CSV is ordered by value
+	// regardless of which simulation finished first.
 	t := report.NewTable("",
 		*paramFlag, "policy", "workload", "test", "metric1", "metric2", "metric3")
 	var m1, m2, m3 stats.Welford
-	for _, v := range values {
-		sc := experiments.BenchScale()
-		if *scaleFlag == "full" {
-			sc = experiments.FullScale()
-		}
-		spec := core.RBuddy(5, 1, true)
-		wl, err := sc.Workload(*workloadFlag)
-		if err != nil {
-			fatal("%v", err)
-		}
-		switch *paramFlag {
-		case "seed":
-			sc.Seed = v
-		case "users":
-			for i := range wl.Types {
-				wl.Types[i].Users = int(v)
-			}
-		case "stripe":
-			sc.Disk.StripeUnitBytes = v
-		case "disks":
-			sc.Disk.NDisks = int(v)
-		case "grow":
-			spec = core.RBuddy(5, v, true)
-		case "sizes":
-			spec = core.RBuddy(int(v), 1, true)
-		default:
-			fatal("unknown parameter %q", *paramFlag)
-		}
-		cfg := sc.Config(spec, wl)
-		switch *testFlag {
-		case "alloc":
-			res, err := core.RunAllocation(cfg)
-			if err != nil {
-				fatal("%v", err)
-			}
-			t.AddRow(v, spec.Name(), wl.Name, "alloc",
+	for i, r := range outs {
+		v := formatValue(values[i])
+		sp := r.Spec
+		switch kind {
+		case core.Allocation:
+			res := r.Outcome.Frag
+			t.AddRow(v, sp.Policy.Name(), sp.Workload.Name, "alloc",
 				f(res.InternalPct), f(res.ExternalPct), fmt.Sprint(res.Ops))
 			m1.Add(res.InternalPct)
 			m2.Add(res.ExternalPct)
 			m3.Add(float64(res.Ops))
-		case "app", "seq":
-			var res core.PerfResult
-			if *testFlag == "app" {
-				res, err = core.RunApplication(cfg)
-			} else {
-				res, err = core.RunSequential(cfg)
-			}
-			if err != nil {
-				fatal("%v", err)
-			}
-			t.AddRow(v, spec.Name(), wl.Name, *testFlag,
+		default:
+			res := r.Outcome.Perf
+			t.AddRow(v, sp.Policy.Name(), sp.Workload.Name, *testFlag,
 				f(res.Percent), f(res.MeanLatencyMS), f(res.P95LatencyMS))
 			m1.Add(res.Percent)
 			m2.Add(res.MeanLatencyMS)
 			m3.Add(res.P95LatencyMS)
-		default:
-			fatal("unknown test %q", *testFlag)
 		}
 	}
 	if *summaryFlag {
@@ -131,6 +141,103 @@ func main() {
 		t.Render(os.Stdout)
 	}
 }
+
+// parseValues splits a comma-separated list into floats, so fractional
+// sweep points (grow factor 1.5) parse; integer-valued parameters convert
+// and validate per parameter in buildSpecs.
+func parseValues(list string) ([]float64, error) {
+	var values []float64
+	for _, tok := range strings.Split(list, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %v", tok, err)
+		}
+		values = append(values, v)
+	}
+	if len(values) == 0 {
+		return nil, fmt.Errorf("no values to sweep")
+	}
+	return values, nil
+}
+
+// parseTest maps the -test flag to a runner test kind.
+func parseTest(name string) (core.TestKind, error) {
+	switch name {
+	case "alloc":
+		return core.Allocation, nil
+	case "app":
+		return core.Application, nil
+	case "seq":
+		return core.Sequential, nil
+	}
+	return 0, fmt.Errorf("unknown test %q", name)
+}
+
+// asInt converts an integer-valued parameter, rejecting fractions.
+func asInt(param string, v float64) (int64, error) {
+	if v != math.Trunc(v) {
+		return 0, fmt.Errorf("parameter %q needs integer values, got %g", param, v)
+	}
+	return int64(v), nil
+}
+
+// buildSpecs declares one Spec per sweep value for the given parameter.
+func buildSpecs(sc experiments.Scale, param, wlName string, kind core.TestKind, values []float64) ([]runner.Spec, error) {
+	specs := make([]runner.Spec, 0, len(values))
+	for _, v := range values {
+		pt := sc
+		policy := core.RBuddy(5, 1, true)
+		wl, err := pt.Workload(wlName)
+		if err != nil {
+			return nil, err
+		}
+		switch param {
+		case "seed":
+			n, err := asInt(param, v)
+			if err != nil {
+				return nil, err
+			}
+			pt.Seed = n
+		case "users":
+			n, err := asInt(param, v)
+			if err != nil {
+				return nil, err
+			}
+			for i := range wl.Types {
+				wl.Types[i].Users = int(n)
+			}
+		case "stripe":
+			n, err := asInt(param, v)
+			if err != nil {
+				return nil, err
+			}
+			pt.Disk.StripeUnitBytes = n
+		case "disks":
+			n, err := asInt(param, v)
+			if err != nil {
+				return nil, err
+			}
+			pt.Disk.NDisks = int(n)
+		case "grow":
+			policy = core.RBuddy(5, v, true)
+		case "sizes":
+			n, err := asInt(param, v)
+			if err != nil {
+				return nil, err
+			}
+			policy = core.RBuddy(int(n), 1, true)
+		default:
+			return nil, fmt.Errorf("unknown parameter %q", param)
+		}
+		sp := pt.Spec(policy, wl, kind)
+		sp.Name = fmt.Sprintf("%s=%s %s/%s/%s", param, formatValue(v), policy.Name(), wl.Name, kind)
+		specs = append(specs, sp)
+	}
+	return specs, nil
+}
+
+// formatValue renders a sweep value without trailing zeros (1, 1.5, 8192).
+func formatValue(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
 func f(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }
 

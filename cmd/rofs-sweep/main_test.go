@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"rofs/internal/core"
+	"rofs/internal/experiments"
+)
+
+func TestParseValuesAcceptsFractions(t *testing.T) {
+	vals, err := parseValues("1, 1.5 ,2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 1.5, 2}
+	if len(vals) != len(want) {
+		t.Fatalf("got %v", vals)
+	}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Errorf("value %d = %g, want %g", i, vals[i], want[i])
+		}
+	}
+	if _, err := parseValues("1,x"); err == nil {
+		t.Error("garbage value accepted")
+	}
+}
+
+func TestBuildSpecsGrowFraction(t *testing.T) {
+	sc := experiments.BenchScale()
+	specs, err := buildSpecs(sc, "grow", "TS", core.Allocation, []float64{1, 1.5, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 3 {
+		t.Fatalf("got %d specs", len(specs))
+	}
+	if got := specs[1].Policy.Name(); !strings.Contains(got, "g1.5") {
+		t.Errorf("fractional grow factor lost: policy %q", got)
+	}
+	if specs[0].Key() == specs[1].Key() {
+		t.Error("different grow factors share a key")
+	}
+}
+
+func TestBuildSpecsRejectsFractionalIntParams(t *testing.T) {
+	sc := experiments.BenchScale()
+	for _, param := range []string{"seed", "users", "stripe", "disks", "sizes"} {
+		if _, err := buildSpecs(sc, param, "TP", core.Application, []float64{1.5}); err == nil {
+			t.Errorf("parameter %q accepted a fractional value", param)
+		}
+	}
+	// Integer-valued floats convert cleanly.
+	specs, err := buildSpecs(sc, "seed", "TP", core.Application, []float64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if specs[0].Seed != 7 {
+		t.Errorf("seed = %d, want 7", specs[0].Seed)
+	}
+}
+
+func TestBuildSpecsVariesOnlyTheParameter(t *testing.T) {
+	sc := experiments.BenchScale()
+	specs, err := buildSpecs(sc, "users", "TP", core.Application, []float64{8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if specs[0].Workload.Types[0].Users != 8 || specs[1].Workload.Types[0].Users != 16 {
+		t.Errorf("users not applied: %d, %d",
+			specs[0].Workload.Types[0].Users, specs[1].Workload.Types[0].Users)
+	}
+	if specs[0].Seed != specs[1].Seed {
+		t.Error("seed drifted across points")
+	}
+}

@@ -9,40 +9,30 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"rofs/internal/disk"
 	"rofs/internal/experiments"
 	"rofs/internal/report"
+	"rofs/internal/runner"
 	"rofs/internal/sim"
 	"rofs/internal/units"
 )
 
-func main() {
-	var (
-		expFlag   = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,fig1,fig2,fig3,fig4,fig5,table4,fig6,raid,stripe,mix,cluster, or all")
-		scaleFlag = flag.String("scale", "bench", "full (the paper's 8-drive 2.8G array) or bench (reduced)")
-		seedFlag  = flag.Int64("seed", 42, "simulation seed")
-	)
-	flag.Parse()
+// expFunc renders one experiment; the pool bounds its parallelism and
+// caches results across experiments in the same invocation.
+type expFunc func(ctx context.Context, pool *runner.Pool, sc experiments.Scale) error
 
-	var sc experiments.Scale
-	switch *scaleFlag {
-	case "full":
-		sc = experiments.FullScale()
-	case "bench":
-		sc = experiments.BenchScale()
-	default:
-		fmt.Fprintf(os.Stderr, "rofs-tables: unknown scale %q\n", *scaleFlag)
-		os.Exit(2)
-	}
-	sc.Seed = *seedFlag
-
-	all := map[string]func(experiments.Scale) error{
+// experimentRegistry is the full table of renderable artifacts, in the
+// paper's order.
+func experimentRegistry() (map[string]expFunc, []string) {
+	all := map[string]expFunc{
 		"table1":  table1,
 		"table2":  table2,
 		"table3":  table3,
@@ -66,6 +56,59 @@ func main() {
 	order := []string{"table1", "table2", "table3", "fig1", "fig2", "fig3", "fig4", "fig5",
 		"table4", "fig6", "raid", "stripe", "mix", "cluster", "sched", "realloc", "meta",
 		"skew", "aging"}
+	return all, order
+}
+
+// progress prints one per-run line to stderr as results land.
+func progress(_ int, r runner.Result) {
+	label := r.Spec.Label()
+	switch {
+	case r.Err != nil:
+		fmt.Fprintf(os.Stderr, "  run %-42s FAILED: %v\n", label, r.Err)
+	case r.Cached:
+		fmt.Fprintf(os.Stderr, "  run %-42s cached (first run took %.2fs)\n", label, r.Wall.Seconds())
+	default:
+		st := r.Outcome.Stats
+		evps := float64(st.Events) / r.Wall.Seconds()
+		fmt.Fprintf(os.Stderr, "  run %-42s %6.2fs wall  %12.0f ms simulated  %9d events  %8.0f events/sec\n",
+			label, r.Wall.Seconds(), st.SimMS, st.Events, evps)
+	}
+}
+
+func main() {
+	var (
+		expFlag     = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,fig1,fig2,fig3,fig4,fig5,table4,fig6,raid,stripe,mix,cluster, or all")
+		scaleFlag   = flag.String("scale", "bench", "full (the paper's 8-drive 2.8G array) or bench (reduced)")
+		seedFlag    = flag.Int64("seed", 42, "simulation seed")
+		jobsFlag    = flag.Int("jobs", runtime.GOMAXPROCS(0), "maximum simulations running at once")
+		timeoutFlag = flag.Duration("timeout", 0, "overall deadline (e.g. 10m; 0 means none)")
+	)
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scaleFlag {
+	case "full":
+		sc = experiments.FullScale()
+	case "bench":
+		sc = experiments.BenchScale()
+	default:
+		fmt.Fprintf(os.Stderr, "rofs-tables: unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+	sc.Seed = *seedFlag
+
+	ctx := context.Background()
+	if *timeoutFlag > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeoutFlag)
+		defer cancel()
+	}
+	// One pool for the whole invocation: configurations shared between
+	// tables (e.g. the Table 4 / Figure 4 first-fit runs) simulate once.
+	pool := runner.New(*jobsFlag)
+	pool.OnResult = progress
+
+	all, order := experimentRegistry()
 
 	want := strings.Split(*expFlag, ",")
 	if *expFlag == "all" {
@@ -80,7 +123,7 @@ func main() {
 		}
 		start := time.Now()
 		fmt.Printf("=== %s (scale=%s, seed=%d) ===\n", name, sc.Name, sc.Seed)
-		if err := fn(sc); err != nil {
+		if err := fn(ctx, pool, sc); err != nil {
 			fmt.Fprintf(os.Stderr, "rofs-tables: %s: %v\n", name, err)
 			os.Exit(1)
 		}
@@ -88,7 +131,7 @@ func main() {
 	}
 }
 
-func table1(sc experiments.Scale) error {
+func table1(_ context.Context, _ *runner.Pool, sc experiments.Scale) error {
 	g := sc.Disk.Geometry
 	t := report.NewTable("Table 1: Disk Drive Parameters and Simulator Values", "Parameter", "Value")
 	t.AddRow("Number of disks", sc.Disk.NDisks)
@@ -110,7 +153,7 @@ func table1(sc experiments.Scale) error {
 	return nil
 }
 
-func table2(sc experiments.Scale) error {
+func table2(_ context.Context, _ *runner.Pool, sc experiments.Scale) error {
 	for _, name := range []string{"TS", "TP", "SC"} {
 		wl, err := sc.Workload(name)
 		if err != nil {
@@ -129,8 +172,8 @@ func table2(sc experiments.Scale) error {
 	return nil
 }
 
-func table3(sc experiments.Scale) error {
-	rows, err := experiments.Table3(sc)
+func table3(ctx context.Context, pool *runner.Pool, sc experiments.Scale) error {
+	rows, err := experiments.Table3(ctx, pool, sc)
 	if err != nil {
 		return err
 	}
@@ -143,8 +186,8 @@ func table3(sc experiments.Scale) error {
 	return nil
 }
 
-func fig1(sc experiments.Scale) error {
-	cells, err := experiments.Figure1(sc)
+func fig1(ctx context.Context, pool *runner.Pool, sc experiments.Scale) error {
+	cells, err := experiments.Figure1(ctx, pool, sc)
 	if err != nil {
 		return err
 	}
@@ -183,8 +226,8 @@ func fig1(sc experiments.Scale) error {
 	return nil
 }
 
-func fig2(sc experiments.Scale) error {
-	cells, err := experiments.Figure2(sc)
+func fig2(ctx context.Context, pool *runner.Pool, sc experiments.Scale) error {
+	cells, err := experiments.Figure2(ctx, pool, sc)
 	if err != nil {
 		return err
 	}
@@ -220,14 +263,14 @@ func fig2(sc experiments.Scale) error {
 	return nil
 }
 
-func fig3(experiments.Scale) error {
-	res, err := experiments.Figure3()
+func fig3(ctx context.Context, pool *runner.Pool, _ experiments.Scale) error {
+	res, err := experiments.Figure3(ctx, pool)
 	if err != nil {
 		return err
 	}
 	fmt.Println("Figure 3: contiguous allocation vs the grow factor (sizes 1K/8K/64K)")
 	for _, r := range res {
-		fmt.Printf("  grow factor %d: first 64K block at %dK allocated; layout %v",
+		fmt.Printf("  grow factor %g: first 64K block at %dK allocated; layout %v",
 			r.GrowFactor, r.FileKB, r.Extents)
 		if r.Discontiguous {
 			fmt.Printf("  -> discontiguous, %dK hole skipped (the Figure 3 seek)", r.GapKB)
@@ -237,8 +280,8 @@ func fig3(experiments.Scale) error {
 	return nil
 }
 
-func fig4(sc experiments.Scale) error {
-	cells, err := experiments.Figure4(sc)
+func fig4(ctx context.Context, pool *runner.Pool, sc experiments.Scale) error {
+	cells, err := experiments.Figure4(ctx, pool, sc)
 	if err != nil {
 		return err
 	}
@@ -246,8 +289,8 @@ func fig4(sc experiments.Scale) error {
 	return nil
 }
 
-func fig5(sc experiments.Scale) error {
-	cells, err := experiments.Figure5(sc)
+func fig5(ctx context.Context, pool *runner.Pool, sc experiments.Scale) error {
+	cells, err := experiments.Figure5(ctx, pool, sc)
 	if err != nil {
 		return err
 	}
@@ -255,8 +298,8 @@ func fig5(sc experiments.Scale) error {
 	return nil
 }
 
-func table4(sc experiments.Scale) error {
-	rows, err := experiments.Table4(sc)
+func table4(ctx context.Context, pool *runner.Pool, sc experiments.Scale) error {
+	rows, err := experiments.Table4(ctx, pool, sc)
 	if err != nil {
 		return err
 	}
@@ -276,8 +319,8 @@ func table4(sc experiments.Scale) error {
 	return nil
 }
 
-func fig6(sc experiments.Scale) error {
-	cells, err := experiments.Figure6(sc)
+func fig6(ctx context.Context, pool *runner.Pool, sc experiments.Scale) error {
+	cells, err := experiments.Figure6(ctx, pool, sc)
 	if err != nil {
 		return err
 	}
@@ -303,9 +346,9 @@ func fig6(sc experiments.Scale) error {
 	return nil
 }
 
-func ablationRAID(sc experiments.Scale) error {
+func ablationRAID(ctx context.Context, pool *runner.Pool, sc experiments.Scale) error {
 	for _, wl := range []string{"TP", "SC"} {
-		cells, err := experiments.AblationRAID(sc, wl)
+		cells, err := experiments.AblationRAID(ctx, pool, sc, wl)
 		if err != nil {
 			return err
 		}
@@ -319,9 +362,9 @@ func ablationRAID(sc experiments.Scale) error {
 	return nil
 }
 
-func ablationStripe(sc experiments.Scale) error {
+func ablationStripe(ctx context.Context, pool *runner.Pool, sc experiments.Scale) error {
 	for _, wl := range []string{"SC", "TS"} {
-		cells, err := experiments.AblationStripeUnit(sc, wl)
+		cells, err := experiments.AblationStripeUnit(ctx, pool, sc, wl)
 		if err != nil {
 			return err
 		}
@@ -335,8 +378,8 @@ func ablationStripe(sc experiments.Scale) error {
 	return nil
 }
 
-func ablationMix(sc experiments.Scale) error {
-	cells, err := experiments.AblationFileMix(sc)
+func ablationMix(ctx context.Context, pool *runner.Pool, sc experiments.Scale) error {
+	cells, err := experiments.AblationFileMix(ctx, pool, sc)
 	if err != nil {
 		return err
 	}
@@ -349,8 +392,8 @@ func ablationMix(sc experiments.Scale) error {
 	return nil
 }
 
-func ablationCluster(sc experiments.Scale) error {
-	cells, err := experiments.AblationClustering(sc)
+func ablationCluster(ctx context.Context, pool *runner.Pool, sc experiments.Scale) error {
+	cells, err := experiments.AblationClustering(ctx, pool, sc)
 	if err != nil {
 		return err
 	}
@@ -363,9 +406,9 @@ func ablationCluster(sc experiments.Scale) error {
 	return nil
 }
 
-func ablationScheduler(sc experiments.Scale) error {
+func ablationScheduler(ctx context.Context, pool *runner.Pool, sc experiments.Scale) error {
 	for _, wl := range []string{"TP", "SC"} {
-		cells, err := experiments.AblationScheduler(sc, wl)
+		cells, err := experiments.AblationScheduler(ctx, pool, sc, wl)
 		if err != nil {
 			return err
 		}
@@ -379,8 +422,8 @@ func ablationScheduler(sc experiments.Scale) error {
 	return nil
 }
 
-func ablationRealloc(sc experiments.Scale) error {
-	cells, err := experiments.AblationRealloc(sc)
+func ablationRealloc(ctx context.Context, pool *runner.Pool, sc experiments.Scale) error {
+	cells, err := experiments.AblationRealloc(ctx, pool, sc)
 	if err != nil {
 		return err
 	}
@@ -394,8 +437,8 @@ func ablationRealloc(sc experiments.Scale) error {
 	return nil
 }
 
-func metadataTable(sc experiments.Scale) error {
-	cells, err := experiments.MetadataTable(sc)
+func metadataTable(ctx context.Context, pool *runner.Pool, sc experiments.Scale) error {
+	cells, err := experiments.MetadataTable(ctx, pool, sc)
 	if err != nil {
 		return err
 	}
@@ -409,8 +452,8 @@ func metadataTable(sc experiments.Scale) error {
 	return nil
 }
 
-func ablationSkew(sc experiments.Scale) error {
-	cells, err := experiments.AblationSkew(sc)
+func ablationSkew(ctx context.Context, pool *runner.Pool, sc experiments.Scale) error {
+	cells, err := experiments.AblationSkew(ctx, pool, sc)
 	if err != nil {
 		return err
 	}
@@ -427,8 +470,8 @@ func ablationSkew(sc experiments.Scale) error {
 	return nil
 }
 
-func ablationAging(sc experiments.Scale) error {
-	cells, err := experiments.AblationAging(sc)
+func ablationAging(ctx context.Context, pool *runner.Pool, sc experiments.Scale) error {
+	cells, err := experiments.AblationAging(ctx, pool, sc)
 	if err != nil {
 		return err
 	}

@@ -1,40 +1,13 @@
 package main
 
 import (
+	"context"
 	"os"
 	"testing"
 
 	"rofs/internal/experiments"
+	"rofs/internal/runner"
 )
-
-// experimentRegistry mirrors main's table so tests cover its consistency.
-func experimentRegistry() (map[string]func(experiments.Scale) error, []string) {
-	all := map[string]func(experiments.Scale) error{
-		"table1":  table1,
-		"table2":  table2,
-		"table3":  table3,
-		"fig1":    fig1,
-		"fig2":    fig2,
-		"fig3":    fig3,
-		"fig4":    fig4,
-		"fig5":    fig5,
-		"table4":  table4,
-		"fig6":    fig6,
-		"raid":    ablationRAID,
-		"stripe":  ablationStripe,
-		"mix":     ablationMix,
-		"cluster": ablationCluster,
-		"sched":   ablationScheduler,
-		"realloc": ablationRealloc,
-		"meta":    metadataTable,
-		"skew":    ablationSkew,
-		"aging":   ablationAging,
-	}
-	order := []string{"table1", "table2", "table3", "fig1", "fig2", "fig3", "fig4", "fig5",
-		"table4", "fig6", "raid", "stripe", "mix", "cluster", "sched", "realloc", "meta",
-		"skew", "aging"}
-	return all, order
-}
 
 func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
 	all, order := experimentRegistry()
@@ -68,9 +41,11 @@ func TestCheapExperimentsRun(t *testing.T) {
 		os.Stdout = old
 		null.Close()
 	}()
+	ctx := context.Background()
+	pool := runner.New(0)
 	sc := experiments.BenchScale()
-	for _, fn := range []func(experiments.Scale) error{table1, table2, fig3} {
-		if err := fn(sc); err != nil {
+	for _, fn := range []expFunc{table1, table2, fig3} {
+		if err := fn(ctx, pool, sc); err != nil {
 			t.Errorf("experiment failed: %v", err)
 		}
 	}

@@ -34,7 +34,7 @@ func main() {
 
 		// rbuddy knobs
 		sizesFlag = flag.Int("sizes", 5, "rbuddy: number of block sizes (2-5)")
-		growFlag  = flag.Int64("grow", 1, "rbuddy: grow-policy multiplier")
+		growFlag  = flag.Float64("grow", 1, "rbuddy: grow-policy multiplier (fractions allowed, e.g. 1.5)")
 		clustFlag = flag.Bool("clustered", true, "rbuddy: use 32M bookkeeping regions")
 
 		// extent knobs

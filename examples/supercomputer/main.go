@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -62,7 +63,7 @@ func main() {
 	fmt.Println()
 
 	// Ablation A2: stripe-unit sensitivity.
-	cells, err := experiments.AblationStripeUnit(sc, "SC")
+	cells, err := experiments.AblationStripeUnit(context.Background(), nil, sc, "SC")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -36,7 +36,7 @@ func main() {
 		"Block sizes", "g=1", "g=2")
 	for _, n := range []int{2, 3, 4, 5} {
 		var cells [2]float64
-		for i, g := range []int64{1, 2} {
+		for i, g := range []float64{1, 2} {
 			res, err := core.RunAllocation(sc.Config(core.RBuddy(n, g, true), wl))
 			if err != nil {
 				log.Fatal(err)

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -58,7 +59,7 @@ func main() {
 	fmt.Println()
 
 	// The RAID ablation: small random writes pay read-modify-write.
-	cells, err := experiments.AblationRAID(sc, "TP")
+	cells, err := experiments.AblationRAID(context.Background(), nil, sc, "TP")
 	if err != nil {
 		log.Fatal(err)
 	}

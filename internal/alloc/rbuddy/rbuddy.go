@@ -42,8 +42,9 @@ type Config struct {
 	// {1K,8K,64K,1M}, {1K,8K,64K,1M,16M}, expressed in units).
 	SizesUnits []int64
 	// GrowFactor is the grow-policy multiplier g (the paper evaluates 1
-	// and 2). Defaults to 1.
-	GrowFactor int64
+	// and 2; fractional factors such as 1.5 interpolate between them).
+	// Defaults to 1.
+	GrowFactor float64
 	// Clustered enables bookkeeping regions.
 	Clustered bool
 	// RegionUnits is the bookkeeping region size (the paper's 32M, in
@@ -78,7 +79,7 @@ func (c *Config) validate() error {
 		c.GrowFactor = 1
 	}
 	if c.GrowFactor < 1 {
-		return fmt.Errorf("rbuddy: GrowFactor %d must be >= 1", c.GrowFactor)
+		return fmt.Errorf("rbuddy: GrowFactor %g must be >= 1", c.GrowFactor)
 	}
 	if c.Clustered {
 		maxSize := c.SizesUnits[len(c.SizesUnits)-1]
@@ -145,7 +146,7 @@ func (p *Policy) Name() string {
 	if p.cfg.Clustered {
 		mode = "clustered"
 	}
-	return fmt.Sprintf("rbuddy(%d sizes,g%d,%s)", len(p.sizes), p.cfg.GrowFactor, mode)
+	return fmt.Sprintf("rbuddy(%d sizes,g%g,%s)", len(p.sizes), p.cfg.GrowFactor, mode)
 }
 
 // TotalUnits implements alloc.Policy.
@@ -406,9 +407,11 @@ func (f *file) BlockCount() int { return len(f.blocks) }
 func (f *file) DescriptorCount() int { return len(f.blocks) }
 
 // nextClass advances the grow policy: allocation moves up a size once the
-// file holds g·a_{i+1} units in a_i blocks (§4.2).
-func nextClass(level int, unitsAtClass []int64, sizes []int64, g int64) int {
-	for level < len(sizes)-1 && unitsAtClass[level] >= g*sizes[level+1] {
+// file holds g·a_{i+1} units in a_i blocks (§4.2). Unit counts and block
+// sizes are far below 2^53, so the float comparison is exact for integer
+// grow factors and well-defined for fractional ones.
+func nextClass(level int, unitsAtClass []int64, sizes []int64, g float64) int {
+	for level < len(sizes)-1 && float64(unitsAtClass[level]) >= g*float64(sizes[level+1]) {
 		level++
 	}
 	return level

@@ -19,7 +19,7 @@ func newPolicy(t *testing.T, cfg Config) *Policy {
 	return p
 }
 
-func simple(t *testing.T, total int64, sizes []int64, g int64) *Policy {
+func simple(t *testing.T, total int64, sizes []int64, g float64) *Policy {
 	return newPolicy(t, Config{TotalUnits: total, SizesUnits: sizes, GrowFactor: g})
 }
 
@@ -55,10 +55,11 @@ func TestInitialCoverage(t *testing.T) {
 
 func TestGrowPolicySequence(t *testing.T) {
 	for _, tc := range []struct {
-		g    int64
+		g    float64
 		want []int64 // sizes of the first blocks allocated
 	}{
 		{1, []int64{1, 1, 1, 1, 1, 1, 1, 1, 8, 8}},
+		{1.5, []int64{1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 8}},
 		{2, []int64{1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 8}},
 	} {
 		p := simple(t, 1<<16, []int64{1, 8, 64}, tc.g)
@@ -70,7 +71,7 @@ func TestGrowPolicySequence(t *testing.T) {
 		}
 		for i, b := range f.blocks {
 			if got := p.sizes[b.class]; got != tc.want[i] {
-				t.Fatalf("g=%d: block %d size %d, want %d", tc.g, i, got, tc.want[i])
+				t.Fatalf("g=%g: block %d size %d, want %d", tc.g, i, got, tc.want[i])
 			}
 		}
 	}

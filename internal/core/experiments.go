@@ -60,10 +60,12 @@ type PerfResult struct {
 // extend/truncate/delete/create traffic until the first allocation failure
 // (§3).
 func RunAllocation(cfg Config) (FragResult, error) {
-	s, err := newSession(cfg, allocationTest)
-	if err != nil {
-		return FragResult{}, err
-	}
+	out, err := Run(cfg, Allocation)
+	return out.Frag, err
+}
+
+// allocation runs the §3 allocation test on a fresh session.
+func (s *session) allocation() (FragResult, error) {
 	res := FragResult{Policy: s.cfg.Policy.Name(), Workload: s.cfg.Workload.Name}
 	if !s.initFiles() {
 		s.scheduleUsers()
@@ -129,10 +131,12 @@ type compacter interface {
 // of the buddy system's fragmentation the nightly rearranger would win
 // back. Policies without a reallocator yield After == Before.
 func RunAllocationWithReallocation(cfg Config) (ReallocResult, error) {
-	s, err := newSession(cfg, allocationTest)
-	if err != nil {
-		return ReallocResult{}, err
-	}
+	out, err := Run(cfg, AllocationRealloc)
+	return out.Realloc, err
+}
+
+// allocationRealloc runs the allocation test followed by the reallocator.
+func (s *session) allocationRealloc() (ReallocResult, error) {
 	var res ReallocResult
 	mk := func() FragResult {
 		return FragResult{
@@ -168,13 +172,11 @@ func RunAllocationWithReallocation(cfg Config) (ReallocResult, error) {
 	return res, nil
 }
 
-// runPerf shares the application/sequential flow: initialize, fill to the
-// lower utilization bound, measure until stable or capped.
-func runPerf(cfg Config, kind testKind) (PerfResult, error) {
-	s, err := newSession(cfg, kind)
-	if err != nil {
-		return PerfResult{}, err
-	}
+// perf shares the application/sequential flow: initialize, fill to the
+// lower utilization bound, measure until stable or capped. The session's
+// kind at entry selects the test.
+func (s *session) perf() (PerfResult, error) {
+	kind := s.kind
 	res := PerfResult{Policy: s.cfg.Policy.Name(), Workload: s.cfg.Workload.Name}
 	if s.initFiles() {
 		return res, fmt.Errorf("core: disk filled during initialization (utilization target too high)")
@@ -221,11 +223,13 @@ func runPerf(cfg Config, kind testKind) (PerfResult, error) {
 // RunApplication performs the application performance test: the full
 // workload mix at 90–95% utilization until throughput stabilizes (§3).
 func RunApplication(cfg Config) (PerfResult, error) {
-	return runPerf(cfg, applicationTest)
+	out, err := Run(cfg, Application)
+	return out.Perf, err
 }
 
 // RunSequential performs the sequential performance test: reads and writes
 // only, each to an entire file (§3).
 func RunSequential(cfg Config) (PerfResult, error) {
-	return runPerf(cfg, sequentialTest)
+	out, err := Run(cfg, Sequential)
+	return out.Perf, err
 }

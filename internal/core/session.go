@@ -52,6 +52,12 @@ type Config struct {
 	// Degraded fails drive 0 before the run (RAID-5 only): reads
 	// reconstruct from the survivors, writes update parity alone.
 	Degraded bool
+
+	// Cancel, when non-nil, is polled between operations: once it is
+	// closed the run stops early and reports ErrCanceled. It is how the
+	// runner's pool propagates context cancellation and timeouts into a
+	// simulation without threading a context through the hot path.
+	Cancel <-chan struct{}
 }
 
 func (c *Config) setDefaults() error {
@@ -136,6 +142,28 @@ type session struct {
 	fullAtMS float64
 	internal float64
 	external float64
+
+	// canceled records that Config.Cancel fired mid-run.
+	canceled bool
+}
+
+// checkCancel polls Config.Cancel every strideth call (counted by *n); on
+// cancellation it records the fact, stops the engine, and reports true.
+func (s *session) checkCancel(n int64, stride int64) bool {
+	if s.canceled {
+		return true
+	}
+	if s.cfg.Cancel == nil || n%stride != 0 {
+		return false
+	}
+	select {
+	case <-s.cfg.Cancel:
+		s.canceled = true
+		s.eng.Stop()
+		return true
+	default:
+		return false
+	}
 }
 
 type typeState struct {
@@ -247,7 +275,10 @@ func (s *session) initFiles() bool {
 // "the disks are at least 90% full" when measurement begins.
 func (s *session) fill() {
 	target := s.cfg.LowerUtil
-	for s.fsys.Utilization() < target {
+	for n := int64(1); s.fsys.Utilization() < target; n++ {
+		if s.checkCancel(n, 512) {
+			return
+		}
 		ts := s.types[s.rng.Intn(len(s.types))]
 		f := ts.files[s.rng.Intn(len(ts.files))]
 		grow := ts.ft.AllocSizeBytes
@@ -357,6 +388,9 @@ func (s *session) doOp(ts *typeState, done func(now float64)) {
 	s.ops++
 	if s.kind == allocationTest && s.ops > s.cfg.MaxOps {
 		s.eng.Stop()
+		return
+	}
+	if s.checkCancel(s.ops, 512) {
 		return
 	}
 	if s.kind != allocationTest {

@@ -28,7 +28,7 @@ type PolicySpec struct {
 
 	// rbuddy
 	BlockSizes  []int64 // e.g. {1K, 8K, 64K, 1M, 16M}
-	GrowFactor  int64   // 1 or 2
+	GrowFactor  float64 // the paper evaluates 1 and 2; fractions interpolate
 	Clustered   bool
 	RegionBytes int64 // default 32M
 
@@ -48,7 +48,7 @@ func Buddy() PolicySpec {
 
 // RBuddy returns a §4.2 policy spec with the first nSizes of the paper's
 // block-size ladder (1K, 8K, 64K, 1M, 16M).
-func RBuddy(nSizes int, growFactor int64, clustered bool) PolicySpec {
+func RBuddy(nSizes int, growFactor float64, clustered bool) PolicySpec {
 	ladder := []int64{1 * units.KB, 8 * units.KB, 64 * units.KB, 1 * units.MB, 16 * units.MB}
 	if nSizes < 2 || nSizes > len(ladder) {
 		panic(fmt.Sprintf("core: rbuddy wants 2..5 sizes, got %d", nSizes))
@@ -89,7 +89,7 @@ func (s PolicySpec) Name() string {
 		if s.Clustered {
 			mode = "clus"
 		}
-		return fmt.Sprintf("rbuddy-%d-g%d-%s", len(s.BlockSizes), s.GrowFactor, mode)
+		return fmt.Sprintf("rbuddy-%d-g%g-%s", len(s.BlockSizes), s.GrowFactor, mode)
 	case "extent":
 		return fmt.Sprintf("extent-%s-%dr", s.Fit, len(s.RangeMeans))
 	case "fixed":

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"rofs/internal/alloc/extent"
 	"rofs/internal/core"
 	"rofs/internal/disk"
+	"rofs/internal/runner"
 	"rofs/internal/units"
 	"rofs/internal/workload"
 )
@@ -13,7 +15,8 @@ import (
 // The ablations implement the further-work questions the paper's §6
 // raises: the impact of RAID on small writes, sensitivity to the stripe
 // unit, varying file-size mixes, and an isolated clustering/grow-factor
-// study.
+// study. Like the tables and figures, each declares its runs as Specs
+// and assembles cells from the pooled outcomes.
 
 // LayoutCell reports one disk-system layout's throughput (ablation A1).
 type LayoutCell struct {
@@ -41,7 +44,7 @@ func (c LayoutCell) Name() string {
 // Redundant layouts shrink the data capacity, so the workload is divided
 // by the capacity ratio (and the fill phase restores the 90% measurement
 // band); at least four drives are used so RAID-5 is non-degenerate.
-func AblationRAID(sc Scale, wlName string) ([]LayoutCell, error) {
+func AblationRAID(ctx context.Context, pool *runner.Pool, sc Scale, wlName string) ([]LayoutCell, error) {
 	type variant struct {
 		layout   disk.Layout
 		degraded bool
@@ -53,11 +56,10 @@ func AblationRAID(sc Scale, wlName string) ([]LayoutCell, error) {
 		{disk.Mirrored, false},
 		{disk.ParityStriped, false},
 	}
-	var cells []LayoutCell
+	var specs []runner.Spec
 	for _, v := range variants {
-		layout := v.layout
 		dcfg := sc.Disk
-		dcfg.Layout = layout
+		dcfg.Layout = v.layout
 		if dcfg.NDisks < 4 {
 			dcfg.NDisks = 4
 		}
@@ -69,7 +71,7 @@ func AblationRAID(sc Scale, wlName string) ([]LayoutCell, error) {
 		// original drive count, as an integer divisor for the workload.
 		baseCap := sc.Disk.Geometry.Capacity() * int64(sc.Disk.NDisks)
 		layoutCap := dcfg.Geometry.Capacity() * int64(dcfg.NDisks)
-		switch layout {
+		switch v.layout {
 		case disk.Mirrored:
 			layoutCap /= 2
 		case disk.RAID5, disk.ParityStriped:
@@ -82,21 +84,23 @@ func AblationRAID(sc Scale, wlName string) ([]LayoutCell, error) {
 				wl = wl.Scale(1, div)
 			}
 		}
-		cfg := sc.Config(core.RBuddy(5, 1, true), wl)
-		cfg.Disk = dcfg
-		cfg.Degraded = v.degraded
-		app, err := core.RunApplication(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("raid ablation %v app: %w", layout, err)
+		for _, kind := range []core.TestKind{core.Application, core.Sequential} {
+			sp := sc.Spec(core.RBuddy(5, 1, true), wl, kind)
+			sp.Disk = dcfg
+			sp.Degraded = v.degraded
+			specs = append(specs, sp)
 		}
-		seq, err := core.RunSequential(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("raid ablation %v seq: %w", layout, err)
+	}
+	outs, err := runAll(ctx, pool, specs)
+	if err != nil {
+		return nil, fmt.Errorf("raid ablation: %w", err)
+	}
+	cells := make([]LayoutCell, len(variants))
+	for i, v := range variants {
+		cells[i] = LayoutCell{
+			Layout: v.layout, Degraded: v.degraded, Workload: specs[2*i].Workload.Name,
+			AppPct: outs[2*i].Perf.Percent, SeqPct: outs[2*i+1].Perf.Percent,
 		}
-		cells = append(cells, LayoutCell{
-			Layout: layout, Degraded: v.degraded, Workload: wl.Name,
-			AppPct: app.Percent, SeqPct: seq.Percent,
-		})
 	}
 	return cells, nil
 }
@@ -111,26 +115,32 @@ type StripeCell struct {
 
 // AblationStripeUnit sweeps the stripe unit ("the different policies may
 // show different sensitivities to the stripe size parameter", §6).
-func AblationStripeUnit(sc Scale, wlName string) ([]StripeCell, error) {
+func AblationStripeUnit(ctx context.Context, pool *runner.Pool, sc Scale, wlName string) ([]StripeCell, error) {
 	wl, err := sc.Workload(wlName)
 	if err != nil {
 		return nil, err
 	}
-	var cells []StripeCell
-	for _, su := range []int64{8 * units.KB, 24 * units.KB, 96 * units.KB, 384 * units.KB} {
+	stripes := []int64{8 * units.KB, 24 * units.KB, 96 * units.KB, 384 * units.KB}
+	var specs []runner.Spec
+	for _, su := range stripes {
 		dcfg := sc.Disk
 		dcfg.StripeUnitBytes = su
-		cfg := sc.Config(core.RBuddy(5, 1, true), wl)
-		cfg.Disk = dcfg
-		app, err := core.RunApplication(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("stripe %s app: %w", units.Format(su), err)
+		for _, kind := range []core.TestKind{core.Application, core.Sequential} {
+			sp := sc.Spec(core.RBuddy(5, 1, true), wl, kind)
+			sp.Disk = dcfg
+			specs = append(specs, sp)
 		}
-		seq, err := core.RunSequential(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("stripe %s seq: %w", units.Format(su), err)
+	}
+	outs, err := runAll(ctx, pool, specs)
+	if err != nil {
+		return nil, fmt.Errorf("stripe ablation: %w", err)
+	}
+	cells := make([]StripeCell, len(stripes))
+	for i, su := range stripes {
+		cells[i] = StripeCell{
+			StripeBytes: su, Workload: wl.Name,
+			AppPct: outs[2*i].Perf.Percent, SeqPct: outs[2*i+1].Perf.Percent,
 		}
-		cells = append(cells, StripeCell{StripeBytes: su, Workload: wl.Name, AppPct: app.Percent, SeqPct: seq.Percent})
 	}
 	return cells, nil
 }
@@ -148,7 +158,7 @@ type MixCell struct {
 // proportion of large and small files is not constant may affect
 // fragmentation results", §6) and measures restricted buddy and extent
 // fragmentation.
-func AblationFileMix(sc Scale) ([]MixCell, error) {
+func AblationFileMix(ctx context.Context, pool *runner.Pool, sc Scale) ([]MixCell, error) {
 	base, err := sc.Workload("TS")
 	if err != nil {
 		return nil, err
@@ -161,6 +171,7 @@ func AblationFileMix(sc Scale) ([]MixCell, error) {
 	if err != nil {
 		return nil, err
 	}
+	var specs []runner.Spec
 	var cells []MixCell
 	for _, share := range []float64{0.1, 0.3, 0.5, 0.7} {
 		wl := workload.Workload{Name: fmt.Sprintf("TS-mix%.0f", share*100), Types: []workload.FileType{small, large}}
@@ -173,17 +184,17 @@ func AblationFileMix(sc Scale) ([]MixCell, error) {
 			wl.Types[1].Files = 1
 		}
 		for _, p := range []core.PolicySpec{core.RBuddy(5, 1, true), core.Extent(extent.FirstFit, ranges)} {
-			frag, err := core.RunAllocation(sc.Config(p, wl))
-			if err != nil {
-				return nil, fmt.Errorf("mix %.0f%% %s: %w", share*100, p.Name(), err)
-			}
-			cells = append(cells, MixCell{
-				LargeShare:  share,
-				Policy:      p.Name(),
-				InternalPct: frag.InternalPct,
-				ExternalPct: frag.ExternalPct,
-			})
+			specs = append(specs, sc.Spec(p, wl, core.Allocation))
+			cells = append(cells, MixCell{LargeShare: share, Policy: p.Name()})
 		}
+	}
+	outs, err := runAll(ctx, pool, specs)
+	if err != nil {
+		return nil, fmt.Errorf("mix ablation: %w", err)
+	}
+	for i, out := range outs {
+		cells[i].InternalPct = out.Frag.InternalPct
+		cells[i].ExternalPct = out.Frag.ExternalPct
 	}
 	return cells, nil
 }
@@ -203,33 +214,37 @@ type SchedulerCell struct {
 // lever behind the application-throughput magnitudes with 20+ concurrent
 // users (deep per-drive queues make seek-sorting decisive), and a
 // throughput-vs-tail-latency trade the latency columns expose.
-func AblationScheduler(sc Scale, wlName string) ([]SchedulerCell, error) {
+func AblationScheduler(ctx context.Context, pool *runner.Pool, sc Scale, wlName string) ([]SchedulerCell, error) {
 	wl, err := sc.Workload(wlName)
 	if err != nil {
 		return nil, err
 	}
-	var cells []SchedulerCell
-	for _, sched := range []disk.Scheduler{disk.SSTF, disk.SCAN, disk.FCFS} {
+	scheds := []disk.Scheduler{disk.SSTF, disk.SCAN, disk.FCFS}
+	var specs []runner.Spec
+	for _, sched := range scheds {
 		dcfg := sc.Disk
 		dcfg.Scheduler = sched
-		cfg := sc.Config(core.RBuddy(5, 1, true), wl)
-		cfg.Disk = dcfg
-		app, err := core.RunApplication(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("scheduler %v app: %w", sched, err)
+		for _, kind := range []core.TestKind{core.Application, core.Sequential} {
+			sp := sc.Spec(core.RBuddy(5, 1, true), wl, kind)
+			sp.Disk = dcfg
+			specs = append(specs, sp)
 		}
-		seq, err := core.RunSequential(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("scheduler %v seq: %w", sched, err)
-		}
-		cells = append(cells, SchedulerCell{
+	}
+	outs, err := runAll(ctx, pool, specs)
+	if err != nil {
+		return nil, fmt.Errorf("scheduler ablation: %w", err)
+	}
+	cells := make([]SchedulerCell, len(scheds))
+	for i, sched := range scheds {
+		app := outs[2*i].Perf
+		cells[i] = SchedulerCell{
 			Scheduler:     sched,
 			Workload:      wl.Name,
 			AppPct:        app.Percent,
-			SeqPct:        seq.Percent,
+			SeqPct:        outs[2*i+1].Perf.Percent,
 			MeanLatencyMS: app.MeanLatencyMS,
 			P95LatencyMS:  app.P95LatencyMS,
-		})
+		}
 	}
 	return cells, nil
 }
@@ -248,18 +263,24 @@ type ReallocCell struct {
 // the nightly reallocator the paper excluded (§4.1): Koch reported most
 // files in three extents with under 4% internal fragmentation once the
 // rearranger ran.
-func AblationRealloc(sc Scale) ([]ReallocCell, error) {
-	var cells []ReallocCell
-	for _, name := range []string{"SC", "TP", "TS"} {
+func AblationRealloc(ctx context.Context, pool *runner.Pool, sc Scale) ([]ReallocCell, error) {
+	names := []string{"SC", "TP", "TS"}
+	var specs []runner.Spec
+	for _, name := range names {
 		wl, err := sc.Workload(name)
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.RunAllocationWithReallocation(sc.Config(core.Buddy(), wl))
-		if err != nil {
-			return nil, fmt.Errorf("realloc %s: %w", name, err)
-		}
-		cells = append(cells, ReallocCell{
+		specs = append(specs, sc.Spec(core.Buddy(), wl, core.AllocationRealloc))
+	}
+	outs, err := runAll(ctx, pool, specs)
+	if err != nil {
+		return nil, fmt.Errorf("realloc ablation: %w", err)
+	}
+	cells := make([]ReallocCell, len(names))
+	for i, name := range names {
+		res := outs[i].Realloc
+		cells[i] = ReallocCell{
 			Workload:       name,
 			InternalBefore: res.Before.InternalPct,
 			After:          res.After.InternalPct,
@@ -267,7 +288,7 @@ func AblationRealloc(sc Scale) ([]ReallocCell, error) {
 			ExternalAfter:  res.After.ExternalPct,
 			Compacted:      res.Compacted,
 			Failed:         res.Failed,
-		})
+		}
 	}
 	return cells, nil
 }
@@ -286,30 +307,34 @@ type MetaCell struct {
 // MetadataTable compares the §5 policy set's metadata burden on each
 // workload: fixed-block systems need a pointer per block, the multiblock
 // policies a handful of descriptors per file.
-func MetadataTable(sc Scale) ([]MetaCell, error) {
-	var cells []MetaCell
+func MetadataTable(ctx context.Context, pool *runner.Pool, sc Scale) ([]MetaCell, error) {
+	var specs []runner.Spec
 	for _, name := range []string{"SC", "TP", "TS"} {
 		wl, err := sc.Workload(name)
 		if err != nil {
 			return nil, err
 		}
-		specs, err := sc.Figure6Policies(name)
+		ps, err := sc.Figure6Policies(name)
 		if err != nil {
 			return nil, err
 		}
-		for _, p := range specs {
-			frag, err := core.RunAllocation(sc.Config(p, wl))
-			if err != nil {
-				return nil, fmt.Errorf("meta %s %s: %w", name, p.Name(), err)
-			}
-			cells = append(cells, MetaCell{
-				Policy:        p.Name(),
-				Workload:      name,
-				Files:         frag.Meta.Files,
-				Descriptors:   frag.Meta.Descriptors,
-				MetaBytes:     frag.Meta.MetaBytes,
-				MetaPctOfData: frag.Meta.MetaPctOfData,
-			})
+		for _, p := range ps {
+			specs = append(specs, sc.Spec(p, wl, core.Allocation))
+		}
+	}
+	outs, err := runAll(ctx, pool, specs)
+	if err != nil {
+		return nil, fmt.Errorf("metadata table: %w", err)
+	}
+	cells := make([]MetaCell, len(outs))
+	for i, out := range outs {
+		cells[i] = MetaCell{
+			Policy:        specs[i].Policy.Name(),
+			Workload:      specs[i].Workload.Name,
+			Files:         out.Frag.Meta.Files,
+			Descriptors:   out.Frag.Meta.Descriptors,
+			MetaBytes:     out.Frag.Meta.MetaBytes,
+			MetaPctOfData: out.Frag.Meta.MetaPctOfData,
 		}
 	}
 	return cells, nil
@@ -326,19 +351,24 @@ type SkewCell struct {
 // Zipf(s) — "applying the allocation policies to genuine workloads" (§6):
 // real databases hammer a few hot relations, which buys seek locality the
 // paper's uniform model cannot see.
-func AblationSkew(sc Scale) ([]SkewCell, error) {
-	var cells []SkewCell
-	for _, skew := range []float64{0, 1.5, 3} {
+func AblationSkew(ctx context.Context, pool *runner.Pool, sc Scale) ([]SkewCell, error) {
+	skews := []float64{0, 1.5, 3}
+	var specs []runner.Spec
+	for _, skew := range skews {
 		wl, err := sc.Workload("TP")
 		if err != nil {
 			return nil, err
 		}
 		wl.Types[0].HotSkew = skew
-		app, err := core.RunApplication(sc.Config(core.RBuddy(5, 1, true), wl))
-		if err != nil {
-			return nil, fmt.Errorf("skew %g: %w", skew, err)
-		}
-		cells = append(cells, SkewCell{HotSkew: skew, AppPct: app.Percent, MeanLatencyMS: app.MeanLatencyMS})
+		specs = append(specs, sc.Spec(core.RBuddy(5, 1, true), wl, core.Application))
+	}
+	outs, err := runAll(ctx, pool, specs)
+	if err != nil {
+		return nil, fmt.Errorf("skew ablation: %w", err)
+	}
+	cells := make([]SkewCell, len(skews))
+	for i, skew := range skews {
+		cells[i] = SkewCell{HotSkew: skew, AppPct: outs[i].Perf.Percent, MeanLatencyMS: outs[i].Perf.MeanLatencyMS}
 	}
 	return cells, nil
 }
@@ -354,66 +384,66 @@ type AgingCell struct {
 // address-ordered one on the aged TS workload — isolating how much of the
 // fixed-block baseline's penalty is free-list aging versus block-at-a-time
 // transfer.
-func AblationAging(sc Scale) ([]AgingCell, error) {
+func AblationAging(ctx context.Context, pool *runner.Pool, sc Scale) ([]AgingCell, error) {
 	wl, err := sc.Workload("TS")
 	if err != nil {
 		return nil, err
 	}
-	var cells []AgingCell
-	for _, spec := range []core.PolicySpec{
+	policies := []core.PolicySpec{
 		core.Fixed(4 * units.KB),
 		core.FixedOrdered(4 * units.KB),
-	} {
-		cfg := sc.Config(spec, wl)
-		seq, err := core.RunSequential(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("aging %s seq: %w", spec.Name(), err)
-		}
-		app, err := core.RunApplication(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("aging %s app: %w", spec.Name(), err)
-		}
-		cells = append(cells, AgingCell{Policy: spec.Name(), SeqPct: seq.Percent, AppPct: app.Percent})
+	}
+	var specs []runner.Spec
+	for _, p := range policies {
+		specs = append(specs,
+			sc.Spec(p, wl, core.Sequential),
+			sc.Spec(p, wl, core.Application))
+	}
+	outs, err := runAll(ctx, pool, specs)
+	if err != nil {
+		return nil, fmt.Errorf("aging ablation: %w", err)
+	}
+	cells := make([]AgingCell, len(policies))
+	for i, p := range policies {
+		cells[i] = AgingCell{Policy: p.Name(), SeqPct: outs[2*i].Perf.Percent, AppPct: outs[2*i+1].Perf.Percent}
 	}
 	return cells, nil
 }
 
-// AblationClustering isolates the clustering and grow-factor effects on
-// the TS workload (§4.2's discussion): 5-size restricted buddy, the four
+// ClusterCell isolates the clustering and grow-factor effects on the TS
+// workload (§4.2's discussion): 5-size restricted buddy, the four
 // combinations, sequential throughput and internal fragmentation.
 type ClusterCell struct {
 	Clustered   bool
-	GrowFactor  int64
+	GrowFactor  float64
 	SeqPct      float64
 	InternalPct float64
 }
 
 // AblationClustering runs the four {clustered}×{g} combinations on TS.
-func AblationClustering(sc Scale) ([]ClusterCell, error) {
+func AblationClustering(ctx context.Context, pool *runner.Pool, sc Scale) ([]ClusterCell, error) {
 	wl, err := sc.Workload("TS")
 	if err != nil {
 		return nil, err
 	}
+	var specs []runner.Spec
 	var cells []ClusterCell
 	for _, clustered := range []bool{true, false} {
-		for _, g := range []int64{1, 2} {
+		for _, g := range []float64{1, 2} {
 			p := core.RBuddy(5, g, clustered)
-			cfg := sc.Config(p, wl)
-			seq, err := core.RunSequential(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("clustering seq: %w", err)
-			}
-			frag, err := core.RunAllocation(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("clustering alloc: %w", err)
-			}
-			cells = append(cells, ClusterCell{
-				Clustered:   clustered,
-				GrowFactor:  g,
-				SeqPct:      seq.Percent,
-				InternalPct: frag.InternalPct,
-			})
+			specs = append(specs,
+				sc.Spec(p, wl, core.Sequential),
+				sc.Spec(p, wl, core.Allocation))
+			cells = append(cells, ClusterCell{Clustered: clustered, GrowFactor: g})
 		}
+	}
+	outs, err := runAll(ctx, pool, specs)
+	if err != nil {
+		return nil, fmt.Errorf("clustering ablation: %w", err)
+	}
+	for i := range cells {
+		cells[i].SeqPct = outs[2*i].Perf.Percent
+		cells[i].InternalPct = outs[2*i+1].Frag.InternalPct
 	}
 	return cells, nil
 }

@@ -7,14 +7,21 @@
 // configuration (8 × Wren IV, 2.8 G, full workloads); BenchScale is a
 // shape-preserving reduction (2 drives, workloads divided) that runs in
 // milliseconds-to-seconds per experiment for tests and `go test -bench`.
+//
+// Each experiment declares its runs as runner.Specs and assembles its
+// rows from the pooled results, so a shared runner.Pool executes a whole
+// evaluation concurrently and deduplicates configurations that appear in
+// more than one table.
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"rofs/internal/alloc/extent"
 	"rofs/internal/core"
 	"rofs/internal/disk"
+	"rofs/internal/runner"
 	"rofs/internal/units"
 	"rofs/internal/workload"
 )
@@ -83,15 +90,44 @@ func (sc Scale) ExtentRanges(name string, n int) ([]int64, error) {
 	return out, nil
 }
 
-// Config assembles a core.Config for one run.
-func (sc Scale) Config(p core.PolicySpec, wl workload.Workload) core.Config {
-	return core.Config{
+// Spec declares one run at this scale — the experiments' currency: every
+// table and figure reduces to a slice of these handed to a runner.Pool.
+func (sc Scale) Spec(p core.PolicySpec, wl workload.Workload, kind core.TestKind) runner.Spec {
+	return runner.Spec{
 		Disk:     sc.Disk,
 		Policy:   p,
 		Workload: wl,
+		Kind:     kind,
 		Seed:     sc.Seed,
 		MaxSimMS: sc.MaxSimMS,
 	}
+}
+
+// Config assembles a core.Config for one run. Direct callers (examples,
+// rofsim) use it; the declarative path goes through Spec.
+func (sc Scale) Config(p core.PolicySpec, wl workload.Workload) core.Config {
+	return sc.Spec(p, wl, core.Allocation).Config()
+}
+
+// runAll executes specs through the pool and returns their outcomes in
+// submission order, failing on the first error. A nil pool runs on a
+// private default-sized one; a nil ctx means no cancellation.
+func runAll(ctx context.Context, p *runner.Pool, specs []runner.Spec) ([]core.Outcome, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if p == nil {
+		p = runner.New(0)
+	}
+	results, err := p.Run(ctx, specs)
+	if err != nil {
+		return nil, err
+	}
+	outs := make([]core.Outcome, len(results))
+	for i := range results {
+		outs[i] = results[i].Outcome
+	}
+	return outs, nil
 }
 
 // --- Table 3: buddy allocation results ---
@@ -105,30 +141,42 @@ type Table3Row struct {
 	SeqPct      float64
 }
 
-// Table3 runs the buddy policy's allocation, application, and sequential
-// tests on SC, TP, and TS (§4.1).
-func Table3(sc Scale) ([]Table3Row, error) {
-	var rows []Table3Row
+// table3Kinds are the three runs behind each Table 3 row.
+var table3Kinds = []core.TestKind{core.Allocation, core.Application, core.Sequential}
+
+// Table3Specs declares the buddy policy's allocation, application, and
+// sequential runs on SC, TP, and TS — three consecutive Specs per
+// workload, in table3Kinds order.
+func Table3Specs(sc Scale) ([]runner.Spec, error) {
+	var specs []runner.Spec
 	for _, name := range []string{"SC", "TP", "TS"} {
 		wl, err := sc.Workload(name)
 		if err != nil {
 			return nil, err
 		}
-		cfg := sc.Config(core.Buddy(), wl)
-		frag, err := core.RunAllocation(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("table3 %s alloc: %w", name, err)
+		for _, kind := range table3Kinds {
+			specs = append(specs, sc.Spec(core.Buddy(), wl, kind))
 		}
-		app, err := core.RunApplication(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("table3 %s app: %w", name, err)
-		}
-		seq, err := core.RunSequential(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("table3 %s seq: %w", name, err)
-		}
+	}
+	return specs, nil
+}
+
+// Table3 runs the buddy policy's allocation, application, and sequential
+// tests on SC, TP, and TS (§4.1).
+func Table3(ctx context.Context, p *runner.Pool, sc Scale) ([]Table3Row, error) {
+	specs, err := Table3Specs(sc)
+	if err != nil {
+		return nil, err
+	}
+	outs, err := runAll(ctx, p, specs)
+	if err != nil {
+		return nil, fmt.Errorf("table3: %w", err)
+	}
+	var rows []Table3Row
+	for i := 0; i < len(outs); i += len(table3Kinds) {
+		frag, app, seq := outs[i].Frag, outs[i+1].Perf, outs[i+2].Perf
 		rows = append(rows, Table3Row{
-			Workload:    name,
+			Workload:    specs[i].Workload.Name,
 			InternalPct: frag.InternalPct,
 			ExternalPct: frag.ExternalPct,
 			AppPct:      app.Percent,
@@ -146,7 +194,7 @@ func RBuddyConfigs() []core.PolicySpec {
 	var out []core.PolicySpec
 	for _, n := range []int{2, 3, 4, 5} {
 		for _, clustered := range []bool{true, false} {
-			for _, g := range []int64{1, 2} {
+			for _, g := range []float64{1, 2} {
 				out = append(out, core.RBuddy(n, g, clustered))
 			}
 		}
@@ -176,14 +224,14 @@ type PerfCell struct {
 
 // Figure1 runs the allocation test for every restricted buddy
 // configuration on each workload.
-func Figure1(sc Scale) ([]FragCell, error) {
-	return fragGrid(sc, RBuddyConfigs(), nil)
+func Figure1(ctx context.Context, p *runner.Pool, sc Scale) ([]FragCell, error) {
+	return fragGrid(ctx, p, sc, RBuddyConfigs(), nil)
 }
 
 // Figure2 runs the application and sequential tests for every restricted
 // buddy configuration on each workload.
-func Figure2(sc Scale) ([]PerfCell, error) {
-	return perfGrid(sc, RBuddyConfigs(), nil)
+func Figure2(ctx context.Context, p *runner.Pool, sc Scale) ([]PerfCell, error) {
+	return perfGrid(ctx, p, sc, RBuddyConfigs(), nil)
 }
 
 // extentConfigs returns the §4.3 grid for one workload: fits × range
@@ -204,13 +252,13 @@ func (sc Scale) extentConfigs(wlName string) ([]core.PolicySpec, error) {
 
 // Figure4 runs the allocation test over the extent grid (fragmentation);
 // its cells also carry the Table 4 extents-per-file averages.
-func Figure4(sc Scale) ([]FragCell, error) {
-	return fragGrid(sc, nil, sc.extentConfigs)
+func Figure4(ctx context.Context, p *runner.Pool, sc Scale) ([]FragCell, error) {
+	return fragGrid(ctx, p, sc, nil, sc.extentConfigs)
 }
 
 // Figure5 runs the throughput tests over the extent grid.
-func Figure5(sc Scale) ([]PerfCell, error) {
-	return perfGrid(sc, nil, sc.extentConfigs)
+func Figure5(ctx context.Context, p *runner.Pool, sc Scale) ([]PerfCell, error) {
+	return perfGrid(ctx, p, sc, nil, sc.extentConfigs)
 }
 
 // Table4Row is one row of Table 4: average extents per file for each
@@ -222,9 +270,16 @@ type Table4Row struct {
 }
 
 // Table4 computes the average number of extents per file after the
-// allocation test, for 1-5 extent ranges on each workload.
-func Table4(sc Scale) ([]Table4Row, error) {
-	var rows []Table4Row
+// allocation test, for 1-5 extent ranges on each workload. Its runs are
+// the first-fit half of the Figure 4 grid, so a shared pool simulates
+// them only once across both.
+func Table4(ctx context.Context, p *runner.Pool, sc Scale) ([]Table4Row, error) {
+	type cell struct {
+		ranges int
+		wl     string
+	}
+	var specs []runner.Spec
+	var cells []cell
 	for n := 1; n <= 5; n++ {
 		for _, name := range []string{"SC", "TP", "TS"} {
 			wl, err := sc.Workload(name)
@@ -235,20 +290,30 @@ func Table4(sc Scale) ([]Table4Row, error) {
 			if err != nil {
 				return nil, err
 			}
-			frag, err := core.RunAllocation(sc.Config(core.Extent(extent.FirstFit, ranges), wl))
-			if err != nil {
-				return nil, fmt.Errorf("table4 %s %dr: %w", name, n, err)
-			}
-			rows = append(rows, Table4Row{Ranges: n, Workload: name, ExtentsPerFile: frag.ExtentsPerFile})
+			specs = append(specs, sc.Spec(core.Extent(extent.FirstFit, ranges), wl, core.Allocation))
+			cells = append(cells, cell{n, name})
+		}
+	}
+	outs, err := runAll(ctx, p, specs)
+	if err != nil {
+		return nil, fmt.Errorf("table4: %w", err)
+	}
+	rows := make([]Table4Row, len(outs))
+	for i, out := range outs {
+		rows[i] = Table4Row{
+			Ranges:         cells[i].ranges,
+			Workload:       cells[i].wl,
+			ExtentsPerFile: out.Frag.ExtentsPerFile,
 		}
 	}
 	return rows, nil
 }
 
-// fragGrid runs allocation tests for a set of policies (fixed list or
-// per-workload generator) across the three workloads.
-func fragGrid(sc Scale, specs []core.PolicySpec, gen func(string) ([]core.PolicySpec, error)) ([]FragCell, error) {
-	var cells []FragCell
+// gridSpecs declares one Spec of the given kind per (workload, policy)
+// pair, policies coming from the fixed list or the per-workload generator.
+func gridSpecs(sc Scale, kind core.TestKind, specs []core.PolicySpec,
+	gen func(string) ([]core.PolicySpec, error)) ([]runner.Spec, error) {
+	var out []runner.Spec
 	for _, name := range []string{"SC", "TP", "TS"} {
 		wl, err := sc.Workload(name)
 		if err != nil {
@@ -261,17 +326,32 @@ func fragGrid(sc Scale, specs []core.PolicySpec, gen func(string) ([]core.Policy
 			}
 		}
 		for _, p := range ps {
-			frag, err := core.RunAllocation(sc.Config(p, wl))
-			if err != nil {
-				return nil, fmt.Errorf("%s on %s: %w", p.Name(), name, err)
-			}
-			cells = append(cells, FragCell{
-				Policy:         p.Name(),
-				Workload:       name,
-				InternalPct:    frag.InternalPct,
-				ExternalPct:    frag.ExternalPct,
-				ExtentsPerFile: frag.ExtentsPerFile,
-			})
+			out = append(out, sc.Spec(p, wl, kind))
+		}
+	}
+	return out, nil
+}
+
+// fragGrid runs allocation tests for a set of policies (fixed list or
+// per-workload generator) across the three workloads.
+func fragGrid(ctx context.Context, pool *runner.Pool, sc Scale, specs []core.PolicySpec,
+	gen func(string) ([]core.PolicySpec, error)) ([]FragCell, error) {
+	rs, err := gridSpecs(sc, core.Allocation, specs, gen)
+	if err != nil {
+		return nil, err
+	}
+	outs, err := runAll(ctx, pool, rs)
+	if err != nil {
+		return nil, err
+	}
+	cells := make([]FragCell, len(outs))
+	for i, out := range outs {
+		cells[i] = FragCell{
+			Policy:         rs[i].Policy.Name(),
+			Workload:       rs[i].Workload.Name,
+			InternalPct:    out.Frag.InternalPct,
+			ExternalPct:    out.Frag.ExternalPct,
+			ExtentsPerFile: out.Frag.ExtentsPerFile,
 		}
 	}
 	return cells, nil
@@ -279,37 +359,30 @@ func fragGrid(sc Scale, specs []core.PolicySpec, gen func(string) ([]core.Policy
 
 // perfGrid runs application + sequential tests for a set of policies
 // across the three workloads.
-func perfGrid(sc Scale, specs []core.PolicySpec, gen func(string) ([]core.PolicySpec, error)) ([]PerfCell, error) {
-	var cells []PerfCell
-	for _, name := range []string{"SC", "TP", "TS"} {
-		wl, err := sc.Workload(name)
-		if err != nil {
-			return nil, err
-		}
-		ps := specs
-		if gen != nil {
-			if ps, err = gen(name); err != nil {
-				return nil, err
-			}
-		}
-		for _, p := range ps {
-			cfg := sc.Config(p, wl)
-			app, err := core.RunApplication(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("%s on %s app: %w", p.Name(), name, err)
-			}
-			seq, err := core.RunSequential(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("%s on %s seq: %w", p.Name(), name, err)
-			}
-			cells = append(cells, PerfCell{
-				Policy:    p.Name(),
-				Workload:  name,
-				AppPct:    app.Percent,
-				SeqPct:    seq.Percent,
-				AppStable: app.Stable,
-				SeqStable: seq.Stable,
-			})
+func perfGrid(ctx context.Context, pool *runner.Pool, sc Scale, specs []core.PolicySpec,
+	gen func(string) ([]core.PolicySpec, error)) ([]PerfCell, error) {
+	apps, err := gridSpecs(sc, core.Application, specs, gen)
+	if err != nil {
+		return nil, err
+	}
+	seqs, err := gridSpecs(sc, core.Sequential, specs, gen)
+	if err != nil {
+		return nil, err
+	}
+	outs, err := runAll(ctx, pool, append(append([]runner.Spec{}, apps...), seqs...))
+	if err != nil {
+		return nil, err
+	}
+	cells := make([]PerfCell, len(apps))
+	for i := range apps {
+		app, seq := outs[i].Perf, outs[len(apps)+i].Perf
+		cells[i] = PerfCell{
+			Policy:    apps[i].Policy.Name(),
+			Workload:  apps[i].Workload.Name,
+			AppPct:    app.Percent,
+			SeqPct:    seq.Percent,
+			AppStable: app.Stable,
+			SeqStable: seq.Stable,
 		}
 	}
 	return cells, nil
@@ -338,6 +411,6 @@ func (sc Scale) Figure6Policies(wlName string) ([]core.PolicySpec, error) {
 
 // Figure6 runs the §5 comparison: sequential (6a) and application (6b)
 // performance of the four allocation methods on each workload.
-func Figure6(sc Scale) ([]PerfCell, error) {
-	return perfGrid(sc, nil, sc.Figure6Policies)
+func Figure6(ctx context.Context, p *runner.Pool, sc Scale) ([]PerfCell, error) {
+	return perfGrid(ctx, p, sc, nil, sc.Figure6Policies)
 }

@@ -1,12 +1,19 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	"rofs/internal/disk"
+	"rofs/internal/runner"
 	"rofs/internal/units"
 )
+
+// testPool is shared across the package's tests so configurations that
+// recur between experiments (e.g. the Table 4 / Figure 4 first-fit runs)
+// simulate once per `go test` process.
+var testPool = runner.New(0)
 
 func TestScaleWorkloadSelection(t *testing.T) {
 	sc := BenchScale()
@@ -56,7 +63,7 @@ func TestScaleExtentRanges(t *testing.T) {
 }
 
 func TestTable3ShapeMatchesPaper(t *testing.T) {
-	rows, err := Table3(BenchScale())
+	rows, err := Table3(context.Background(), testPool, BenchScale())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +94,7 @@ func TestTable3ShapeMatchesPaper(t *testing.T) {
 }
 
 func TestFigure3GrowBreak(t *testing.T) {
-	res, err := Figure3()
+	res, err := Figure3(context.Background(), testPool)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +168,7 @@ func TestBenchScaleDiskIsSmall(t *testing.T) {
 }
 
 func TestAblationFileMixShape(t *testing.T) {
-	cells, err := AblationFileMix(BenchScale())
+	cells, err := AblationFileMix(context.Background(), testPool, BenchScale())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +199,7 @@ func TestFigure1GridSmoke(t *testing.T) {
 		t.Skip("grid run in short mode")
 	}
 	sc := BenchScale()
-	cells, err := Figure1(sc)
+	cells, err := Figure1(context.Background(), testPool, sc)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"rofs/internal/alloc"
 	"rofs/internal/alloc/rbuddy"
+	"rofs/internal/runner"
 )
 
 // Fig3Result demonstrates the Figure 3 interaction between contiguous
@@ -12,7 +14,7 @@ import (
 // increases, the next aligned block of the new size is not contiguous
 // with the blocks already allocated, so the file pays a seek.
 type Fig3Result struct {
-	GrowFactor int64
+	GrowFactor float64
 	// FileKB is the file size at which the 64K block is first required
 	// (72K under g=1, 144K under g=2, in the paper's example).
 	FileKB int64
@@ -27,17 +29,26 @@ type Fig3Result struct {
 
 // Figure3 reproduces the paper's Figure 3 walk-through on a fresh
 // single-region disk with block sizes {1K, 8K, 64K}, for grow factors 1
-// and 2.
-func Figure3() ([]Fig3Result, error) {
-	var out []Fig3Result
-	for _, g := range []int64{1, 2} {
+// and 2. The walk-throughs are pure allocator exercises, not simulation
+// Specs, so they run through the pool's generic Do.
+func Figure3(ctx context.Context, p *runner.Pool) ([]Fig3Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if p == nil {
+		p = runner.New(0)
+	}
+	growFactors := []float64{1, 2}
+	out := make([]Fig3Result, len(growFactors))
+	err := p.Do(ctx, len(growFactors), func(i int) error {
+		g := growFactors[i]
 		p, err := rbuddy.New(rbuddy.Config{
 			TotalUnits: 1024, // 1M in 1K units
 			SizesUnits: []int64{1, 8, 64},
 			GrowFactor: g,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		f := p.NewFile(0)
 		// Grow one unit at a time until the first 64-unit block appears.
@@ -45,7 +56,7 @@ func Figure3() ([]Fig3Result, error) {
 		for i := 0; i < 1024 && !crossed; i++ {
 			added, err := f.Grow(1)
 			if err != nil {
-				return nil, fmt.Errorf("figure3 g=%d: %w", g, err)
+				return fmt.Errorf("figure3 g=%g: %w", g, err)
 			}
 			for _, e := range added {
 				if e.Len == 64 {
@@ -54,7 +65,7 @@ func Figure3() ([]Fig3Result, error) {
 			}
 		}
 		if !crossed {
-			return nil, fmt.Errorf("figure3 g=%d: never reached a 64K block", g)
+			return fmt.Errorf("figure3 g=%g: never reached a 64K block", g)
 		}
 		ext := append([]alloc.Extent(nil), f.Extents()...)
 		res := Fig3Result{GrowFactor: g, FileKB: f.AllocatedUnits(), Extents: ext}
@@ -62,7 +73,11 @@ func Figure3() ([]Fig3Result, error) {
 			res.Discontiguous = true
 			res.GapKB = ext[len(ext)-1].Start - ext[len(ext)-2].End()
 		}
-		out = append(out, res)
+		out[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

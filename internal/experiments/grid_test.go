@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -13,7 +14,7 @@ func TestFigure2Grid(t *testing.T) {
 	if testing.Short() {
 		t.Skip("grid run in short mode")
 	}
-	cells, err := Figure2(BenchScale())
+	cells, err := Figure2(context.Background(), testPool, BenchScale())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestFigure4And5Extent(t *testing.T) {
 		t.Skip("grid run in short mode")
 	}
 	sc := BenchScale()
-	frag, err := Figure4(sc)
+	frag, err := Figure4(context.Background(), testPool, sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestFigure4And5Extent(t *testing.T) {
 	}
 	t.Logf("total frag: first-fit %.1f, best-fit %.1f", firstTotal, bestTotal)
 
-	perf, err := Figure5(sc)
+	perf, err := Figure5(context.Background(), testPool, sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestTable4Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("grid run in short mode")
 	}
-	rows, err := Table4(BenchScale())
+	rows, err := Table4(context.Background(), testPool, BenchScale())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func TestFigure6Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("grid run in short mode")
 	}
-	cells, err := Figure6(BenchScale())
+	cells, err := Figure6(context.Background(), testPool, BenchScale())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +207,7 @@ func TestAblationRAIDShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("grid run in short mode")
 	}
-	cells, err := AblationRAID(BenchScale(), "TP")
+	cells, err := AblationRAID(context.Background(), testPool, BenchScale(), "TP")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +240,7 @@ func TestAblationReallocRecoversKochFragmentation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("grid run in short mode")
 	}
-	cells, err := AblationRealloc(BenchScale())
+	cells, err := AblationRealloc(context.Background(), testPool, BenchScale())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +268,7 @@ func TestAblationSkewHelpsLocality(t *testing.T) {
 	if testing.Short() {
 		t.Skip("grid run in short mode")
 	}
-	cells, err := AblationSkew(BenchScale())
+	cells, err := AblationSkew(context.Background(), testPool, BenchScale())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,7 +292,7 @@ func TestAblationStripeAndClustering(t *testing.T) {
 		t.Skip("grid run in short mode")
 	}
 	sc := BenchScale()
-	stripes, err := AblationStripeUnit(sc, "SC")
+	stripes, err := AblationStripeUnit(context.Background(), testPool, sc, "SC")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,7 +304,7 @@ func TestAblationStripeAndClustering(t *testing.T) {
 			t.Errorf("SC sequential collapsed at stripe %d: %.1f%%", c.StripeBytes, c.SeqPct)
 		}
 	}
-	scheds, err := AblationScheduler(sc, "TP")
+	scheds, err := AblationScheduler(context.Background(), testPool, sc, "TP")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -322,7 +323,7 @@ func TestAblationStripeAndClustering(t *testing.T) {
 		t.Logf("%v: app=%.1f%% lat mean=%.1fms p95<=%.0fms",
 			c.Scheduler, c.AppPct, c.MeanLatencyMS, c.P95LatencyMS)
 	}
-	clusters, err := AblationClustering(sc)
+	clusters, err := AblationClustering(context.Background(), testPool, sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -333,6 +334,6 @@ func TestAblationStripeAndClustering(t *testing.T) {
 		if c.SeqPct <= 0 || c.InternalPct < 0 {
 			t.Errorf("bad cluster cell %+v", c)
 		}
-		t.Logf("clustered=%v g=%d: seq=%.1f int=%.1f", c.Clustered, c.GrowFactor, c.SeqPct, c.InternalPct)
+		t.Logf("clustered=%v g=%g: seq=%.1f int=%.1f", c.Clustered, c.GrowFactor, c.SeqPct, c.InternalPct)
 	}
 }

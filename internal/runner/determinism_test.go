@@ -1,0 +1,86 @@
+// The determinism test lives in an external test package so it can drive
+// the real experiment grids through the pool without an import cycle
+// (experiments imports runner).
+package runner_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"rofs/internal/experiments"
+	"rofs/internal/runner"
+)
+
+// TestPoolParallelismIsDeterministic is the pool's core contract: because
+// every core session owns its engine, RNG, disk system, and file-system
+// state, running the BenchScale Table 3 grid on eight workers produces
+// byte-identical outcomes to running it serially.
+func TestPoolParallelismIsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid run in short mode")
+	}
+	specs, err := experiments.Table3Specs(experiments.BenchScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := runner.New(1).Run(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := runner.New(8).Run(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("result counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		s := fmt.Sprintf("%#v", serial[i].Outcome)
+		p := fmt.Sprintf("%#v", parallel[i].Outcome)
+		if s != p {
+			t.Errorf("%s: jobs=8 outcome diverged from jobs=1:\nserial:   %s\nparallel: %s",
+				serial[i].Spec.Label(), s, p)
+		}
+	}
+}
+
+// TestTable3AssemblesFromPooledResults checks the experiments layer on
+// top of the pool: the assembled rows match the raw pooled outcomes.
+func TestTable3AssemblesFromPooledResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid run in short mode")
+	}
+	pool := runner.New(0)
+	rows, err := experiments.Table3(context.Background(), pool, experiments.BenchScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := experiments.Table3Specs(experiments.BenchScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same pool: every spec is already cached from the Table3 call.
+	res, err := pool.Run(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if !r.Cached {
+			t.Errorf("%s re-simulated; Table3 should have populated the cache", r.Spec.Label())
+		}
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Row 0 assembles from the first workload's three runs.
+	if rows[0].InternalPct != res[0].Outcome.Frag.InternalPct {
+		t.Error("row 0 fragmentation does not match its pooled outcome")
+	}
+	if rows[0].AppPct != res[1].Outcome.Perf.Percent {
+		t.Error("row 0 application throughput does not match its pooled outcome")
+	}
+	if rows[0].SeqPct != res[2].Outcome.Perf.Percent {
+		t.Error("row 0 sequential throughput does not match its pooled outcome")
+	}
+}

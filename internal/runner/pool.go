@@ -1,0 +1,214 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"rofs/internal/core"
+)
+
+// Result is the outcome of one submitted Spec.
+type Result struct {
+	Spec    Spec
+	Outcome core.Outcome
+	// Err is non-nil when the run failed, panicked (the panic message and
+	// stack are folded into the error), or was canceled.
+	Err error
+	// Wall is the real time the simulation took; for cached results it is
+	// the original run's wall time.
+	Wall time.Duration
+	// Cached reports that the result was served from the pool's cache
+	// rather than simulated by this submission.
+	Cached bool
+}
+
+// Pool executes Specs on a bounded set of workers. The zero value is
+// ready to use; New sets the worker count explicitly. A Pool's cache
+// lives as long as the Pool, so batches submitted through the same Pool
+// share results across Run calls.
+type Pool struct {
+	// Jobs is the maximum number of concurrently running simulations.
+	// Zero or negative means runtime.GOMAXPROCS(0).
+	Jobs int
+
+	// OnResult, when set, observes every finished run (including cached
+	// and failed ones) with its submission index. Calls are serialized
+	// but may arrive in any index order.
+	OnResult func(index int, r Result)
+
+	mu    sync.Mutex
+	cache map[string]*cacheEntry
+}
+
+// cacheEntry is one key's slot: done closes when the owning run finishes.
+type cacheEntry struct {
+	done    chan struct{}
+	outcome core.Outcome
+	err     error
+	wall    time.Duration
+}
+
+// New returns a Pool running at most jobs simulations at once (0: one per
+// available CPU).
+func New(jobs int) *Pool { return &Pool{Jobs: jobs} }
+
+// jobs resolves the effective worker count.
+func (p *Pool) jobs() int {
+	if p.Jobs > 0 {
+		return p.Jobs
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes the Specs and returns one Result per Spec, ordered by
+// submission index regardless of completion order. The first failure (in
+// submission order) is also returned as the error, labeled with its Spec;
+// the remaining results are still valid. Canceling ctx stops runs between
+// operations (in-flight simulations poll Config.Cancel) and fails
+// not-yet-started ones with ctx's error.
+func (p *Pool) Run(ctx context.Context, specs []Spec) ([]Result, error) {
+	results := make([]Result, len(specs))
+	workers := p.jobs()
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	var cbMu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = p.one(ctx, specs[i])
+				if cb := p.OnResult; cb != nil {
+					cbMu.Lock()
+					cb(i, results[i])
+					cbMu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range specs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for i := range results {
+		if err := results[i].Err; err != nil {
+			return results, fmt.Errorf("%s: %w", results[i].Spec.Label(), err)
+		}
+	}
+	return results, nil
+}
+
+// one resolves a single Spec: from the cache when an equal Spec already
+// ran (or is running) in this process, otherwise by simulating.
+func (p *Pool) one(ctx context.Context, sp Spec) Result {
+	res := Result{Spec: sp}
+	if err := ctx.Err(); err != nil {
+		res.Err = err
+		return res
+	}
+	key := sp.Key()
+	p.mu.Lock()
+	if p.cache == nil {
+		p.cache = make(map[string]*cacheEntry)
+	}
+	if e, ok := p.cache[key]; ok {
+		p.mu.Unlock()
+		select {
+		case <-e.done:
+			res.Outcome, res.Err, res.Wall, res.Cached = e.outcome, e.err, e.wall, true
+		case <-ctx.Done():
+			res.Err = ctx.Err()
+		}
+		return res
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	p.cache[key] = e
+	p.mu.Unlock()
+
+	start := time.Now()
+	out, err := simulate(ctx, sp)
+	e.outcome, e.err, e.wall = out, err, time.Since(start)
+	close(e.done)
+	if err != nil && (errors.Is(err, core.ErrCanceled) || errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)) {
+		// A canceled run is not a result: drop it so a later batch with a
+		// live context simulates afresh.
+		p.mu.Lock()
+		delete(p.cache, key)
+		p.mu.Unlock()
+	}
+	res.Outcome, res.Err, res.Wall = out, err, e.wall
+	return res
+}
+
+// simulate performs the Spec's run, converting a panicking simulation
+// into a failed Result instead of a crashed process.
+func simulate(ctx context.Context, sp Spec) (out core.Outcome, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("runner: panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	cfg := sp.Config()
+	cfg.Cancel = ctx.Done()
+	return core.Run(cfg, sp.Kind)
+}
+
+// Do runs fn(i) for every i in [0, n) on at most Jobs workers and returns
+// the first error by index — the escape hatch for experiment steps that
+// are not Spec-shaped (analytic walk-throughs, custom measurements) but
+// should still share the pool's bounded parallelism. Panics in fn are
+// captured like panicking simulations. Already-canceled contexts fail
+// remaining iterations with ctx's error; fn itself is responsible for
+// observing ctx mid-iteration.
+func (p *Pool) Do(ctx context.Context, n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	workers := p.jobs()
+	if workers > n {
+		workers = n
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = protect(ctx, i, fn)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// protect invokes fn(i) with ctx and panic guards.
+func protect(ctx context.Context, i int, fn func(i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("runner: panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return fn(i)
+}

@@ -1,0 +1,70 @@
+// Package runner turns the repository's simulations into declarative
+// work: a Spec names one run (policy × workload × test × scale × seed)
+// and a Pool executes a batch of Specs on a bounded set of workers.
+//
+// Every core session owns its engine, RNG, disk system, and file-system
+// state, so runs share nothing and parallel execution is bit-for-bit
+// identical to serial execution for a fixed seed — the pool's contract,
+// proved by the determinism test. Identical Specs (by canonical key) are
+// simulated once per process and served from the pool's cache after
+// that, so configurations shared between tables cost one simulation.
+package runner
+
+import (
+	"fmt"
+
+	"rofs/internal/core"
+	"rofs/internal/disk"
+	"rofs/internal/workload"
+)
+
+// Spec declares one simulation run. It carries everything a core.Config
+// needs; construction of the Config happens behind Config(), so callers
+// only ever describe runs, never assemble them.
+type Spec struct {
+	// Name optionally overrides the derived Label in progress output. It
+	// is not part of the canonical key.
+	Name string
+
+	Disk     disk.Config
+	Policy   core.PolicySpec
+	Workload workload.Workload
+	Kind     core.TestKind
+	Seed     int64
+
+	// MaxSimMS caps throughput runs (0: the core default).
+	MaxSimMS float64
+	// Degraded fails drive 0 before the run (RAID-5 only).
+	Degraded bool
+}
+
+// Config assembles the core.Config the Spec declares.
+func (s Spec) Config() core.Config {
+	return core.Config{
+		Disk:     s.Disk,
+		Policy:   s.Policy,
+		Workload: s.Workload,
+		Seed:     s.Seed,
+		MaxSimMS: s.MaxSimMS,
+		Degraded: s.Degraded,
+	}
+}
+
+// Key returns the Spec's canonical identity: two Specs with equal keys
+// describe the same simulation and may share one result. Every field
+// that influences the run is folded in; Name is presentation-only and
+// excluded. The encodings are plain-value struct dumps, deterministic
+// because the underlying configurations hold no maps or pointers.
+func (s Spec) Key() string {
+	return fmt.Sprintf("%s|%+v|%+v|%+v|seed=%d|max=%g|deg=%t",
+		s.Kind, s.Policy, s.Disk, s.Workload, s.Seed, s.MaxSimMS, s.Degraded)
+}
+
+// Label returns the short human-readable name progress lines use:
+// Name when set, else policy/workload/test.
+func (s Spec) Label() string {
+	if s.Name != "" {
+		return s.Name
+	}
+	return fmt.Sprintf("%s/%s/%s", s.Policy.Name(), s.Workload.Name, s.Kind)
+}

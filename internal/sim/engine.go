@@ -11,6 +11,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"math"
 )
 
 // Handler is an event callback. It runs with the clock set to the event's
@@ -84,8 +85,14 @@ func (e *Engine) Stop() { e.stopped = true }
 
 // Run fires events in time order until the queue drains, Stop is called,
 // or the clock passes untilMS (exclusive; pass +Inf for no limit). It
-// returns the simulated time at exit.
+// returns the simulated time at exit. A NaN horizon panics — every
+// comparison against NaN is false, so the horizon would silently never
+// bound the run; like past scheduling, it always indicates a modelling
+// bug.
 func (e *Engine) Run(untilMS float64) float64 {
+	if math.IsNaN(untilMS) {
+		panic("sim: Run horizon is NaN")
+	}
 	e.stopped = false
 	for len(e.queue) > 0 && !e.stopped {
 		next := e.queue[0]

@@ -156,3 +156,19 @@ func TestEngineDeterminism(t *testing.T) {
 		}
 	}
 }
+
+func TestRunRejectsNaNHorizon(t *testing.T) {
+	var e Engine
+	e.At(5, func(float64) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run(NaN) did not panic")
+		}
+		if e.Pending() != 1 {
+			t.Fatal("Run(NaN) consumed events")
+		}
+	}()
+	// NaN compares false against everything, so an unguarded horizon
+	// would silently drain the whole queue.
+	e.Run(math.NaN())
+}
