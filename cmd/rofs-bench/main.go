@@ -1,0 +1,307 @@
+// Command rofs-bench runs a pinned benchmark grid over the simulator and
+// emits a machine-readable JSON report — the tracked artifact (BENCH_*.json
+// at the repository root) that performance PRs regenerate so reviewers see
+// events/sec, ns/event, and allocs/event move.
+//
+// Two layers are measured:
+//
+//   - the engine microbenchmarks (self-firing event and a 256-deep queue),
+//     via testing.Benchmark — the pure event-loop cost with no simulated
+//     file system behind it; and
+//   - full simulations on the bench scale, one cell per workload × policy
+//     × test, timed in-process with allocation counters read around the
+//     run.
+//
+// Cells run sequentially (never in parallel) so wall-clock timings are not
+// distorted by scheduler contention; a warm-up cell absorbs one-time costs
+// before measurement starts.
+//
+// Usage:
+//
+//	rofs-bench -out BENCH_PR2.json          # the full pinned grid
+//	rofs-bench -short -out -                # CI smoke subset to stdout
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"rofs/internal/alloc/extent"
+	"rofs/internal/core"
+	"rofs/internal/experiments"
+	"rofs/internal/prof"
+	"rofs/internal/runner"
+	"rofs/internal/sim"
+)
+
+// engineResult is one microbenchmark row.
+type engineResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// cellResult is one simulation cell of the grid.
+type cellResult struct {
+	Workload string `json:"workload"`
+	Policy   string `json:"policy"`
+	Test     string `json:"test"`
+
+	Events       uint64  `json:"events"`
+	SimMS        float64 `json:"sim_ms"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	NsPerEvent   float64 `json:"ns_per_event"`
+	// AllocsPerEvent and BytesPerEvent count heap activity for the whole
+	// run (including setup) divided by events fired, from runtime.MemStats
+	// deltas around the run.
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	BytesPerEvent  float64 `json:"bytes_per_event"`
+
+	// Metric is the cell's simulated result — percent of maximum
+	// throughput for perf tests, internal fragmentation percent for the
+	// allocation test — carried along as a sanity check that optimization
+	// PRs did not change what is being simulated.
+	Metric float64 `json:"metric"`
+}
+
+// reportJSON is the whole artifact.
+type reportJSON struct {
+	Schema     string         `json:"schema"`
+	Scale      string         `json:"scale"`
+	Seed       int64          `json:"seed"`
+	Short      bool           `json:"short"`
+	GoVersion  string         `json:"go_version"`
+	GOARCH     string         `json:"goarch"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Engine     []engineResult `json:"engine"`
+	Cells      []cellResult   `json:"cells"`
+}
+
+func main() {
+	var (
+		outFlag   = flag.String("out", "BENCH_PR2.json", "output file (- for stdout)")
+		shortFlag = flag.Bool("short", false, "run the reduced CI smoke grid")
+		seedFlag  = flag.Int64("seed", 42, "simulation seed")
+
+		cpuProfFlag  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfFlag  = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		execTraceFlg = flag.String("trace", "", "write a runtime execution trace to this file")
+	)
+	flag.Parse()
+
+	stopProf, err := prof.Start(prof.Flags{CPUProfile: *cpuProfFlag, MemProfile: *memProfFlag, Trace: *execTraceFlg})
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "rofs-bench: %v\n", err)
+		}
+	}()
+
+	sc := experiments.BenchScale()
+	sc.Seed = *seedFlag
+
+	rep := reportJSON{
+		Schema:     "rofs-bench/v1",
+		Scale:      sc.Name,
+		Seed:       sc.Seed,
+		Short:      *shortFlag,
+		GoVersion:  runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	fmt.Fprintf(os.Stderr, "rofs-bench: engine microbenchmarks\n")
+	rep.Engine = engineBenchmarks(*shortFlag)
+	for _, e := range rep.Engine {
+		fmt.Fprintf(os.Stderr, "  %-24s %8.2f ns/op  %3d allocs/op  %4d B/op\n",
+			e.Name, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp)
+	}
+
+	specs, err := grid(sc, *shortFlag)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	// Warm-up: run the first cell once untimed so lazy one-time costs
+	// (page faults, first GC sizing) land outside the measurements.
+	if len(specs) > 0 {
+		if _, err := core.Run(specs[0].Config(), specs[0].Kind); err != nil {
+			fatal("warm-up %s: %v", specs[0].Label(), err)
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "rofs-bench: %d simulation cells (scale=%s, seed=%d)\n",
+		len(specs), sc.Name, sc.Seed)
+	for _, sp := range specs {
+		cell, err := measure(sp)
+		if err != nil {
+			fatal("%s: %v", sp.Label(), err)
+		}
+		rep.Cells = append(rep.Cells, cell)
+		fmt.Fprintf(os.Stderr, "  %-28s %9d events  %8.0f events/sec  %7.1f ns/event  %6.2f allocs/event\n",
+			sp.Label(), cell.Events, cell.EventsPerSec, cell.NsPerEvent, cell.AllocsPerEvent)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal("%v", err)
+	}
+	buf = append(buf, '\n')
+	if *outFlag == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*outFlag, buf, 0o644); err != nil {
+		fatal("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "rofs-bench: wrote %s\n", *outFlag)
+}
+
+// grid declares the pinned cells. The full grid crosses the three
+// workloads with four allocation policies on the application and
+// sequential tests; -short keeps one application cell per workload.
+func grid(sc experiments.Scale, short bool) ([]runner.Spec, error) {
+	policies := []core.PolicySpec{
+		core.Buddy(),
+		core.RBuddy(5, 1, true),
+	}
+	tests := []core.TestKind{core.Application, core.Sequential}
+	workloads := []string{"TS", "TP", "SC"}
+	if short {
+		policies = policies[:1]
+		tests = tests[:1]
+	}
+
+	var specs []runner.Spec
+	for _, wlName := range workloads {
+		wl, err := sc.Workload(wlName)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range policies {
+			for _, k := range tests {
+				specs = append(specs, sc.Spec(p, wl, k))
+			}
+		}
+		if !short {
+			// The extent policy's size ranges are workload-specific.
+			ranges, err := sc.ExtentRanges(wlName, 3)
+			if err != nil {
+				return nil, err
+			}
+			specs = append(specs, sc.Spec(core.Extent(extent.FirstFit, ranges), wl, core.Application))
+			// The allocation test exercises the policy layer without the
+			// disk system — a different hot loop worth tracking.
+			specs = append(specs, sc.Spec(core.RBuddy(5, 1, true), wl, core.Allocation))
+		}
+	}
+	return specs, nil
+}
+
+// measure runs one cell sequentially, in-process, with allocation
+// counters read around the run.
+func measure(sp runner.Spec) (cellResult, error) {
+	cfg := sp.Config()
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	out, err := core.Run(cfg, sp.Kind)
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return cellResult{}, err
+	}
+
+	events := out.Stats.Events
+	cell := cellResult{
+		Workload:    sp.Workload.Name,
+		Policy:      sp.Policy.Name(),
+		Test:        sp.Kind.String(),
+		Events:      events,
+		SimMS:       out.Stats.SimMS,
+		WallSeconds: wall.Seconds(),
+	}
+	if events > 0 {
+		cell.EventsPerSec = float64(events) / wall.Seconds()
+		cell.NsPerEvent = float64(wall.Nanoseconds()) / float64(events)
+		cell.AllocsPerEvent = float64(after.Mallocs-before.Mallocs) / float64(events)
+		cell.BytesPerEvent = float64(after.TotalAlloc-before.TotalAlloc) / float64(events)
+	}
+	switch sp.Kind {
+	case core.Allocation:
+		cell.Metric = out.Frag.InternalPct
+	default:
+		cell.Metric = out.Perf.Percent
+	}
+	return cell, nil
+}
+
+// engineBenchmarks measures the bare event loop via testing.Benchmark —
+// the same shapes as the sim package's benchmarks, reproduced here so the
+// JSON artifact is self-contained.
+func engineBenchmarks(short bool) []engineResult {
+	convert := func(name string, r testing.BenchmarkResult) engineResult {
+		return engineResult{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+	}
+	out := []engineResult{
+		convert("engine/self-fire", testing.Benchmark(func(b *testing.B) {
+			var e sim.Engine
+			remaining := b.N
+			var fire sim.Handler
+			fire = func(float64) {
+				remaining--
+				if remaining > 0 {
+					e.After(1, fire)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			e.At(0, fire)
+			e.Run(math.Inf(1))
+		})),
+	}
+	if !short {
+		out = append(out, convert("engine/depth-256", testing.Benchmark(func(b *testing.B) {
+			var e sim.Engine
+			const depth = 256
+			remaining := b.N
+			rng := sim.NewRNG(1)
+			var fire sim.Handler
+			fire = func(float64) {
+				remaining--
+				if remaining > 0 {
+					e.After(rng.Exp(10), fire)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < depth; i++ {
+				e.At(rng.Exp(10), fire)
+			}
+			e.Run(math.Inf(1))
+		})))
+	}
+	return out
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rofs-bench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -31,6 +31,7 @@ import (
 
 	"rofs/internal/core"
 	"rofs/internal/experiments"
+	"rofs/internal/prof"
 	"rofs/internal/report"
 	"rofs/internal/runner"
 	"rofs/internal/stats"
@@ -47,8 +48,22 @@ func main() {
 		summaryFlag  = flag.Bool("summary", false, "append mean ± 95% CI rows per metric (useful with -param seed)")
 		jobsFlag     = flag.Int("jobs", runtime.GOMAXPROCS(0), "maximum simulations running at once")
 		timeoutFlag  = flag.Duration("timeout", 0, "overall deadline (e.g. 10m; 0 means none)")
+
+		cpuProfFlag  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfFlag  = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		execTraceFlg = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(prof.Flags{CPUProfile: *cpuProfFlag, MemProfile: *memProfFlag, Trace: *execTraceFlg})
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "rofs-sweep: %v\n", err)
+		}
+	}()
 
 	values, err := parseValues(*valuesFlag)
 	if err != nil {

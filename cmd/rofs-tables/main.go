@@ -19,6 +19,7 @@ import (
 
 	"rofs/internal/disk"
 	"rofs/internal/experiments"
+	"rofs/internal/prof"
 	"rofs/internal/report"
 	"rofs/internal/runner"
 	"rofs/internal/sim"
@@ -82,8 +83,23 @@ func main() {
 		seedFlag    = flag.Int64("seed", 42, "simulation seed")
 		jobsFlag    = flag.Int("jobs", runtime.GOMAXPROCS(0), "maximum simulations running at once")
 		timeoutFlag = flag.Duration("timeout", 0, "overall deadline (e.g. 10m; 0 means none)")
+
+		cpuProfFlag  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfFlag  = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		execTraceFlg = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(prof.Flags{CPUProfile: *cpuProfFlag, MemProfile: *memProfFlag, Trace: *execTraceFlg})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rofs-tables: %v\n", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "rofs-tables: %v\n", err)
+		}
+	}()
 
 	var sc experiments.Scale
 	switch *scaleFlag {

@@ -20,6 +20,7 @@ import (
 	"rofs/internal/core"
 	"rofs/internal/disk"
 	"rofs/internal/experiments"
+	"rofs/internal/prof"
 	"rofs/internal/units"
 	"rofs/internal/workload"
 )
@@ -54,8 +55,25 @@ func main() {
 		stripeFlag = flag.String("stripe", "", "override stripe unit, e.g. 24K")
 		maxSimFlag = flag.Float64("max-sim", 0, "override simulated-time cap (ms)")
 		traceFlag  = flag.String("trace", "", "write a tab-separated event trace to this file")
+
+		// Profiling: -trace is taken by the simulator's event trace, so the
+		// runtime execution trace is -exectrace here (the multi-run tools use
+		// the conventional -trace).
+		cpuProfFlag  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfFlag  = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		execTraceFlg = flag.String("exectrace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
+
+	stopProf, perr := prof.Start(prof.Flags{CPUProfile: *cpuProfFlag, MemProfile: *memProfFlag, Trace: *execTraceFlg})
+	if perr != nil {
+		fatal("%v", perr)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "rofsim: %v\n", err)
+		}
+	}()
 
 	if *dumpFlag != "" {
 		wl, err := workload.ByName(*dumpFlag)

@@ -137,6 +137,7 @@ type session struct {
 	allocFails int64
 	latency    stats.Welford    // per-operation completion latency (ms)
 	latencyH   *stats.Histogram // for tail quantiles
+	pickBuf    [4]float64       // weight scratch for pickOp (no per-op slice)
 	// Allocation-test termination state.
 	diskFull bool
 	fullAtMS float64
@@ -311,16 +312,120 @@ func (s *session) scheduleUsers() {
 	for _, ts := range s.types {
 		horizon := float64(ts.ft.Users) * ts.ft.HitFreqMS
 		for u := 0; u < ts.ft.Users; u++ {
-			ts := ts
-			var fire sim.Handler
-			fire = func(now float64) {
-				s.doOp(ts, func(float64) {
-					s.eng.After(s.rng.Exp(ts.ft.ProcessTimeMS), fire)
-				})
-			}
-			s.eng.At(s.rng.Uniform(0, math.Max(horizon, 1)), fire)
+			uo := newUserOp(s, ts)
+			s.eng.At(s.rng.Uniform(0, math.Max(horizon, 1)), uo.fire)
 		}
 	}
+}
+
+// userOp is one user stream's reusable operation state. A user stream is
+// strictly sequential — issue an operation, wait for its completion, think,
+// issue the next — so each stream owns exactly one in-flight operation and
+// one of these structs for the session's lifetime. Its continuations are
+// built once at creation and recycled through the engine's completion
+// path, replacing the per-operation closure chains doOp/stream used to
+// capture: steady-state operation dispatch allocates nothing.
+type userOp struct {
+	s  *session
+	ts *typeState
+
+	// In-flight operation state.
+	f        *fs.File
+	op       opKind
+	issued   float64 // clock at issue, for latency accounting
+	pos, end int64   // streaming-transfer window [pos, end)
+	inFlight int64   // bytes of the chunk (or extend) at the disk
+	write    bool
+
+	// Continuations, built once per user: fire issues the next operation;
+	// chunkDone advances a streaming transfer; extendDone completes an
+	// extend's write-out.
+	fire       sim.Handler
+	chunkDone  func(now float64)
+	extendDone func(now float64)
+}
+
+// newUserOp builds a user stream's operation state and its continuations.
+func newUserOp(s *session, ts *typeState) *userOp {
+	u := &userOp{s: s, ts: ts}
+	u.fire = func(float64) { s.doOp(u) }
+	u.chunkDone = u.onChunk
+	u.extendDone = u.onExtend
+	return u
+}
+
+// opNames label operations in the event trace.
+var opNames = [...]string{"read", "write", "extend", "dealloc", "create"}
+
+// complete finishes the in-flight operation at simulated time now — trace
+// record, latency accounting, and the think-time reschedule, in the same
+// order the former closure chain composed them.
+func (u *userOp) complete(now float64) {
+	s := u.s
+	if s.tracer != nil {
+		s.tracer.Recordf(now, "op", "%s type=%s len=%d lat=%.3f",
+			opNames[u.op], u.ts.ft.Name, u.f.Length(), now-u.issued)
+	}
+	if s.kind != allocationTest {
+		s.latency.Add(now - u.issued)
+		if s.latencyH != nil {
+			s.latencyH.Add(now - u.issued)
+		}
+	}
+	s.eng.After(s.rng.Exp(u.ts.ft.ProcessTimeMS), u.fire)
+}
+
+// startStream begins a chunked transfer of [off, off+n) — the pipeline of
+// chunk-sized requests issued back to back that models read-ahead /
+// write-behind (large chunks for the multiblock policies, one block for
+// the fixed baseline, so concurrent streams interleave at block
+// granularity and pay Figure 6's seeks). A zero-length transfer completes
+// immediately.
+func (u *userOp) startStream(off, n int64, write bool) {
+	if n <= 0 {
+		u.complete(u.s.eng.Now())
+		return
+	}
+	u.pos, u.end, u.write = off, off+n, write
+	u.issueChunk()
+}
+
+// issueChunk submits the next chunk of the in-flight transfer.
+func (u *userOp) issueChunk() {
+	chunk := u.s.cfg.ChunkBytes
+	if u.pos+chunk > u.end {
+		chunk = u.end - u.pos
+	}
+	u.inFlight = chunk
+	if u.write {
+		u.f.Write(u.pos, chunk, u.chunkDone)
+	} else {
+		u.f.Read(u.pos, chunk, u.chunkDone)
+	}
+}
+
+// onChunk is the chunk-completion continuation: feed the throughput
+// tracker as bytes move (not in one lump per operation), then issue the
+// next chunk or complete the operation.
+func (u *userOp) onChunk(now float64) {
+	if s := u.s; s.tracker != nil {
+		s.tracker.Record(now, u.inFlight)
+	}
+	u.pos += u.inFlight
+	if u.pos >= u.end {
+		u.complete(now)
+	} else {
+		u.issueChunk()
+	}
+}
+
+// onExtend is the extend completion: the appended bytes were issued as one
+// request and feed the tracker as one transfer.
+func (u *userOp) onExtend(now float64) {
+	if s := u.s; s.tracker != nil {
+		s.tracker.Record(now, u.inFlight)
+	}
+	u.complete(now)
 }
 
 // opKind enumerates the simulated operations.
@@ -351,7 +456,8 @@ func (s *session) pickOp(ft *workload.FileType) opKind {
 		if ft.ExtendPct == 0 && dealloc == 0 {
 			return opExtend // a type that never allocates still drives growth
 		}
-		switch s.rng.Pick([]float64{ft.ExtendPct, dealloc, del}) {
+		s.pickBuf[0], s.pickBuf[1], s.pickBuf[2] = ft.ExtendPct, dealloc, del
+		switch s.rng.Pick(s.pickBuf[:3]) {
 		case 0:
 			return opExtend
 		case 1:
@@ -364,12 +470,15 @@ func (s *session) pickOp(ft *workload.FileType) opKind {
 		if rw == 0 {
 			return opRead
 		}
-		if s.rng.Pick([]float64{ft.ReadPct, ft.WritePct}) == 0 {
+		s.pickBuf[0], s.pickBuf[1] = ft.ReadPct, ft.WritePct
+		if s.rng.Pick(s.pickBuf[:2]) == 0 {
 			return opRead
 		}
 		return opWrite
 	default:
-		switch s.rng.Pick([]float64{ft.ReadPct, ft.WritePct, ft.ExtendPct, ft.DeallocPct()}) {
+		s.pickBuf[0], s.pickBuf[1], s.pickBuf[2], s.pickBuf[3] =
+			ft.ReadPct, ft.WritePct, ft.ExtendPct, ft.DeallocPct()
+		switch s.rng.Pick(s.pickBuf[:4]) {
 		case 0:
 			return opRead
 		case 1:
@@ -382,9 +491,9 @@ func (s *session) pickOp(ft *workload.FileType) opKind {
 	}
 }
 
-// doOp executes one operation for a random file of the type and invokes
-// done at its simulated completion.
-func (s *session) doOp(ts *typeState, done func(now float64)) {
+// doOp executes one operation for a random file of the user's type; the
+// user's continuations carry it to its simulated completion.
+func (s *session) doOp(u *userOp) {
 	s.ops++
 	if s.kind == allocationTest && s.ops > s.cfg.MaxOps {
 		s.eng.Stop()
@@ -393,18 +502,9 @@ func (s *session) doOp(ts *typeState, done func(now float64)) {
 	if s.checkCancel(s.ops, 512) {
 		return
 	}
-	if s.kind != allocationTest {
-		start := s.eng.Now()
-		inner := done
-		done = func(now float64) {
-			s.latency.Add(now - start)
-			if s.latencyH != nil {
-				s.latencyH.Add(now - start)
-			}
-			inner(now)
-		}
-	}
+	ts := u.ts
 	ft := &ts.ft
+	u.issued = s.eng.Now()
 	f := s.pickFile(ts)
 	op := s.pickOp(ft)
 
@@ -425,22 +525,12 @@ func (s *session) doOp(ts *typeState, done func(now float64)) {
 			op = opExtend
 		}
 	}
-
-	if s.tracer != nil {
-		kind := [...]string{"read", "write", "extend", "dealloc", "create"}[op]
-		issued := s.eng.Now()
-		prev := done
-		done = func(now float64) {
-			s.tracer.Recordf(now, "op", "%s type=%s len=%d lat=%.3f",
-				kind, ft.Name, f.Length(), now-issued)
-			prev(now)
-		}
-	}
+	u.f, u.op = f, op
 
 	switch op {
 	case opRead, opWrite:
 		if s.kind == sequentialTest {
-			s.stream(f, 0, f.Length(), op == opWrite, done)
+			u.startStream(0, f.Length(), op == opWrite)
 			return
 		}
 		size := s.rng.SizeNormal(float64(ft.RWSizeBytes), float64(ft.RWDevBytes), 1)
@@ -448,7 +538,7 @@ func (s *session) doOp(ts *typeState, done func(now float64)) {
 			size = f.Length()
 		}
 		off := s.offsetFor(ft, f, size)
-		s.stream(f, off, size, op == opWrite, done)
+		u.startStream(off, size, op == opWrite)
 	case opExtend:
 		size := ft.ExtendSize()
 		if s.kind == allocationTest {
@@ -456,12 +546,13 @@ func (s *session) doOp(ts *typeState, done func(now float64)) {
 				s.markFull(s.eng.Now())
 				return
 			}
-			done(s.eng.Now())
+			u.complete(s.eng.Now())
 			return
 		}
-		if err := f.Extend(size, s.recorded(size, done)); err != nil {
+		u.inFlight = size
+		if err := f.Extend(size, u.extendDone); err != nil {
 			s.allocFails++ // disk full: log and reschedule (§2.2)
-			done(s.eng.Now())
+			u.complete(s.eng.Now())
 		}
 	case opCreate:
 		nf := s.fsys.Create(ft.AllocSizeBytes)
@@ -471,7 +562,7 @@ func (s *session) doOp(ts *typeState, done func(now float64)) {
 			return
 		}
 		ts.files = append(ts.files, nf)
-		done(s.eng.Now())
+		u.complete(s.eng.Now())
 	case opDealloc:
 		if s.rng.Float64()*100 < ft.DeletePct {
 			f.Recreate()
@@ -486,7 +577,7 @@ func (s *session) doOp(ts *typeState, done func(now float64)) {
 		} else {
 			f.Truncate(ft.TruncateBytes)
 		}
-		done(s.eng.Now())
+		u.complete(s.eng.Now())
 	}
 }
 
@@ -508,55 +599,6 @@ func (s *session) offsetFor(ft *workload.FileType, f *fs.File, size int64) int64
 	}
 	f.SetCursor(off + size)
 	return off
-}
-
-// stream performs a transfer of [off, off+n) as a pipeline of chunk-sized
-// requests issued back to back — the system's unit of I/O. Large chunks
-// model read-ahead across the multiblock policies' big blocks; the
-// fixed-block baseline's chunk is one block, so concurrent streams
-// interleave at block granularity and pay the seeks the paper's Figure 6
-// charges it. Chunking also feeds the throughput tracker as bytes move
-// rather than in one lump per operation.
-func (s *session) stream(f *fs.File, off, n int64, write bool, done func(now float64)) {
-	if n <= 0 {
-		done(s.eng.Now())
-		return
-	}
-	end := off + n
-	var issue func(pos int64, now float64)
-	issue = func(pos int64, _ float64) {
-		chunk := s.cfg.ChunkBytes
-		if pos+chunk > end {
-			chunk = end - pos
-		}
-		next := pos + chunk
-		rec := func(now float64) {
-			if s.tracker != nil {
-				s.tracker.Record(now, chunk)
-			}
-			if next >= end {
-				done(now)
-			} else {
-				issue(next, now)
-			}
-		}
-		if write {
-			f.Write(pos, chunk, rec)
-		} else {
-			f.Read(pos, chunk, rec)
-		}
-	}
-	issue(off, 0)
-}
-
-// recorded wraps done so completed bytes feed the throughput tracker.
-func (s *session) recorded(bytes int64, done func(now float64)) func(now float64) {
-	return func(now float64) {
-		if s.tracker != nil {
-			s.tracker.Record(now, bytes)
-		}
-		done(now)
-	}
 }
 
 // startTracker arms throughput measurement and the 1-second tick that

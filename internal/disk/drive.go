@@ -3,6 +3,8 @@ package disk
 import (
 	"fmt"
 	"math"
+
+	"rofs/internal/sim"
 )
 
 // drive is one spindle: geometry, current head position, and a FCFS queue
@@ -16,7 +18,12 @@ type drive struct {
 	sweepUp bool // SCAN: current elevator direction
 
 	busy  bool
+	cur   *segment // in-flight segment, nil when idle
 	queue []*segment
+
+	// onDone is the drive's single cached completion handler (built once in
+	// New): firing a service completion schedules no per-service closure.
+	onDone sim.Handler
 
 	// Statistics.
 	busyMS    float64
@@ -34,7 +41,7 @@ type segment struct {
 	// striping small writes): the block must come around again before the
 	// write-back pass.
 	extraRotations int
-	done           func(now float64)
+	req            *pending // the request this segment is part of
 }
 
 // rotPos returns the angular position of the platter at absolute time t,

@@ -207,6 +207,24 @@ type System struct {
 	trace SegmentTrace
 
 	failed int // index of the failed drive, or -1
+
+	// Request decomposition and completion recycle through these buffers:
+	// segScratch and lastSeg are the per-Submit working set (the disk
+	// system is single-goroutine like the simulator that owns it), and
+	// segFree/pendFree are free lists refilled by the completion path, so
+	// steady-state request traffic allocates nothing.
+	segScratch []placed
+	lastSeg    []int32 // per-drive index of its latest segment in segScratch, -1 none
+	segFree    []*segment
+	pendFree   []*pending
+}
+
+// pending tracks one in-flight request's completion: segments left to
+// finish, the payload to credit, and the caller's Done.
+type pending struct {
+	remaining int
+	payload   int64
+	done      func(now float64)
 }
 
 // SegmentTrace observes every segment as a drive begins servicing it.
@@ -223,9 +241,14 @@ func New(cfg Config, eng *sim.Engine) (*System, error) {
 	if eng == nil {
 		return nil, fmt.Errorf("disk: nil engine")
 	}
-	s := &System{cfg: cfg, eng: eng, failed: -1}
+	s := &System{cfg: cfg, eng: eng, failed: -1, lastSeg: make([]int32, cfg.NDisks)}
 	for i := 0; i < cfg.NDisks; i++ {
-		s.drives = append(s.drives, &drive{id: i, geom: cfg.geometryOf(i)})
+		d := &drive{id: i, geom: cfg.geometryOf(i)}
+		// One completion continuation per drive for its lifetime; the
+		// segment being serviced rides in d.cur rather than a per-service
+		// closure environment.
+		d.onDone = func(now float64) { s.complete(d, now) }
+		s.drives = append(s.drives, d)
 	}
 	// Only whole stripe units are addressable on each drive, and a
 	// heterogeneous array is bounded by its smallest drive; a trailing
@@ -339,7 +362,8 @@ func (s *System) FailDrive(i int) error {
 
 // degrade rewrites a segment list for a failed drive: reads become
 // reconstruction fan-outs, writes to the failed drive are dropped (their
-// parity counterparts, already in the list, absorb them).
+// parity counterparts, already in the list, absorb them). Replaced
+// segments return to the free list.
 func (s *System) degrade(segs []placed) []placed {
 	out := segs[:0]
 	var fanout []placed
@@ -348,23 +372,26 @@ func (s *System) degrade(segs []placed) []placed {
 			out = append(out, sg)
 			continue
 		}
-		if sg.seg.write {
-			continue
-		}
-		for d := 0; d < s.cfg.NDisks; d++ {
-			if d == s.failed {
-				continue
+		src := sg.seg
+		if !src.write {
+			for d := 0; d < s.cfg.NDisks; d++ {
+				if d == s.failed {
+					continue
+				}
+				fanout = append(fanout, placed{d, s.newSegment(src.start, src.n, false, 0)})
 			}
-			fanout = append(fanout, placed{d, &segment{
-				start: sg.seg.start, n: sg.seg.n,
-			}})
 		}
+		s.releaseSegment(src)
 	}
-	return append(out, fanout...)
+	out = append(out, fanout...)
+	s.segScratch = out
+	return out
 }
 
 // Submit enqueues a request. Done fires at the simulated completion time;
-// a request with no runs completes immediately (synchronously).
+// a request with no runs completes immediately (synchronously). Submit
+// consumes the Request during the call — neither it nor its run slice is
+// retained, so callers may reuse both as soon as Submit returns.
 func (s *System) Submit(req *Request) {
 	for _, r := range req.Runs {
 		if r.Len <= 0 || r.Start < 0 || r.Start+r.Len > s.Units() {
@@ -385,19 +412,9 @@ func (s *System) Submit(req *Request) {
 		}
 		return
 	}
-	remaining := len(segs)
-	finish := func(now float64) {
-		remaining--
-		if remaining == 0 {
-			s.totalBytes += payload
-			s.requests++
-			if req.Done != nil {
-				req.Done(now)
-			}
-		}
-	}
+	p := s.newPending(len(segs), payload, req.Done)
 	for _, sg := range segs {
-		sg.seg.done = finish
+		sg.seg.req = p
 		s.enqueue(sg.disk, sg.seg)
 	}
 }
@@ -409,53 +426,93 @@ type placed struct {
 	seg  *segment
 }
 
+// newSegment takes a segment from the free list, or allocates one. The
+// completion path refills the list, so steady-state traffic cycles a small
+// stable set of segments.
+func (s *System) newSegment(start, n int64, write bool, extraRot int) *segment {
+	if k := len(s.segFree); k > 0 {
+		seg := s.segFree[k-1]
+		s.segFree = s.segFree[:k-1]
+		*seg = segment{start: start, n: n, write: write, extraRotations: extraRot}
+		return seg
+	}
+	return &segment{start: start, n: n, write: write, extraRotations: extraRot}
+}
+
+// releaseSegment returns a segment to the free list.
+func (s *System) releaseSegment(seg *segment) {
+	seg.req = nil
+	s.segFree = append(s.segFree, seg)
+}
+
+// newPending takes a completion record from the free list, or allocates.
+func (s *System) newPending(remaining int, payload int64, done func(now float64)) *pending {
+	if k := len(s.pendFree); k > 0 {
+		p := s.pendFree[k-1]
+		s.pendFree = s.pendFree[:k-1]
+		*p = pending{remaining: remaining, payload: payload, done: done}
+		return p
+	}
+	return &pending{remaining: remaining, payload: payload, done: done}
+}
+
+// releasePending returns a completion record to the free list.
+func (s *System) releasePending(p *pending) {
+	p.done = nil
+	s.pendFree = append(s.pendFree, p)
+}
+
 // segments decomposes a request into per-drive segments according to the
 // layout, merging adjacent pieces that land contiguously on one drive.
+// The result aliases the per-Submit scratch buffer.
 func (s *System) segments(req *Request) []placed {
-	var out []placed
-	// lastOnDisk tracks each drive's most recent segment so round-robin
+	s.segScratch = s.segScratch[:0]
+	// lastSeg tracks each drive's most recent segment so round-robin
 	// pieces that land byte-contiguously on one drive (successive stripe
 	// rows of the same column) merge into a single long transfer.
-	lastOnDisk := make(map[int]int)
-	add := func(disk int, start, n int64, write bool, extraRot int) {
-		if n <= 0 {
-			return
-		}
-		if i, ok := lastOnDisk[disk]; ok {
-			p := out[i]
-			if p.seg.write == write && p.seg.extraRotations == extraRot &&
-				p.seg.start+p.seg.n == start {
-				p.seg.n += n
-				return
-			}
-		}
-		out = append(out, placed{disk, &segment{start: start, n: n, write: write, extraRotations: extraRot}})
-		lastOnDisk[disk] = len(out) - 1
+	for i := range s.lastSeg {
+		s.lastSeg[i] = -1
 	}
 	for _, run := range req.Runs {
 		b0 := run.Start * s.cfg.UnitBytes
 		b1 := b0 + run.Len*s.cfg.UnitBytes
 		switch s.cfg.Layout {
 		case Striped:
-			s.placeStriped(b0, b1, req.Write, add)
+			s.placeStriped(b0, b1, req.Write)
 		case Mirrored:
-			s.placeMirrored(b0, b1, req.Write, add)
+			s.placeMirrored(b0, b1, req.Write)
 		case RAID5:
-			s.placeRAID5(b0, b1, req.Write, add)
+			s.placeRAID5(b0, b1, req.Write)
 		case ParityStriped:
-			s.placeParityStriped(b0, b1, req.Write, add)
+			s.placeParityStriped(b0, b1, req.Write)
 		}
 	}
-	return out
+	return s.segScratch
 }
 
-type addFn func(disk int, start, n int64, write bool, extraRot int)
+// addSeg appends one placed piece to the in-progress decomposition,
+// merging it into the drive's previous segment when byte-contiguous.
+func (s *System) addSeg(disk int, start, n int64, write bool, extraRot int) {
+	if n <= 0 {
+		return
+	}
+	if i := s.lastSeg[disk]; i >= 0 {
+		p := s.segScratch[i]
+		if p.seg.write == write && p.seg.extraRotations == extraRot &&
+			p.seg.start+p.seg.n == start {
+			p.seg.n += n
+			return
+		}
+	}
+	s.segScratch = append(s.segScratch, placed{disk, s.newSegment(start, n, write, extraRot)})
+	s.lastSeg[disk] = int32(len(s.segScratch) - 1)
+}
 
 // placeStriped maps logical bytes [b0,b1) round-robin across all drives.
 // Pieces of one run that land on the same drive are byte-contiguous there
 // (successive rows of the same column), so merging recovers one long
 // segment per drive.
-func (s *System) placeStriped(b0, b1 int64, write bool, add addFn) {
+func (s *System) placeStriped(b0, b1 int64, write bool) {
 	su := s.cfg.StripeUnitBytes
 	n := int64(s.cfg.NDisks)
 	for b := b0; b < b1; {
@@ -467,14 +524,14 @@ func (s *System) placeStriped(b0, b1 int64, write bool, add addFn) {
 		}
 		disk := int(idx % n)
 		local := (idx/n)*su + off
-		add(disk, local, chunk, write, 0)
+		s.addSeg(disk, local, chunk, write, 0)
 		b += chunk
 	}
 }
 
 // placeMirrored stripes across drive pairs. Reads go to the replica with
 // the shorter queue (primary on ties); writes go to both replicas.
-func (s *System) placeMirrored(b0, b1 int64, write bool, add addFn) {
+func (s *System) placeMirrored(b0, b1 int64, write bool) {
 	su := s.cfg.StripeUnitBytes
 	pairs := int64(s.cfg.NDisks / 2)
 	for b := b0; b < b1; {
@@ -488,14 +545,14 @@ func (s *System) placeMirrored(b0, b1 int64, write bool, add addFn) {
 		local := (idx/pairs)*su + off
 		primary, secondary := 2*pair, 2*pair+1
 		if write {
-			add(primary, local, chunk, true, 0)
-			add(secondary, local, chunk, true, 0)
+			s.addSeg(primary, local, chunk, true, 0)
+			s.addSeg(secondary, local, chunk, true, 0)
 		} else {
 			disk := primary
 			if s.queueDepth(secondary) < s.queueDepth(primary) {
 				disk = secondary
 			}
-			add(disk, local, chunk, false, 0)
+			s.addSeg(disk, local, chunk, false, 0)
 		}
 		b += chunk
 	}
@@ -505,7 +562,7 @@ func (s *System) placeMirrored(b0, b1 int64, write bool, add addFn) {
 // the parity column rotating by row. Small writes pay a read-modify-write
 // rotation on both the data and parity drives; a fully covered row is a
 // full-stripe write and pays only the parity write.
-func (s *System) placeRAID5(b0, b1 int64, write bool, add addFn) {
+func (s *System) placeRAID5(b0, b1 int64, write bool) {
 	su := s.cfg.StripeUnitBytes
 	n := int64(s.cfg.NDisks)
 	dataCols := n - 1
@@ -535,7 +592,7 @@ func (s *System) placeRAID5(b0, b1 int64, write bool, add addFn) {
 			if disk >= parityDisk {
 				disk++
 			}
-			add(disk, row*su+off, piece, write, extra)
+			s.addSeg(disk, row*su+off, piece, write, extra)
 			p += piece
 		}
 		if write {
@@ -547,7 +604,7 @@ func (s *System) placeRAID5(b0, b1 int64, write bool, add addFn) {
 				// the union of their offsets; the whole unit is updated.
 				off, span = 0, su
 			}
-			add(parityDisk, row*su+off, span, true, extra)
+			s.addSeg(parityDisk, row*su+off, span, true, extra)
 		}
 		b += chunk
 	}
@@ -556,7 +613,7 @@ func (s *System) placeRAID5(b0, b1 int64, write bool, add addFn) {
 // placeParityStriped concatenates the drives' data regions: files live on
 // single drives [GRAY90]. Writes pay read-modify-write plus a parity
 // update on a rotating partner drive's parity region.
-func (s *System) placeParityStriped(b0, b1 int64, write bool, add addFn) {
+func (s *System) placeParityStriped(b0, b1 int64, write bool) {
 	su := s.cfg.StripeUnitBytes
 	n := s.cfg.NDisks
 	parityBytes := s.cfg.minCapacity() - s.perDiskData
@@ -575,7 +632,7 @@ func (s *System) placeParityStriped(b0, b1 int64, write bool, add addFn) {
 		if write {
 			extra = 1
 		}
-		add(disk, local, chunk, write, extra)
+		s.addSeg(disk, local, chunk, write, extra)
 		if write && parityBytes > 0 {
 			row := local / su
 			pdisk := int((int64(disk) + 1 + row%int64(n-1)) % int64(n))
@@ -584,7 +641,7 @@ func (s *System) placeParityStriped(b0, b1 int64, write bool, add addFn) {
 			if cap := s.cfg.geometryOf(pdisk).Capacity(); poff+span > cap {
 				span = cap - poff
 			}
-			add(pdisk, poff, span, true, extra)
+			s.addSeg(pdisk, poff, span, true, extra)
 		}
 		b += chunk
 	}
@@ -667,16 +724,38 @@ func (s *System) scanPick(d *drive) int {
 
 func (s *System) start(d *drive, seg *segment) {
 	d.busy = true
+	d.cur = seg
 	svc := d.serviceMS(s.eng.Now(), seg)
 	if s.trace != nil {
 		s.trace(s.eng.Now(), d.id, seg.start, seg.n, seg.write, svc)
 	}
-	s.eng.After(svc, func(now float64) {
-		seg.done(now)
-		if len(d.queue) > 0 {
-			s.start(d, s.next(d))
-		} else {
-			d.busy = false
+	s.eng.After(svc, d.onDone)
+}
+
+// complete finishes the drive's in-flight segment: credit the request
+// (firing its Done when this was the last segment), recycle the segment
+// and completion record, then start the drive's next queued segment. The
+// Done callback runs before the next segment is picked, exactly as the
+// per-service closure used to do — it may submit new requests that join
+// this drive's queue in time to be scheduled.
+func (s *System) complete(d *drive, now float64) {
+	seg := d.cur
+	d.cur = nil
+	p := seg.req
+	s.releaseSegment(seg)
+	p.remaining--
+	if p.remaining == 0 {
+		s.totalBytes += p.payload
+		s.requests++
+		done := p.done
+		s.releasePending(p)
+		if done != nil {
+			done(now)
 		}
-	})
+	}
+	if len(d.queue) > 0 {
+		s.start(d, s.next(d))
+	} else {
+		d.busy = false
+	}
 }

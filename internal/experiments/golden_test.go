@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rofs/internal/report"
+	"rofs/internal/runner"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from the current simulator output")
+
+// renderTable3Golden produces the golden artifact: the rendered table (what
+// rofs-tables prints) plus every row at full float64 precision, so any
+// behavioral drift in the simulator — however far below the table's one-
+// decimal rounding — changes the bytes.
+func renderTable3Golden(t *testing.T) []byte {
+	t.Helper()
+	rows, err := Table3(context.Background(), runner.New(0), BenchScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tbl := report.NewTable("Table 3: Results for Buddy Allocation",
+		"Workload", "Internal%", "External%", "Application%", "Sequential%")
+	for _, r := range rows {
+		tbl.AddRow(r.Workload, r.InternalPct, r.ExternalPct, r.AppPct, r.SeqPct)
+	}
+	tbl.Render(&buf)
+	buf.WriteString("\n# full-precision rows\n")
+	for _, r := range rows {
+		fmt.Fprintf(&buf, "%s int=%.17g ext=%.17g app=%.17g seq=%.17g\n",
+			r.Workload, r.InternalPct, r.ExternalPct, r.AppPct, r.SeqPct)
+	}
+	return buf.Bytes()
+}
+
+// TestTable3Golden proves the simulation's Table 3 output is byte-identical
+// to the checked-in golden file (bench scale, seed 42). The golden was
+// captured before the allocation-free engine/session rework landed, so a
+// pass here is the determinism gate for that refactor: same events, same
+// RNG draw order, same numbers to the last bit.
+func TestTable3Golden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Table 3 simulation; skipped in -short")
+	}
+	got := renderTable3Golden(t)
+	path := filepath.Join("testdata", "table3_bench_seed42.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("Table 3 output diverged from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

@@ -28,6 +28,14 @@ type FileSystem struct {
 	files     map[int64]*File
 	nextID    int64
 	usedBytes int64 // sum of file lengths
+
+	// runScratch and req are the reusable buffers behind every data
+	// operation: the disk system consumes a request's runs synchronously
+	// during Submit and retains neither the slice nor the Request, and
+	// simulations are single-goroutine, so one buffer per file system
+	// makes the per-request offset-to-run mapping allocation-free.
+	runScratch []disk.Run
+	req        disk.Request
 }
 
 // New creates a file system. dsys may be nil; unitBytes must match the
@@ -147,6 +155,8 @@ func (f *File) SetCursor(c int64) { f.cursor = c }
 
 // runs maps the byte range [off, off+n) of the file to disk-unit runs by
 // walking the extent list. The range must lie within the file's length.
+// The returned slice aliases the file system's scratch buffer and is only
+// valid until the next data operation.
 func (f *File) runs(off, n int64) []disk.Run {
 	if n <= 0 {
 		return nil
@@ -157,7 +167,7 @@ func (f *File) runs(off, n int64) []disk.Run {
 	ub := f.fs.unitBytes
 	startUnit := off / ub
 	endUnit := units.CeilDiv(off+n, ub)
-	var out []disk.Run
+	out := f.fs.runScratch[:0]
 	var pos int64 // logical unit position at the start of the current extent
 	for _, e := range f.fa.Extents() {
 		if pos >= endUnit {
@@ -185,6 +195,7 @@ func (f *File) runs(off, n int64) []disk.Run {
 		}
 		pos = hi
 	}
+	f.fs.runScratch = out
 	return out
 }
 
@@ -196,7 +207,14 @@ func (f *File) submit(runs []disk.Run, write bool, done func(now float64)) {
 		}
 		return
 	}
-	f.fs.dsys.Submit(&disk.Request{Runs: runs, Write: write, Done: done})
+	// Submit consumes the request before invoking any completion, so the
+	// shared Request (and the runs scratch it points at) is free for
+	// reuse — including by operations issued from inside done — the
+	// moment Submit returns or calls back.
+	req := &f.fs.req
+	req.Runs, req.Write, req.Done = runs, write, done
+	f.fs.dsys.Submit(req)
+	req.Runs, req.Done = nil, nil
 }
 
 // Read reads n bytes at off, clipped to the file. done receives the

@@ -1,0 +1,88 @@
+// Package prof wires Go's runtime profilers behind the conventional
+// -cpuprofile / -memprofile / -trace command flags, so every binary in
+// cmd/ exposes the same profiling surface with one Start/stop pair.
+//
+// Start begins CPU profiling and execution tracing immediately; the
+// returned stop function ends them and writes the heap profile. The stop
+// function must run before the process exits or the CPU profile and
+// trace files are truncated — defer it at the top of main, and call it
+// explicitly before any os.Exit path that should keep profiles.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Flags names the output files. Empty fields disable the corresponding
+// profiler; the zero value makes Start a no-op.
+type Flags struct {
+	CPUProfile string // pprof CPU profile ("go tool pprof <bin> <file>")
+	MemProfile string // heap profile written at stop time
+	Trace      string // runtime execution trace ("go tool trace <file>")
+}
+
+// Start enables the requested profilers and returns the function that
+// finishes them. On error, anything already started is stopped and the
+// partial files are left behind.
+func Start(f Flags) (stop func() error, err error) {
+	var cpuFile, traceFile *os.File
+
+	cleanup := func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if traceFile != nil {
+			trace.Stop()
+			traceFile.Close()
+		}
+	}
+
+	if f.CPUProfile != "" {
+		cpuFile, err = os.Create(f.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %v", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			cpuFile = nil
+			cleanup()
+			return nil, fmt.Errorf("prof: start cpu profile: %v", err)
+		}
+	}
+	if f.Trace != "" {
+		traceFile, err = os.Create(f.Trace)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("prof: %v", err)
+		}
+		if err := trace.Start(traceFile); err != nil {
+			traceFile.Close()
+			traceFile = nil
+			cleanup()
+			return nil, fmt.Errorf("prof: start trace: %v", err)
+		}
+	}
+
+	memPath := f.MemProfile
+	return func() error {
+		cleanup()
+		if memPath == "" {
+			return nil
+		}
+		mf, err := os.Create(memPath)
+		if err != nil {
+			return fmt.Errorf("prof: %v", err)
+		}
+		defer mf.Close()
+		runtime.GC() // collect garbage so the heap profile shows live objects
+		if err := pprof.WriteHeapProfile(mf); err != nil {
+			return fmt.Errorf("prof: write heap profile: %v", err)
+		}
+		return nil
+	}, nil
+}

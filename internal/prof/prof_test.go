@@ -1,0 +1,54 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartZeroValueIsNoOp(t *testing.T) {
+	stop, err := Start(Flags{})
+	if err != nil {
+		t.Fatalf("Start(zero) = %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("stop = %v", err)
+	}
+}
+
+func TestStartWritesAllProfiles(t *testing.T) {
+	dir := t.TempDir()
+	f := Flags{
+		CPUProfile: filepath.Join(dir, "cpu.out"),
+		MemProfile: filepath.Join(dir, "mem.out"),
+		Trace:      filepath.Join(dir, "trace.out"),
+	}
+	stop, err := Start(f)
+	if err != nil {
+		t.Fatalf("Start = %v", err)
+	}
+	// Burn a little work so the profilers have something to record.
+	sink := 0
+	for i := 0; i < 1_000_000; i++ {
+		sink += i
+	}
+	_ = sink
+	if err := stop(); err != nil {
+		t.Fatalf("stop = %v", err)
+	}
+	for _, p := range []string{f.CPUProfile, f.MemProfile, f.Trace} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s missing: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestStartBadPathFails(t *testing.T) {
+	if _, err := Start(Flags{CPUProfile: filepath.Join(t.TempDir(), "no", "such", "dir", "x")}); err == nil {
+		t.Fatal("Start with unwritable cpu profile path succeeded")
+	}
+}

@@ -6,10 +6,16 @@
 // each event's firing time, and a run loop with pluggable stop conditions.
 // Everything is deterministic for a fixed seed: ties in firing time are
 // broken by scheduling order.
+//
+// The queue is a value-typed 4-ary min-heap ordered by (time, seq). Events
+// are stored by value in one backing array, so scheduling an event performs
+// no per-event heap allocation and firing one performs no interface boxing
+// — the steady-state event loop allocates nothing. Because (time, seq) is a
+// total order, pop order is independent of heap shape and arity: results
+// are byte-identical to the earlier container/heap implementation.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -24,31 +30,20 @@ type event struct {
 	fn  Handler
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// less orders events by firing time, ties broken by scheduling order. It
+// defines a total order, so the heap's pop sequence is unique.
+func less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Engine is a discrete-event simulator. The zero value is ready to use.
 type Engine struct {
 	now     float64
 	seq     uint64
-	queue   eventHeap
+	queue   []event // 4-ary min-heap by (at, seq)
 	stopped bool
 	fired   uint64
 }
@@ -69,7 +64,7 @@ func (e *Engine) At(at float64, fn Handler) {
 		panic(fmt.Sprintf("sim: event scheduled at %.3f before now %.3f", at, e.now))
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
+	e.push(event{at: at, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to fire delay milliseconds from now.
@@ -78,6 +73,61 @@ func (e *Engine) After(delay float64, fn Handler) {
 		panic(fmt.Sprintf("sim: negative delay %.3f", delay))
 	}
 	e.At(e.now+delay, fn)
+}
+
+// push appends ev and sifts it up. The loop moves parents down into the
+// hole rather than swapping, so each level costs one copy.
+func (e *Engine) push(ev event) {
+	q := append(e.queue, ev)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !less(&ev, &q[p]) {
+			break
+		}
+		q[i] = q[p]
+		i = p
+	}
+	q[i] = ev
+	e.queue = q
+}
+
+// pop removes and returns the minimum event, zeroing the vacated slot so
+// the backing array does not pin the fired handler.
+func (e *Engine) pop() event {
+	q := e.queue
+	top := q[0]
+	n := len(q) - 1
+	last := q[n]
+	q[n] = event{}
+	q = q[:n]
+	e.queue = q
+	if n > 0 {
+		i := 0
+		for {
+			c := 4*i + 1
+			if c >= n {
+				break
+			}
+			m := c
+			hi := c + 4
+			if hi > n {
+				hi = n
+			}
+			for j := c + 1; j < hi; j++ {
+				if less(&q[j], &q[m]) {
+					m = j
+				}
+			}
+			if !less(&q[m], &last) {
+				break
+			}
+			q[i] = q[m]
+			i = m
+		}
+		q[i] = last
+	}
+	return top
 }
 
 // Stop makes Run return after the currently firing event completes.
@@ -95,22 +145,27 @@ func (e *Engine) Run(untilMS float64) float64 {
 	}
 	e.stopped = false
 	for len(e.queue) > 0 && !e.stopped {
-		next := e.queue[0]
-		if next.at > untilMS {
+		if e.queue[0].at > untilMS {
 			// Leave the event queued; advance the clock to the horizon so
 			// repeated Run calls with growing horizons behave sensibly.
 			e.now = untilMS
 			return e.now
 		}
-		heap.Pop(&e.queue)
-		e.now = next.at
+		ev := e.pop()
+		e.now = ev.at
 		e.fired++
-		next.fn(e.now)
+		ev.fn(e.now)
 	}
 	return e.now
 }
 
-// Drain discards all pending events (used between experiment phases).
+// Drain discards all pending events (used between experiment phases). The
+// backing array is zeroed before truncation so it does not keep the
+// discarded events' handlers — and whatever state they captured —
+// reachable across phases.
 func (e *Engine) Drain() {
+	for i := range e.queue {
+		e.queue[i] = event{}
+	}
 	e.queue = e.queue[:0]
 }
