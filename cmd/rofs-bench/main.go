@@ -35,6 +35,7 @@ import (
 	"rofs/internal/alloc/extent"
 	"rofs/internal/core"
 	"rofs/internal/experiments"
+	"rofs/internal/metrics"
 	"rofs/internal/prof"
 	"rofs/internal/runner"
 	"rofs/internal/sim"
@@ -91,9 +92,16 @@ func main() {
 		shortFlag = flag.Bool("short", false, "run the reduced CI smoke grid")
 		seedFlag  = flag.Int64("seed", 42, "simulation seed")
 
+		// Enabling -metrics adds sampling events to each run, so the
+		// reported events/sec are not comparable with metrics-off artifacts;
+		// use it for inspecting cells, not for the tracked BENCH_*.json.
+		metricsFlag    = flag.String("metrics", "", "write one metrics bundle per cell into this directory")
+		metricsFmtFlag = flag.String("metrics-format", "json", "bundle encoding: json | csv | prom")
+		metricsIntFlag = flag.Float64("metrics-interval", metrics.DefaultIntervalMS, "timeline sampling interval (simulated ms)")
+
 		cpuProfFlag  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfFlag  = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
-		execTraceFlg = flag.String("trace", "", "write a runtime execution trace to this file")
+		execTraceFlg = flag.String("exectrace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
 
@@ -140,12 +148,26 @@ func main() {
 		}
 	}
 
+	metricsFmt, err := metrics.ParseFormat(*metricsFmtFlag)
+	if err != nil {
+		fatal("%v", err)
+	}
+
 	fmt.Fprintf(os.Stderr, "rofs-bench: %d simulation cells (scale=%s, seed=%d)\n",
 		len(specs), sc.Name, sc.Seed)
 	for _, sp := range specs {
-		cell, err := measure(sp)
+		var reg *metrics.Registry
+		if *metricsFlag != "" {
+			reg = metrics.New(*metricsIntFlag)
+		}
+		cell, err := measure(sp, reg)
 		if err != nil {
 			fatal("%s: %v", sp.Label(), err)
+		}
+		if *metricsFlag != "" {
+			if _, err := runner.SaveMetrics(*metricsFlag, metricsFmt, sp.Label(), reg); err != nil {
+				fatal("%v", err)
+			}
 		}
 		rep.Cells = append(rep.Cells, cell)
 		fmt.Fprintf(os.Stderr, "  %-28s %9d events  %8.0f events/sec  %7.1f ns/event  %6.2f allocs/event\n",
@@ -209,9 +231,11 @@ func grid(sc experiments.Scale, short bool) ([]runner.Spec, error) {
 }
 
 // measure runs one cell sequentially, in-process, with allocation
-// counters read around the run.
-func measure(sp runner.Spec) (cellResult, error) {
+// counters read around the run. A non-nil reg attaches a metrics registry
+// to the run (which adds its sampling events to the measured counts).
+func measure(sp runner.Spec, reg *metrics.Registry) (cellResult, error) {
 	cfg := sp.Config()
+	cfg.Metrics = reg
 
 	var before, after runtime.MemStats
 	runtime.GC()

@@ -31,6 +31,7 @@ import (
 
 	"rofs/internal/core"
 	"rofs/internal/experiments"
+	"rofs/internal/metrics"
 	"rofs/internal/prof"
 	"rofs/internal/report"
 	"rofs/internal/runner"
@@ -49,9 +50,13 @@ func main() {
 		jobsFlag     = flag.Int("jobs", runtime.GOMAXPROCS(0), "maximum simulations running at once")
 		timeoutFlag  = flag.Duration("timeout", 0, "overall deadline (e.g. 10m; 0 means none)")
 
+		metricsFlag    = flag.String("metrics", "", "write one metrics bundle per sweep point into this directory")
+		metricsFmtFlag = flag.String("metrics-format", "json", "bundle encoding: json | csv | prom")
+		metricsIntFlag = flag.Float64("metrics-interval", metrics.DefaultIntervalMS, "timeline sampling interval (simulated ms)")
+
 		cpuProfFlag  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfFlag  = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
-		execTraceFlg = flag.String("trace", "", "write a runtime execution trace to this file")
+		execTraceFlg = flag.String("exectrace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
 
@@ -97,7 +102,14 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeoutFlag)
 		defer cancel()
 	}
+	metricsFmt, err := metrics.ParseFormat(*metricsFmtFlag)
+	if err != nil {
+		fatal("%v", err)
+	}
 	pool := runner.New(*jobsFlag)
+	if *metricsFlag != "" {
+		pool.MetricsIntervalMS = *metricsIntFlag
+	}
 	pool.OnResult = func(_ int, r runner.Result) {
 		if r.Err != nil {
 			fmt.Fprintf(os.Stderr, "  run %-42s FAILED: %v\n", r.Spec.Label(), r.Err)
@@ -115,6 +127,17 @@ func main() {
 	outs, err := pool.Run(ctx, specs)
 	if err != nil {
 		fatal("%v", err)
+	}
+	if *metricsFlag != "" {
+		for _, r := range outs {
+			if r.Err != nil {
+				continue
+			}
+			if _, err := runner.SaveMetrics(*metricsFlag, metricsFmt, r.Spec.Label(), r.Outcome.Metrics); err != nil {
+				fatal("%v", err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "rofs-sweep: wrote per-point metrics bundles to %s/\n", *metricsFlag)
 	}
 
 	// Rows come back in submission order, so the CSV is ordered by value

@@ -19,6 +19,7 @@ import (
 
 	"rofs/internal/disk"
 	"rofs/internal/experiments"
+	"rofs/internal/metrics"
 	"rofs/internal/prof"
 	"rofs/internal/report"
 	"rofs/internal/runner"
@@ -84,9 +85,13 @@ func main() {
 		jobsFlag    = flag.Int("jobs", runtime.GOMAXPROCS(0), "maximum simulations running at once")
 		timeoutFlag = flag.Duration("timeout", 0, "overall deadline (e.g. 10m; 0 means none)")
 
+		metricsFlag    = flag.String("metrics", "", "write one metrics bundle per grid cell into this directory")
+		metricsFmtFlag = flag.String("metrics-format", "json", "bundle encoding: json | csv | prom")
+		metricsIntFlag = flag.Float64("metrics-interval", metrics.DefaultIntervalMS, "timeline sampling interval (simulated ms)")
+
 		cpuProfFlag  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfFlag  = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
-		execTraceFlg = flag.String("trace", "", "write a runtime execution trace to this file")
+		execTraceFlg = flag.String("exectrace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
 
@@ -123,6 +128,26 @@ func main() {
 	// tables (e.g. the Table 4 / Figure 4 first-fit runs) simulate once.
 	pool := runner.New(*jobsFlag)
 	pool.OnResult = progress
+	if *metricsFlag != "" {
+		metricsFmt, err := metrics.ParseFormat(*metricsFmtFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rofs-tables: %v\n", err)
+			os.Exit(2)
+		}
+		pool.MetricsIntervalMS = *metricsIntFlag
+		// Bundles land as results do; cached repeats just rewrite the same
+		// file with the same content.
+		pool.OnResult = func(i int, r runner.Result) {
+			progress(i, r)
+			if r.Err != nil {
+				return
+			}
+			if _, err := runner.SaveMetrics(*metricsFlag, metricsFmt, r.Spec.Label(), r.Outcome.Metrics); err != nil {
+				fmt.Fprintf(os.Stderr, "rofs-tables: metrics: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
 
 	all, order := experimentRegistry()
 

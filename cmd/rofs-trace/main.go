@@ -1,35 +1,43 @@
 // Command rofs-trace summarizes an event trace produced by
-// `rofsim -trace <file>`: per-drive load balance and utilization, and
-// per-operation-kind latency.
+// `rofsim -trace <file>`: per-drive load balance, utilization, and
+// request-span phase breakdown, per-kind record statistics, and
+// per-operation-kind latency. The summary can also be exported as a
+// metrics bundle for diffing against live-run bundles.
 //
 //	rofsim -workload TP -test app -trace tp.trace
 //	rofs-trace tp.trace
+//	rofs-trace -metrics tp-summary.json tp.trace
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
+	"rofs/internal/metrics"
 	"rofs/internal/report"
 	"rofs/internal/trace"
 	"rofs/internal/units"
 )
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: rofs-trace <trace-file>")
+	var (
+		metricsFlag    = flag.String("metrics", "", "also export the summary as a metrics bundle (- for stdout)")
+		metricsFmtFlag = flag.String("metrics-format", "json", "bundle encoding: json | csv | prom")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: rofs-trace [-metrics <path>] <trace-file>")
 		os.Exit(2)
 	}
-	f, err := os.Open(os.Args[1])
+	f, err := os.Open(flag.Arg(0))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "rofs-trace: %v\n", err)
-		os.Exit(1)
+		fatal("%v", err)
 	}
 	defer f.Close()
 	a, err := trace.Analyze(f)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "rofs-trace: %v\n", err)
-		os.Exit(1)
+		fatal("%v", err)
 	}
 	fmt.Printf("%d events over %.1f s of simulated time", a.Events, a.SpanMS()/1000)
 	if a.BadLines > 0 || a.Unknown > 0 {
@@ -38,6 +46,18 @@ func main() {
 	fmt.Println()
 	fmt.Println()
 
+	if len(a.Kinds) > 0 {
+		t := report.NewTable("Record kinds", "Kind", "Count", "First (s)", "Last (s)",
+			"Gap mean (ms)", "Gap min", "Gap max")
+		for _, k := range a.Kinds {
+			t.AddRow(k.Kind, k.Count, fmt.Sprintf("%.1f", k.FirstMS/1000),
+				fmt.Sprintf("%.1f", k.LastMS/1000),
+				fmt.Sprintf("%.3f", k.MeanGapMS), fmt.Sprintf("%.3f", k.MinGapMS),
+				fmt.Sprintf("%.3f", k.MaxGapMS))
+		}
+		t.Render(os.Stdout)
+		fmt.Println()
+	}
 	if len(a.Drives) > 0 {
 		t := report.NewTable("Per-drive activity", "Drive", "Segments", "Bytes", "Written", "Busy (s)", "Util %")
 		span := a.SpanMS()
@@ -51,6 +71,7 @@ func main() {
 		}
 		t.Render(os.Stdout)
 		fmt.Println()
+		renderSpans(a)
 	}
 	if len(a.Ops) > 0 {
 		t := report.NewTable("Operation latency", "Kind", "Count", "Mean (ms)", "Max (ms)")
@@ -59,4 +80,85 @@ func main() {
 		}
 		t.Render(os.Stdout)
 	}
+
+	if *metricsFlag != "" {
+		fmtSel, err := metrics.ParseFormat(*metricsFmtFlag)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := toRegistry(a).WriteFile(*metricsFlag, fmtSel); err != nil {
+			fatal("%v", err)
+		}
+	}
+}
+
+// renderSpans prints the request-lifecycle phase breakdown for drives whose
+// seg records carry it (traces from before spans existed have none).
+func renderSpans(a *trace.Analysis) {
+	any := false
+	for _, d := range a.Drives {
+		if d.Spans > 0 {
+			any = true
+		}
+	}
+	if !any {
+		return
+	}
+	t := report.NewTable("Request spans (per-segment phase means, ms)",
+		"Drive", "Spans", "Wait", "Seek", "Rotate", "Transfer")
+	for _, d := range a.Drives {
+		if d.Spans == 0 {
+			t.AddRow(d.Drive, 0, "-", "-", "-", "-")
+			continue
+		}
+		n := float64(d.Spans)
+		t.AddRow(d.Drive, d.Spans,
+			fmt.Sprintf("%.3f", d.WaitMS/n), fmt.Sprintf("%.3f", d.SeekMS/n),
+			fmt.Sprintf("%.3f", d.RotMS/n), fmt.Sprintf("%.3f", d.XferMS/n))
+	}
+	t.Render(os.Stdout)
+	fmt.Println()
+}
+
+// toRegistry converts the analysis into a registry so a reconstructed
+// trace summary exports through the same bundle formats as a live run.
+func toRegistry(a *trace.Analysis) *metrics.Registry {
+	reg := metrics.New(0)
+	reg.SetLabel("source", "trace")
+	reg.Counter("trace.events").Add(a.Events)
+	reg.Counter("trace.bad_lines").Add(a.BadLines)
+	reg.Counter("trace.unknown").Add(a.Unknown)
+	reg.Gauge("trace.span_ms").Set(a.SpanMS())
+	for _, k := range a.Kinds {
+		p := "trace.kind." + k.Kind + "."
+		reg.Counter(p + "count").Add(k.Count)
+		reg.Gauge(p + "gap_mean_ms").Set(k.MeanGapMS)
+		reg.Gauge(p + "gap_max_ms").Set(k.MaxGapMS)
+	}
+	for _, d := range a.Drives {
+		p := fmt.Sprintf("disk.drive.%d.", d.Drive)
+		reg.Counter(p + "segments").Add(d.Segments)
+		reg.Counter(p + "bytes").Add(d.Bytes)
+		reg.Counter(p + "bytes_written").Add(d.WriteBytes)
+		reg.Gauge(p + "busy_ms").Set(d.BusyMS)
+		if d.Spans > 0 {
+			reg.Counter(p + "spans").Add(d.Spans)
+			reg.Gauge(p + "wait_ms").Set(d.WaitMS)
+			reg.Gauge(p + "seek_ms").Set(d.SeekMS)
+			reg.Gauge(p + "rot_ms").Set(d.RotMS)
+			reg.Gauge(p + "xfer_ms").Set(d.XferMS)
+		}
+	}
+	for _, o := range a.Ops {
+		p := "trace.op." + o.Kind + "."
+		reg.Counter(p + "count").Add(o.Count)
+		reg.Gauge(p + "lat_mean_ms").Set(o.MeanLatMS)
+		reg.Gauge(p + "lat_max_ms").Set(o.MaxLatMS)
+	}
+	return reg
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rofs-trace: "+format+"\n", args...)
+	os.Exit(1)
 }

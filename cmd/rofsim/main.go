@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -20,6 +21,7 @@ import (
 	"rofs/internal/core"
 	"rofs/internal/disk"
 	"rofs/internal/experiments"
+	"rofs/internal/metrics"
 	"rofs/internal/prof"
 	"rofs/internal/units"
 	"rofs/internal/workload"
@@ -56,9 +58,13 @@ func main() {
 		maxSimFlag = flag.Float64("max-sim", 0, "override simulated-time cap (ms)")
 		traceFlag  = flag.String("trace", "", "write a tab-separated event trace to this file")
 
-		// Profiling: -trace is taken by the simulator's event trace, so the
-		// runtime execution trace is -exectrace here (the multi-run tools use
-		// the conventional -trace).
+		// metrics bundle (see EXPERIMENTS.md "Metrics and spans")
+		metricsFlag    = flag.String("metrics", "", "write the run's metrics bundle to this file (- for stdout)")
+		metricsFmtFlag = flag.String("metrics-format", "json", "bundle encoding: json | csv | prom")
+		metricsIntFlag = flag.Float64("metrics-interval", metrics.DefaultIntervalMS, "timeline sampling interval (simulated ms)")
+
+		// Profiling: -trace is taken by the simulator's event trace; every
+		// command spells the runtime execution trace -exectrace.
 		cpuProfFlag  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfFlag  = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 		execTraceFlg = flag.String("exectrace", "", "write a runtime execution trace to this file")
@@ -168,7 +174,20 @@ func main() {
 		defer tf.Close()
 		cfg.TraceWriter = tf
 	}
-	fmt.Printf("rofsim: policy=%s workload=%s test=%s scale=%s layout=%v seed=%d\n",
+	metricsFmt, err := metrics.ParseFormat(*metricsFmtFlag)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if *metricsFlag != "" {
+		cfg.Metrics = metrics.New(*metricsIntFlag)
+	}
+	// With the bundle going to stdout, the human report moves to stderr so
+	// the two streams stay separable.
+	rpt := io.Writer(os.Stdout)
+	if *metricsFlag == "-" {
+		rpt = os.Stderr
+	}
+	fmt.Fprintf(rpt, "rofsim: policy=%s workload=%s test=%s scale=%s layout=%v seed=%d\n",
 		spec.Name(), wl.Name, *testFlag, sc.Name, sc.Disk.Layout, sc.Seed)
 
 	switch *testFlag {
@@ -177,11 +196,11 @@ func main() {
 		if err != nil {
 			fatal("%v", err)
 		}
-		fmt.Printf("  disk filled:            %v (after %d operations)\n", res.Filled, res.Ops)
-		fmt.Printf("  internal fragmentation: %.2f%% of allocated space\n", res.InternalPct)
-		fmt.Printf("  external fragmentation: %.2f%% of total space\n", res.ExternalPct)
+		fmt.Fprintf(rpt, "  disk filled:            %v (after %d operations)\n", res.Filled, res.Ops)
+		fmt.Fprintf(rpt, "  internal fragmentation: %.2f%% of allocated space\n", res.InternalPct)
+		fmt.Fprintf(rpt, "  external fragmentation: %.2f%% of total space\n", res.ExternalPct)
 		if res.ExtentsPerFile > 0 {
-			fmt.Printf("  extents per file:       %.1f\n", res.ExtentsPerFile)
+			fmt.Fprintf(rpt, "  extents per file:       %.1f\n", res.ExtentsPerFile)
 		}
 	case "app", "seq":
 		var res core.PerfResult
@@ -193,16 +212,25 @@ func main() {
 		if err != nil {
 			fatal("%v", err)
 		}
-		fmt.Printf("  throughput:   %.1f%% of maximum (%s)\n", res.Percent, stability(res))
-		fmt.Printf("  simulated:    %.1f s, %d operations, %s moved\n",
+		fmt.Fprintf(rpt, "  throughput:   %.1f%% of maximum (%s)\n", res.Percent, stability(res))
+		fmt.Fprintf(rpt, "  simulated:    %.1f s, %d operations, %s moved\n",
 			res.SimMS/1000, res.Ops, units.Format(res.Bytes))
-		fmt.Printf("  op latency:   %.1f ms mean, p95 <= %.0f ms\n",
+		fmt.Fprintf(rpt, "  op latency:   %.1f ms mean, p95 <= %.0f ms\n",
 			res.MeanLatencyMS, res.P95LatencyMS)
 		if res.AllocFails > 0 {
-			fmt.Printf("  disk-full conditions logged: %d\n", res.AllocFails)
+			fmt.Fprintf(rpt, "  disk-full conditions logged: %d\n", res.AllocFails)
 		}
 	default:
 		fatal("unknown test %q", *testFlag)
+	}
+
+	if *metricsFlag != "" {
+		if err := cfg.Metrics.WriteFile(*metricsFlag, metricsFmt); err != nil {
+			fatal("%v", err)
+		}
+		if *metricsFlag != "-" {
+			fmt.Fprintf(os.Stderr, "rofsim: wrote metrics bundle to %s\n", *metricsFlag)
+		}
 	}
 }
 

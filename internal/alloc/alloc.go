@@ -74,6 +74,21 @@ type File interface {
 	TruncateTo(units int64)
 }
 
+// OpStats counts a policy's allocation operations since construction.
+// Allocs and Frees count whole allocation primitives (blocks or extents)
+// handed out and returned; Coalesces counts free-list or buddy merges —
+// the policy's ongoing fight against external fragmentation, surfaced by
+// the metrics registry.
+type OpStats struct {
+	Allocs, Frees, Coalesces int64
+}
+
+// StatsReporter is the optional interface policies implement to expose
+// operation counts to the metrics registry.
+type StatsReporter interface {
+	OpStats() OpStats
+}
+
 // DescriptorCounter is the optional interface policies implement to report
 // how many layout descriptors a file's metadata must hold: one per block
 // for the block-based policies, one per as-allocated extent for the extent

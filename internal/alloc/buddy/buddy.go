@@ -68,7 +68,11 @@ type Policy struct {
 	// first).
 	orders []*rbtree.Tree[int64, struct{}]
 	free   int64
+	stats  alloc.OpStats
 }
+
+// OpStats implements alloc.StatsReporter.
+func (p *Policy) OpStats() alloc.OpStats { return p.stats }
 
 // New builds a policy over a space of cfg.TotalUnits units. Space that
 // cannot form aligned power-of-two blocks is still usable: the initial
@@ -122,6 +126,7 @@ func (p *Policy) allocBlock(order int) (int64, error) {
 		p.orders[o].Set(addr+int64(1)<<o, struct{}{})
 	}
 	p.free -= int64(1) << order
+	p.stats.Allocs++
 	return addr, nil
 }
 
@@ -129,6 +134,7 @@ func (p *Policy) allocBlock(order int) (int64, error) {
 // buddy as long as the buddy is free.
 func (p *Policy) freeBlock(addr int64, order int) {
 	p.free += int64(1) << order
+	p.stats.Frees++
 	for order < p.maxOrder {
 		buddy := addr ^ int64(1)<<order
 		if !p.orders[order].Delete(buddy) {
@@ -138,6 +144,7 @@ func (p *Policy) freeBlock(addr int64, order int) {
 			addr = buddy
 		}
 		order++
+		p.stats.Coalesces++
 	}
 	p.orders[order].Set(addr, struct{}{})
 }

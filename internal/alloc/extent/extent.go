@@ -90,8 +90,17 @@ func (c *Config) validate() error {
 
 // Policy is an extent-based allocator. Create with New.
 type Policy struct {
-	cfg  Config
-	free *freelist.T
+	cfg   Config
+	free  *freelist.T
+	stats alloc.OpStats
+}
+
+// OpStats implements alloc.StatsReporter. Coalesces come from the free
+// map, which merges adjacent runs as extents are freed.
+func (p *Policy) OpStats() alloc.OpStats {
+	st := p.stats
+	st.Coalesces = p.free.Coalesces()
+	return st
 }
 
 // New builds a policy with the whole space free.
@@ -210,10 +219,12 @@ func (f *file) Grow(min int64) ([]alloc.Extent, error) {
 		if !ok {
 			for _, e := range added {
 				f.p.free.Insert(e.Start, e.Len)
+				f.p.stats.Frees++
 			}
 			return nil, alloc.ErrNoSpace
 		}
 		f.p.free.Alloc(run.Addr, size)
+		f.p.stats.Allocs++
 		added = append(added, alloc.Extent{Start: run.Addr, Len: size})
 		got += size
 	}
@@ -239,6 +250,7 @@ func (f *file) TruncateTo(target int64) {
 			break
 		}
 		f.p.free.Insert(last.Start, last.Len)
+		f.p.stats.Frees++
 		f.allocated -= last.Len
 		f.pieces = f.pieces[:len(f.pieces)-1]
 	}

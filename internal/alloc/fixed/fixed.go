@@ -45,7 +45,11 @@ type Policy struct {
 	stack  []int64
 	sorted *rbtree.Tree[int64, struct{}]
 	free   int64 // free blocks
+	stats  alloc.OpStats
 }
+
+// OpStats implements alloc.StatsReporter. Fixed blocks never coalesce.
+func (p *Policy) OpStats() alloc.OpStats { return p.stats }
 
 // New builds a policy; space that does not divide evenly into blocks is
 // unusable, as in real fixed-block systems.
@@ -99,6 +103,7 @@ func (p *Policy) allocBlock() (int64, error) {
 		p.stack = p.stack[:len(p.stack)-1]
 	}
 	p.free--
+	p.stats.Allocs++
 	return b, nil
 }
 
@@ -109,6 +114,7 @@ func (p *Policy) freeBlock(b int64) {
 		p.stack = append(p.stack, b)
 	}
 	p.free++
+	p.stats.Frees++
 }
 
 // NewFile implements alloc.Policy; the block size is global, so the size

@@ -103,10 +103,14 @@ type Policy struct {
 	// largest class, its top-level bitmap).
 	trees []*rbtree.Tree[int64, struct{}]
 	free  int64
+	stats alloc.OpStats
 
 	nRegions      int
 	lastSatisfied int // region index of the last satisfied request
 }
+
+// OpStats implements alloc.StatsReporter.
+func (p *Policy) OpStats() alloc.OpStats { return p.stats }
 
 // New builds a policy over cfg.TotalUnits units, all free.
 func New(cfg Config) (*Policy, error) {
@@ -232,6 +236,7 @@ func (p *Policy) take(addr int64, s, c int) int64 {
 		}
 	}
 	p.free -= p.sizes[c]
+	p.stats.Allocs++
 	p.lastSatisfied = p.region(addr)
 	return addr
 }
@@ -245,6 +250,7 @@ func (p *Policy) claimAt(addr int64, c int) bool {
 	}
 	if p.trees[c].Delete(addr) {
 		p.free -= p.sizes[c]
+		p.stats.Allocs++
 		p.lastSatisfied = p.region(addr)
 		return true
 	}
@@ -266,6 +272,7 @@ func (p *Policy) claimAt(addr int64, c int) bool {
 			}
 		}
 		p.free -= p.sizes[c]
+		p.stats.Allocs++
 		p.lastSatisfied = p.region(addr)
 		return true
 	}
@@ -326,6 +333,7 @@ func (p *Policy) allocBlock(c int, lastEnd int64, fdRegion int) (int64, error) {
 func (p *Policy) freeBlock(addr int64, c int) {
 	p.trees[c].Set(addr, struct{}{})
 	p.free += p.sizes[c]
+	p.stats.Frees++
 	for c < len(p.sizes)-1 {
 		parentSize := p.sizes[c+1]
 		base := units.RoundDown(addr, parentSize)
@@ -348,6 +356,7 @@ func (p *Policy) freeBlock(addr int64, c int) {
 		}
 		addr = base
 		c++
+		p.stats.Coalesces++
 		p.trees[c].Set(addr, struct{}{})
 	}
 }

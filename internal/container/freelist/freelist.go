@@ -53,11 +53,12 @@ func sizeLess(a, b sizeKey) bool {
 
 // T is a free-run map. Create with New.
 type T struct {
-	root   *node
-	bySize *rbtree.Tree[sizeKey, struct{}]
-	free   int64
-	count  int
-	seed   uint64 // xorshift state for treap priorities
+	root      *node
+	bySize    *rbtree.Tree[sizeKey, struct{}]
+	free      int64
+	count     int
+	coalesces int64
+	seed      uint64 // xorshift state for treap priorities
 }
 
 // New returns an empty map. Priorities are drawn from a deterministic
@@ -83,6 +84,10 @@ func (t *T) FreeUnits() int64 { return t.free }
 // Runs returns the number of (maximal) free runs.
 func (t *T) Runs() int { return t.count }
 
+// Coalesces returns how many times Insert merged a run with an adjacent
+// free neighbour (each Insert can count up to two merges).
+func (t *T) Coalesces() int64 { return t.coalesces }
+
 // MaxRun returns the length of the longest free run (0 when empty).
 func (t *T) MaxRun() int64 {
 	if t.root == nil {
@@ -107,6 +112,7 @@ func (t *T) Insert(addr, length int64) {
 		if prev.Addr+prev.Len == addr {
 			t.remove(prev)
 			addr, length = prev.Addr, prev.Len+length
+			t.coalesces++
 		}
 	}
 	if next, ok := t.ceiling(addr + 1); ok {
@@ -117,6 +123,7 @@ func (t *T) Insert(addr, length int64) {
 		if next.Addr == addr+length {
 			t.remove(next)
 			length += next.Len
+			t.coalesces++
 		}
 	}
 	t.add(Run{addr, length})

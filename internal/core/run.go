@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"fmt"
+
+	"rofs/internal/metrics"
 )
 
 // TestKind selects one of the §3 tests for a declarative run — the
@@ -60,6 +62,9 @@ type Outcome struct {
 	Perf    PerfResult    // Application, Sequential
 	Realloc ReallocResult // AllocationRealloc
 	Stats   RunStats
+	// Metrics is the run's registry (Config.Metrics, finalized); nil when
+	// metrics were disabled.
+	Metrics *metrics.Registry
 }
 
 // Run performs one test of the given kind — the single entry point behind
@@ -92,6 +97,8 @@ func Run(cfg Config, kind TestKind) (Outcome, error) {
 	}
 	if s != nil {
 		out.Stats = RunStats{SimMS: s.eng.Now(), Events: s.eng.Fired()}
+		s.finalizeMetrics()
+		out.Metrics = cfg.Metrics
 		if err == nil && s.canceled {
 			err = ErrCanceled
 		}

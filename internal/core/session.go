@@ -8,6 +8,7 @@ import (
 
 	"rofs/internal/disk"
 	"rofs/internal/fs"
+	"rofs/internal/metrics"
 	"rofs/internal/sim"
 	"rofs/internal/stats"
 	"rofs/internal/trace"
@@ -48,6 +49,13 @@ type Config struct {
 	// "op" record per completed operation and one "seg" record per disk
 	// segment serviced (see internal/trace).
 	TraceWriter io.Writer
+
+	// Metrics, when set, collects the run's counters, gauges, histograms,
+	// and simulated-time timelines (see internal/metrics). Nil — the
+	// default — disables all metric work; enabling metrics schedules the
+	// sampling tick into the engine, so a metrics-on run's event sequence
+	// (still deterministic per seed) differs from a metrics-off run's.
+	Metrics *metrics.Registry
 
 	// Degraded fails drive 0 before the run (RAID-5 only): reads
 	// reconstruct from the survivors, writes update parity alone.
@@ -138,6 +146,12 @@ type session struct {
 	latency    stats.Welford    // per-operation completion latency (ms)
 	latencyH   *stats.Histogram // for tail quantiles
 	pickBuf    [4]float64       // weight scratch for pickOp (no per-op slice)
+
+	// Metrics handles (nil when Config.Metrics is nil; see metrics.go).
+	mOps        [len(opNames)]*metrics.Counter
+	mAllocFails *metrics.Counter
+	mLatency    *metrics.Hist
+	driveBuf    []disk.DriveStats // sampler scratch
 	// Allocation-test termination state.
 	diskFull bool
 	fullAtMS float64
@@ -214,12 +228,18 @@ func newSession(cfg Config, kind testKind) (*session, error) {
 	}
 	if cfg.TraceWriter != nil {
 		s.tracer = trace.New(cfg.TraceWriter)
-		dsys.SetTrace(func(now float64, disk int, start, n int64, write bool, svc float64) {
+		// Span-enriched "seg" records: the original fields stay in place
+		// (old analyzers parse them unchanged), the lifecycle phases ride
+		// along as extra k=v tokens.
+		dsys.SetSpanTrace(func(sp disk.Span) {
 			op := "r"
-			if write {
+			if sp.Write {
 				op = "w"
 			}
-			s.tracer.Recordf(now, "seg", "disk=%d %s start=%d n=%d svc=%.3f", disk, op, start, n, svc)
+			s.tracer.Recordf(sp.StartMS, "seg",
+				"disk=%d %s start=%d n=%d svc=%.3f wait=%.3f seek=%.3f rot=%.3f xfer=%.3f",
+				sp.Disk, op, sp.Start, sp.N, sp.ServiceMS,
+				sp.WaitMS, sp.SeekMS, sp.RotMS, sp.XferMS)
 		})
 	}
 	policy, err := cfg.Policy.Build(dsys.Units(), dsys.UnitBytes(), s.rng)
@@ -235,6 +255,8 @@ func newSession(cfg Config, kind testKind) (*session, error) {
 		return nil, err
 	}
 	s.fsys = fsys
+	s.wireMetrics(kind)
+	s.startMetricsTick()
 	return s, nil
 }
 
@@ -366,11 +388,13 @@ func (u *userOp) complete(now float64) {
 		s.tracer.Recordf(now, "op", "%s type=%s len=%d lat=%.3f",
 			opNames[u.op], u.ts.ft.Name, u.f.Length(), now-u.issued)
 	}
+	s.mOps[u.op].Inc()
 	if s.kind != allocationTest {
 		s.latency.Add(now - u.issued)
 		if s.latencyH != nil {
 			s.latencyH.Add(now - u.issued)
 		}
+		s.mLatency.Observe(now - u.issued)
 	}
 	s.eng.After(s.rng.Exp(u.ts.ft.ProcessTimeMS), u.fire)
 }
@@ -552,6 +576,7 @@ func (s *session) doOp(u *userOp) {
 		u.inFlight = size
 		if err := f.Extend(size, u.extendDone); err != nil {
 			s.allocFails++ // disk full: log and reschedule (§2.2)
+			s.mAllocFails.Inc()
 			u.complete(s.eng.Now())
 		}
 	case opCreate:
@@ -573,6 +598,7 @@ func (s *session) doOp(u *userOp) {
 					return
 				}
 				s.allocFails++
+				s.mAllocFails.Inc()
 			}
 		} else {
 			f.Truncate(ft.TruncateBytes)

@@ -25,11 +25,28 @@ type drive struct {
 	// New): firing a service completion schedules no per-service closure.
 	onDone sim.Handler
 
-	// Statistics.
+	// Statistics. busyMS is always the sum of the three phase components
+	// (seek + rotational wait + transfer, with read-modify-write rotations
+	// counted as rotational wait).
 	busyMS    float64
+	seekMS    float64
+	rotMS     float64
+	xferMS    float64
 	seeks     int64
 	bytesRead int64
 	bytesWrit int64
+
+	// lastBD is the phase breakdown of the most recent serviceMS call,
+	// read by the span trace before the next segment starts.
+	lastBD breakdown
+}
+
+// breakdown decomposes one segment's service time into the paper's §2.1
+// cost components.
+type breakdown struct {
+	seekMS float64 // head movement (initial seek + cylinder crossings)
+	rotMS  float64 // rotational waits, incl. read-modify-write rotations
+	xferMS float64 // media transfer
 }
 
 // segment is one contiguous byte range on one drive, the unit of queueing.
@@ -41,6 +58,7 @@ type segment struct {
 	// striping small writes): the block must come around again before the
 	// write-back pass.
 	extraRotations int
+	enqueueMS      float64  // when the segment joined its drive's queue
 	req            *pending // the request this segment is part of
 }
 
@@ -83,9 +101,12 @@ func (d *drive) serviceMS(start float64, seg *segment) float64 {
 			seg.start, seg.n, g.Capacity()))
 	}
 	t := start
+	var bd breakdown
 	cyl, _, _ := g.locate(seg.start)
 	if cyl != d.headCyl {
-		t += g.SeekMS(cyl - d.headCyl)
+		s := g.SeekMS(cyl - d.headCyl)
+		t += s
+		bd.seekMS += s
 		d.headCyl = cyl
 		d.seeks++
 	}
@@ -97,27 +118,39 @@ func (d *drive) serviceMS(start float64, seg *segment) float64 {
 		if chunk > remaining {
 			chunk = remaining
 		}
-		t += d.rotWaitMS(t, inTrack)
-		t += float64(chunk) / float64(g.BytesPerTrack) * g.RotationMS
+		rot := d.rotWaitMS(t, inTrack)
+		t += rot
+		bd.rotMS += rot
+		xfer := float64(chunk) / float64(g.BytesPerTrack) * g.RotationMS
+		t += xfer
+		bd.xferMS += xfer
 		pos += chunk
 		remaining -= chunk
 		if remaining > 0 {
 			nextCyl, _, _ := g.locate(pos)
 			if nextCyl != d.headCyl {
-				t += g.SeekMS(nextCyl - d.headCyl)
+				s := g.SeekMS(nextCyl - d.headCyl)
+				t += s
+				bd.seekMS += s
 				d.headCyl = nextCyl
 				d.seeks++
 			}
 		}
 	}
 	if seg.extraRotations > 0 {
-		t += float64(seg.extraRotations) * g.RotationMS
+		extra := float64(seg.extraRotations) * g.RotationMS
+		t += extra
+		bd.rotMS += extra
 	}
 	if seg.write {
 		d.bytesWrit += seg.n
 	} else {
 		d.bytesRead += seg.n
 	}
+	d.lastBD = bd
+	d.seekMS += bd.seekMS
+	d.rotMS += bd.rotMS
+	d.xferMS += bd.xferMS
 	d.busyMS += t - start
 	return t - start
 }

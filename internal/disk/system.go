@@ -3,6 +3,7 @@ package disk
 import (
 	"fmt"
 
+	"rofs/internal/metrics"
 	"rofs/internal/sim"
 	"rofs/internal/units"
 )
@@ -204,7 +205,15 @@ type System struct {
 	totalBytes int64 // payload bytes completed
 	requests   int64
 
-	trace SegmentTrace
+	trace     SegmentTrace
+	spanTrace SpanTrace
+
+	// Metrics handles (nil when metrics are disabled; see SetMetrics).
+	mRequests  *metrics.Counter
+	mBytes     *metrics.Counter
+	mSegments  *metrics.Counter
+	mLatency   *metrics.Hist
+	mQueueWait *metrics.Hist
 
 	failed int // index of the failed drive, or -1
 
@@ -220,10 +229,12 @@ type System struct {
 }
 
 // pending tracks one in-flight request's completion: segments left to
-// finish, the payload to credit, and the caller's Done.
+// finish, the payload to credit, the submission time (for request latency),
+// and the caller's Done.
 type pending struct {
 	remaining int
 	payload   int64
+	submitMS  float64
 	done      func(now float64)
 }
 
@@ -232,6 +243,48 @@ type SegmentTrace func(nowMS float64, disk int, startByte, nBytes int64, write b
 
 // SetTrace installs a segment observer (nil disables tracing).
 func (s *System) SetTrace(fn SegmentTrace) { s.trace = fn }
+
+// Span is one segment's full lifecycle: when it joined the drive's queue,
+// when service began, and the service time broken into the paper's §2.1
+// cost components. WaitMS + SeekMS + RotMS + XferMS is the segment's total
+// time in the disk system, and SeekMS + RotMS + XferMS == ServiceMS.
+type Span struct {
+	Disk      int
+	Start     int64 // byte offset within the drive
+	N         int64 // byte length
+	Write     bool
+	EnqueueMS float64 // absolute simulated time the segment was enqueued
+	StartMS   float64 // absolute simulated time service began
+	WaitMS    float64 // queueing delay: StartMS - EnqueueMS
+	SeekMS    float64 // head movement
+	RotMS     float64 // rotational waits, incl. read-modify-write rotations
+	XferMS    float64 // media transfer
+	ServiceMS float64 // SeekMS + RotMS + XferMS
+}
+
+// SpanTrace observes every segment's lifecycle span as service begins.
+type SpanTrace func(sp Span)
+
+// SetSpanTrace installs a span observer (nil disables span tracing). It is
+// independent of SetTrace; installing both fires both per segment.
+func (s *System) SetSpanTrace(fn SpanTrace) { s.spanTrace = fn }
+
+// latencyBoundsMS buckets request and queue-wait latencies: sub-millisecond
+// cache-adjacent hits up through multi-second saturation tails.
+var latencyBoundsMS = []float64{
+	0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000,
+}
+
+// SetMetrics attaches metrics handles to the system. A nil registry (the
+// default) leaves all handles nil, and the instrumentation points reduce
+// to nil checks.
+func (s *System) SetMetrics(reg *metrics.Registry) {
+	s.mRequests = reg.Counter("disk.requests")
+	s.mBytes = reg.Counter("disk.bytes")
+	s.mSegments = reg.Counter("disk.segments")
+	s.mLatency = reg.Histogram("disk.request_latency_ms", latencyBoundsMS)
+	s.mQueueWait = reg.Histogram("disk.queue_wait_ms", latencyBoundsMS)
+}
 
 // New builds a disk system attached to the given engine.
 func New(cfg Config, eng *sim.Engine) (*System, error) {
@@ -320,25 +373,46 @@ func (s *System) TotalBytes() int64 { return s.totalBytes }
 // Requests returns the number of completed requests.
 func (s *System) Requests() int64 { return s.requests }
 
-// DriveStats summarizes one drive's activity.
+// DriveStats summarizes one drive's activity. BusyMS always equals
+// SeekMS + RotMS + TransferMS.
 type DriveStats struct {
 	BusyMS       float64
+	SeekMS       float64
+	RotMS        float64
+	TransferMS   float64
 	Seeks        int64
 	BytesRead    int64
 	BytesWritten int64
-	QueueLen     int
+	QueueLen     int // queued segments, incl. the one in service
 }
 
 // Stats returns per-drive activity summaries.
 func (s *System) Stats() []DriveStats {
-	out := make([]DriveStats, len(s.drives))
+	return s.StatsInto(make([]DriveStats, len(s.drives)))
+}
+
+// StatsInto fills out (growing it as needed) with per-drive activity
+// summaries and returns it — the allocation-free form used by the metrics
+// samplers, which run once per sampling interval.
+func (s *System) StatsInto(out []DriveStats) []DriveStats {
+	if cap(out) < len(s.drives) {
+		out = make([]DriveStats, len(s.drives))
+	}
+	out = out[:len(s.drives)]
 	for i, d := range s.drives {
+		depth := len(d.queue)
+		if d.busy {
+			depth++
+		}
 		out[i] = DriveStats{
 			BusyMS:       d.busyMS,
+			SeekMS:       d.seekMS,
+			RotMS:        d.rotMS,
+			TransferMS:   d.xferMS,
 			Seeks:        d.seeks,
 			BytesRead:    d.bytesRead,
 			BytesWritten: d.bytesWrit,
-			QueueLen:     len(d.queue),
+			QueueLen:     depth,
 		}
 	}
 	return out
@@ -407,12 +481,16 @@ func (s *System) Submit(req *Request) {
 	if len(segs) == 0 {
 		s.totalBytes += payload
 		s.requests++
+		s.mRequests.Inc()
+		s.mBytes.Add(payload)
+		s.mLatency.Observe(0)
 		if req.Done != nil {
 			req.Done(s.eng.Now())
 		}
 		return
 	}
 	p := s.newPending(len(segs), payload, req.Done)
+	p.submitMS = s.eng.Now()
 	for _, sg := range segs {
 		sg.seg.req = p
 		s.enqueue(sg.disk, sg.seg)
@@ -659,6 +737,7 @@ func (s *System) queueDepth(disk int) int {
 // enqueue appends a segment to a drive's queue, starting it immediately
 // if the drive is idle.
 func (s *System) enqueue(disk int, seg *segment) {
+	seg.enqueueMS = s.eng.Now()
 	d := s.drives[disk]
 	if d.busy {
 		d.queue = append(d.queue, seg)
@@ -725,9 +804,27 @@ func (s *System) scanPick(d *drive) int {
 func (s *System) start(d *drive, seg *segment) {
 	d.busy = true
 	d.cur = seg
-	svc := d.serviceMS(s.eng.Now(), seg)
+	now := s.eng.Now()
+	svc := d.serviceMS(now, seg)
+	s.mSegments.Inc()
+	s.mQueueWait.Observe(now - seg.enqueueMS)
 	if s.trace != nil {
-		s.trace(s.eng.Now(), d.id, seg.start, seg.n, seg.write, svc)
+		s.trace(now, d.id, seg.start, seg.n, seg.write, svc)
+	}
+	if s.spanTrace != nil {
+		s.spanTrace(Span{
+			Disk:      d.id,
+			Start:     seg.start,
+			N:         seg.n,
+			Write:     seg.write,
+			EnqueueMS: seg.enqueueMS,
+			StartMS:   now,
+			WaitMS:    now - seg.enqueueMS,
+			SeekMS:    d.lastBD.seekMS,
+			RotMS:     d.lastBD.rotMS,
+			XferMS:    d.lastBD.xferMS,
+			ServiceMS: svc,
+		})
 	}
 	s.eng.After(svc, d.onDone)
 }
@@ -747,6 +844,9 @@ func (s *System) complete(d *drive, now float64) {
 	if p.remaining == 0 {
 		s.totalBytes += p.payload
 		s.requests++
+		s.mRequests.Inc()
+		s.mBytes.Add(p.payload)
+		s.mLatency.Observe(now - p.submitMS)
 		done := p.done
 		s.releasePending(p)
 		if done != nil {

@@ -16,6 +16,7 @@ import (
 
 	"rofs/internal/alloc"
 	"rofs/internal/disk"
+	"rofs/internal/metrics"
 	"rofs/internal/units"
 )
 
@@ -36,6 +37,31 @@ type FileSystem struct {
 	// makes the per-request offset-to-run mapping allocation-free.
 	runScratch []disk.Run
 	req        disk.Request
+
+	// Metrics handles (nil when metrics are disabled; see SetMetrics).
+	mCreates   *metrics.Counter
+	mDeletes   *metrics.Counter
+	mGrows     *metrics.Counter
+	mTruncates *metrics.Counter
+	mRunLen    *metrics.Hist
+}
+
+// runLenBoundsUnits buckets the run lengths data operations touch, in disk
+// units: with 1K units the bounds span 1K single-unit transfers up through
+// 16M fully contiguous sweeps.
+var runLenBoundsUnits = []float64{
+	1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096, 16384,
+}
+
+// SetMetrics attaches metrics handles to the file system. A nil registry
+// (the default) leaves all handles nil, and every instrumentation point
+// reduces to a nil check.
+func (fs *FileSystem) SetMetrics(reg *metrics.Registry) {
+	fs.mCreates = reg.Counter("fs.creates")
+	fs.mDeletes = reg.Counter("fs.deletes")
+	fs.mGrows = reg.Counter("fs.grows")
+	fs.mTruncates = reg.Counter("fs.truncates")
+	fs.mRunLen = reg.Histogram("fs.run_len_units", runLenBoundsUnits)
 }
 
 // New creates a file system. dsys may be nil; unitBytes must match the
@@ -132,6 +158,7 @@ func (fs *FileSystem) Create(sizeHintBytes int64) *File {
 	}
 	fs.nextID++
 	fs.files[f.id] = f
+	fs.mCreates.Inc()
 	return f
 }
 
@@ -207,6 +234,11 @@ func (f *File) submit(runs []disk.Run, write bool, done func(now float64)) {
 		}
 		return
 	}
+	if f.fs.mRunLen != nil {
+		for _, r := range runs {
+			f.fs.mRunLen.Observe(float64(r.Len))
+		}
+	}
 	// Submit consumes the request before invoking any completion, so the
 	// shared Request (and the runs scratch it points at) is free for
 	// reuse — including by operations issued from inside done — the
@@ -261,6 +293,7 @@ func (f *File) Extend(n int64, done func(now float64)) error {
 		if _, err := f.fa.Grow(needUnits); err != nil {
 			return err
 		}
+		f.fs.mGrows.Inc()
 	}
 	off := f.length
 	f.length = newLen
@@ -281,6 +314,7 @@ func (f *File) Allocate(n int64) error {
 		if _, err := f.fa.Grow(needUnits); err != nil {
 			return err
 		}
+		f.fs.mGrows.Inc()
 	}
 	f.fs.usedBytes += n
 	f.length = newLen
@@ -299,6 +333,7 @@ func (f *File) Truncate(n int64) {
 	f.length -= n
 	f.fs.usedBytes -= n
 	f.fa.TruncateTo(units.CeilDiv(f.length, f.fs.unitBytes))
+	f.fs.mTruncates.Inc()
 	if f.cursor > f.length {
 		f.cursor = 0
 	}
@@ -311,6 +346,7 @@ func (f *File) Delete() {
 	f.cursor = 0
 	f.fa.TruncateTo(0)
 	delete(f.fs.files, f.id)
+	f.fs.mDeletes.Inc()
 }
 
 // Recreate frees the file's space and gives it a fresh, empty allocation
@@ -322,6 +358,8 @@ func (f *File) Recreate() {
 	f.cursor = 0
 	f.fa.TruncateTo(0)
 	f.fa = f.fs.policy.NewFile(f.sizeHint)
+	f.fs.mDeletes.Inc()
+	f.fs.mCreates.Inc()
 }
 
 // ReadChunked reads [off, off+n) as a pipeline of chunk-sized requests,

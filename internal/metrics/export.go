@@ -1,0 +1,298 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Format selects an export encoding.
+type Format int
+
+const (
+	// JSON is the canonical bundle: one object holding labels, counters,
+	// gauges, histograms (bounds + counts + sum), and full timelines.
+	JSON Format = iota
+	// CSV is a long-format table (kind,name,time_ms,key,value), one row
+	// per scalar, bucket, or timeline point — the diff- and
+	// spreadsheet-friendly view of the same registry.
+	CSV
+	// Prometheus is the text exposition format: counters and gauges as-is,
+	// histograms as cumulative _bucket/_sum/_count series, timelines as a
+	// gauge holding their last sample (Prometheus has no native series-in-
+	// a-scrape; the full series lives in the JSON and CSV views).
+	Prometheus
+)
+
+// String implements fmt.Stringer.
+func (f Format) String() string {
+	switch f {
+	case CSV:
+		return "csv"
+	case Prometheus:
+		return "prom"
+	default:
+		return "json"
+	}
+}
+
+// ParseFormat maps a -metrics-format flag value to a Format.
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "json":
+		return JSON, nil
+	case "csv":
+		return CSV, nil
+	case "prom", "prometheus":
+		return Prometheus, nil
+	}
+	return JSON, fmt.Errorf("metrics: unknown format %q (want json, csv, or prom)", s)
+}
+
+// Ext returns the conventional file extension for the format.
+func (f Format) Ext() string {
+	switch f {
+	case CSV:
+		return ".csv"
+	case Prometheus:
+		return ".prom"
+	default:
+		return ".json"
+	}
+}
+
+// Write renders the registry to w in the given format. An empty (or nil)
+// registry writes an empty-but-valid document.
+func (r *Registry) Write(w io.Writer, f Format) error {
+	switch f {
+	case CSV:
+		return r.writeCSV(w)
+	case Prometheus:
+		return r.writePrometheus(w)
+	default:
+		return r.writeJSON(w)
+	}
+}
+
+// WriteFile renders the registry to path ("-" means stdout).
+func (r *Registry) WriteFile(path string, f Format) error {
+	if path == "-" {
+		return r.Write(os.Stdout, f)
+	}
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.Write(file, f); err != nil {
+		file.Close()
+		return err
+	}
+	return file.Close()
+}
+
+// histJSON is a histogram's JSON shape.
+type histJSON struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Total  int64     `json:"total"`
+	Sum    float64   `json:"sum"`
+}
+
+// bundleJSON is the canonical JSON document.
+type bundleJSON struct {
+	Schema     string              `json:"schema"`
+	Labels     map[string]string   `json:"labels"`
+	IntervalMS float64             `json:"interval_ms"`
+	Samples    int64               `json:"samples"`
+	Counters   map[string]int64    `json:"counters"`
+	Gauges     map[string]float64  `json:"gauges"`
+	Histograms map[string]histJSON `json:"histograms"`
+	Timelines  map[string][]Point  `json:"timelines"`
+}
+
+// SchemaV1 identifies the JSON bundle layout.
+const SchemaV1 = "rofs-metrics/v1"
+
+func (r *Registry) writeJSON(w io.Writer) error {
+	b := bundleJSON{
+		Schema:     SchemaV1,
+		Labels:     map[string]string{},
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]histJSON{},
+		Timelines:  map[string][]Point{},
+	}
+	if r != nil {
+		b.IntervalMS = r.intervalMS
+		b.Samples = r.samples
+		for _, l := range r.labels {
+			b.Labels[l.Key] = l.Value
+		}
+		for _, c := range r.counters {
+			b.Counters[c.name] = c.v
+		}
+		for _, g := range r.gauges {
+			b.Gauges[g.name] = g.v
+		}
+		for _, h := range r.hists {
+			b.Histograms[h.name] = histJSON{
+				Bounds: h.bounds, Counts: h.Counts(), Total: h.Total(), Sum: h.sum,
+			}
+		}
+		for _, t := range r.timelines {
+			pts := t.points
+			if pts == nil {
+				pts = []Point{}
+			}
+			b.Timelines[t.name] = pts
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&b) // encoding/json sorts map keys: deterministic
+}
+
+// writeCSV emits the long format: kind,name,time_ms,key,value. Scalars
+// leave time_ms and key empty; histogram rows carry the bucket's upper
+// bound (or "+Inf"/"sum"/"count") in key; timeline rows carry the sample
+// time in time_ms.
+func (r *Registry) writeCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"kind", "name", "time_ms", "key", "value"}); err != nil {
+		return err
+	}
+	if r != nil {
+		for _, l := range sortedLabels(r.labels) {
+			cw.Write([]string{"label", l.Key, "", "", l.Value})
+		}
+		for _, c := range r.sortedCounters() {
+			cw.Write([]string{"counter", c.name, "", "", strconv.FormatInt(c.v, 10)})
+		}
+		for _, g := range r.sortedGauges() {
+			cw.Write([]string{"gauge", g.name, "", "", ftoa(g.v)})
+		}
+		for _, h := range r.sortedHists() {
+			counts := h.Counts()
+			for i, n := range counts {
+				key := "+Inf"
+				if i < len(h.bounds) {
+					key = ftoa(h.bounds[i])
+				}
+				cw.Write([]string{"hist", h.name, "", key, strconv.FormatInt(n, 10)})
+			}
+			cw.Write([]string{"hist", h.name, "", "sum", ftoa(h.sum)})
+			cw.Write([]string{"hist", h.name, "", "count", strconv.FormatInt(h.Total(), 10)})
+		}
+		for _, t := range r.sortedTimelines() {
+			for _, p := range t.points {
+				cw.Write([]string{"timeline", t.name, ftoa(p.TMS), "", ftoa(p.V)})
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// writePrometheus emits the text exposition format with the run labels on
+// every series and metric names sanitized to [a-zA-Z0-9_].
+func (r *Registry) writePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	labels := promLabels(r.labels)
+	var b strings.Builder
+	for _, c := range r.sortedCounters() {
+		name := promName(c.name)
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s%s %d\n", name, name, labels, c.v)
+	}
+	for _, g := range r.sortedGauges() {
+		name := promName(g.name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s%s %s\n", name, name, labels, ftoa(g.v))
+	}
+	for _, t := range r.sortedTimelines() {
+		// Last sample only; the series itself is a JSON/CSV concern.
+		name := promName(t.name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s%s %s\n", name, name, labels, ftoa(t.Last()))
+	}
+	for _, h := range r.sortedHists() {
+		name := promName(h.name)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
+		counts := h.Counts()
+		var cum int64
+		for i, n := range counts {
+			cum += n
+			le := "+Inf"
+			if i < len(h.bounds) {
+				le = ftoa(h.bounds[i])
+			}
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", name, promLabelsWith(r.labels, "le", le), cum)
+		}
+		fmt.Fprintf(&b, "%s_sum%s %s\n", name, labels, ftoa(h.sum))
+		fmt.Fprintf(&b, "%s_count%s %d\n", name, labels, h.Total())
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ftoa renders a float without trailing zeros ("1", "1.5", "0.001").
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// promName maps a dotted metric name to a Prometheus-legal one.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("rofs_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabels renders the run labels as a {k="v",...} block ("" if none).
+func promLabels(labels []Label) string { return promLabelsWith(labels, "", "") }
+
+func promLabelsWith(labels []Label, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for _, l := range sortedLabels(labels) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&b, "%s=%q", promLabelKey(l.Key), l.Value)
+	}
+	if extraKey != "" {
+		if !first {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extraKey, extraVal)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// promLabelKey sanitizes a label key like promName, without the prefix.
+func promLabelKey(k string) string { return strings.TrimPrefix(promName(k), "rofs_") }
+
+// sortedLabels returns the labels sorted by key for deterministic output.
+func sortedLabels(labels []Label) []Label {
+	out := append([]Label(nil), labels...)
+	for i := 1; i < len(out); i++ { // tiny n: insertion sort, no extra imports
+		for j := i; j > 0 && out[j].Key < out[j-1].Key; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,46 @@
+package runner
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+
+	"rofs/internal/metrics"
+)
+
+// SaveMetrics writes one run's registry into dir (created on demand) as
+// <sanitized label><format ext> and returns the path. A nil registry —
+// metrics disabled, or a failed run — writes nothing and returns "".
+func SaveMetrics(dir string, f metrics.Format, label string, reg *metrics.Registry) (string, error) {
+	if reg == nil {
+		return "", nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, SanitizeLabel(label)+f.Ext())
+	if err := reg.WriteFile(path, f); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// SanitizeLabel maps a spec label ("rbuddy-5-g1-clus/TS/app", or a free-
+// form sweep name with spaces and '=') to a filename-safe slug.
+func SanitizeLabel(label string) string {
+	var b strings.Builder
+	for _, r := range label {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.' || r == '_' || r == '-':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('-')
+		}
+	}
+	s := strings.Trim(b.String(), "-")
+	if s == "" {
+		s = "run"
+	}
+	return s
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"rofs/internal/core"
+	"rofs/internal/metrics"
 )
 
 // Result is the outcome of one submitted Spec.
@@ -40,6 +41,13 @@ type Pool struct {
 	// and failed ones) with its submission index. Calls are serialized
 	// but may arrive in any index order.
 	OnResult func(index int, r Result)
+
+	// MetricsIntervalMS, when positive, gives every simulated run a fresh
+	// metrics registry sampling at that interval; the registry comes back
+	// on Result.Outcome.Metrics. It is a pool-wide setting (constant for
+	// the process), so the result cache stays keyed by Spec alone — a
+	// cached Result carries the registry of the run that populated it.
+	MetricsIntervalMS float64
 
 	mu    sync.Mutex
 	cache map[string]*cacheEntry
@@ -135,7 +143,7 @@ func (p *Pool) one(ctx context.Context, sp Spec) Result {
 	p.mu.Unlock()
 
 	start := time.Now()
-	out, err := simulate(ctx, sp)
+	out, err := p.simulate(ctx, sp)
 	e.outcome, e.err, e.wall = out, err, time.Since(start)
 	close(e.done)
 	if err != nil && (errors.Is(err, core.ErrCanceled) || errors.Is(err, context.Canceled) ||
@@ -152,7 +160,7 @@ func (p *Pool) one(ctx context.Context, sp Spec) Result {
 
 // simulate performs the Spec's run, converting a panicking simulation
 // into a failed Result instead of a crashed process.
-func simulate(ctx context.Context, sp Spec) (out core.Outcome, err error) {
+func (p *Pool) simulate(ctx context.Context, sp Spec) (out core.Outcome, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("runner: panic: %v\n%s", r, debug.Stack())
@@ -160,6 +168,9 @@ func simulate(ctx context.Context, sp Spec) (out core.Outcome, err error) {
 	}()
 	cfg := sp.Config()
 	cfg.Cancel = ctx.Done()
+	if p.MetricsIntervalMS > 0 {
+		cfg.Metrics = metrics.New(p.MetricsIntervalMS)
+	}
 	return core.Run(cfg, sp.Kind)
 }
 

@@ -41,11 +41,12 @@ func less(a, b *event) bool {
 
 // Engine is a discrete-event simulator. The zero value is ready to use.
 type Engine struct {
-	now     float64
-	seq     uint64
-	queue   []event // 4-ary min-heap by (at, seq)
-	stopped bool
-	fired   uint64
+	now        float64
+	seq        uint64
+	queue      []event // 4-ary min-heap by (at, seq)
+	stopped    bool
+	fired      uint64
+	maxPending int
 }
 
 // Now returns the current simulated time in milliseconds.
@@ -56,6 +57,10 @@ func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending returns the number of scheduled, not-yet-fired events.
 func (e *Engine) Pending() int { return len(e.queue) }
+
+// MaxPending returns the deepest the event heap has ever been — the
+// engine's high-water mark, surfaced by the metrics registry.
+func (e *Engine) MaxPending() int { return e.maxPending }
 
 // At schedules fn to fire at absolute simulated time at. Scheduling in the
 // past panics — it always indicates a modelling bug.
@@ -79,6 +84,9 @@ func (e *Engine) After(delay float64, fn Handler) {
 // hole rather than swapping, so each level costs one copy.
 func (e *Engine) push(ev event) {
 	q := append(e.queue, ev)
+	if len(q) > e.maxPending {
+		e.maxPending = len(q)
+	}
 	i := len(q) - 1
 	for i > 0 {
 		p := (i - 1) / 4

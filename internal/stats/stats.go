@@ -111,16 +111,25 @@ func (w *Welford) CI95() float64 {
 
 // Histogram counts observations into caller-defined bucket boundaries.
 // An observation x lands in bucket i when bounds[i-1] <= x < bounds[i];
-// values >= the last bound land in the overflow bucket.
+// values >= the last bound (including +Inf) land in the overflow bucket,
+// and values below the first bound (including -Inf) land in bucket 0.
+// NaN observations belong to no interval: they are counted separately
+// (NaNs) and appear in neither the buckets nor Total.
 type Histogram struct {
 	bounds []float64
 	counts []int64
 	total  int64
+	nans   int64
 }
 
 // NewHistogram builds a histogram with the given strictly increasing upper
-// bounds.
+// bounds. At least one bound is required — with zero bounds every
+// observation would land in the overflow bucket and every quantile would
+// be +Inf, which is always a caller bug.
 func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("stats: histogram needs at least one bucket bound")
+	}
 	for i := 1; i < len(bounds); i++ {
 		if bounds[i] <= bounds[i-1] {
 			panic(fmt.Sprintf("stats: histogram bounds not increasing at %d", i))
@@ -133,6 +142,10 @@ func NewHistogram(bounds []float64) *Histogram {
 
 // Add records one observation.
 func (h *Histogram) Add(x float64) {
+	if math.IsNaN(x) {
+		h.nans++
+		return
+	}
 	i := sort.SearchFloat64s(h.bounds, x)
 	// SearchFloat64s returns the first bound >= x; a value exactly on a
 	// bound belongs to the next bucket (half-open intervals).
@@ -143,8 +156,11 @@ func (h *Histogram) Add(x float64) {
 	h.total++
 }
 
-// Total returns the number of recorded observations.
+// Total returns the number of recorded non-NaN observations.
 func (h *Histogram) Total() int64 { return h.total }
+
+// NaNs returns the number of NaN observations dropped from the buckets.
+func (h *Histogram) NaNs() int64 { return h.nans }
 
 // Counts returns a copy of the per-bucket counts, the last entry being the
 // overflow bucket.

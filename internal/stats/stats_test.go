@@ -165,6 +165,73 @@ func TestHistogramPanicsOnBadBounds(t *testing.T) {
 	NewHistogram([]float64{1, 1})
 }
 
+func TestHistogramPanicsOnZeroBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero bounds did not panic")
+		}
+	}()
+	NewHistogram(nil)
+}
+
+func TestHistogramNaN(t *testing.T) {
+	h := NewHistogram([]float64{1, 10})
+	h.Add(math.NaN())
+	h.Add(5)
+	h.Add(math.NaN())
+	if h.NaNs() != 2 {
+		t.Fatalf("NaNs = %d, want 2", h.NaNs())
+	}
+	if h.Total() != 1 {
+		t.Fatalf("Total = %d, want 1 (NaNs excluded)", h.Total())
+	}
+	var sum int64
+	for _, c := range h.Counts() {
+		sum += c
+	}
+	if sum != 1 {
+		t.Fatalf("bucket sum = %d, want 1", sum)
+	}
+	// NaNs do not disturb quantiles either.
+	if q := h.Quantile(1.0); q != 10 {
+		t.Fatalf("Quantile(1.0) = %g, want 10", q)
+	}
+}
+
+func TestHistogramInfinities(t *testing.T) {
+	h := NewHistogram([]float64{0, 100})
+	h.Add(math.Inf(1))  // overflow bucket
+	h.Add(math.Inf(-1)) // bucket 0
+	c := h.Counts()
+	if c[0] != 1 {
+		t.Fatalf("-Inf landed in %v, want bucket 0", c)
+	}
+	if c[len(c)-1] != 1 {
+		t.Fatalf("+Inf landed in %v, want overflow", c)
+	}
+	if h.Total() != 2 {
+		t.Fatalf("Total = %d, want 2 (infinities count)", h.Total())
+	}
+	if q := h.Quantile(1.0); !math.IsInf(q, 1) {
+		t.Fatalf("Quantile(1.0) = %g, want +Inf", q)
+	}
+}
+
+func TestHistogramOutOfRange(t *testing.T) {
+	h := NewHistogram([]float64{10, 20})
+	h.Add(-1e300) // far below the first bound
+	h.Add(1e300)  // far above the last
+	c := h.Counts()
+	if c[0] != 1 || c[2] != 1 || c[1] != 0 {
+		t.Fatalf("out-of-range counts = %v, want [1 0 1]", c)
+	}
+	// The below-range observation still bounds the low quantile by the
+	// first bucket's upper edge.
+	if q := h.Quantile(0.5); q != 10 {
+		t.Fatalf("Quantile(0.5) = %g, want 10", q)
+	}
+}
+
 func TestThroughputStabilization(t *testing.T) {
 	// 10-second windows, max bandwidth 1000 bytes/ms, 0.1 pct tolerance.
 	tr := NewThroughputTracker(10_000, 1000, 0.1, 3)

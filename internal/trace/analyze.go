@@ -18,17 +18,40 @@ type Analysis struct {
 	LastMS   float64
 	Drives   []DriveSummary
 	Ops      []OpSummary
+	Kinds    []KindSummary
 	Unknown  int64 // lines with unrecognized kinds (skipped)
 	BadLines int64 // malformed lines (skipped)
 }
 
-// DriveSummary aggregates one drive's "seg" records.
+// DriveSummary aggregates one drive's "seg" records. The span-phase sums
+// (Spans, WaitMS, SeekMS, RotMS, XferMS) come from span-enriched records —
+// those carrying wait=/seek=/rot=/xfer= tokens — and stay zero for traces
+// written before spans existed.
 type DriveSummary struct {
 	Drive      int
 	Segments   int64
 	Bytes      int64
 	WriteBytes int64
 	BusyMS     float64 // sum of service times
+
+	Spans  int64   // segments with a full phase breakdown
+	WaitMS float64 // queueing delay before service
+	SeekMS float64 // head movement
+	RotMS  float64 // rotational waits
+	XferMS float64 // media transfer
+}
+
+// KindSummary aggregates every record of one kind: how many there were and
+// the inter-arrival statistics of their timestamps (gaps between
+// consecutive records of that kind, in stream order).
+type KindSummary struct {
+	Kind      string
+	Count     int64
+	FirstMS   float64
+	LastMS    float64
+	MeanGapMS float64 // 0 with fewer than two records
+	MinGapMS  float64
+	MaxGapMS  float64
 }
 
 // OpSummary aggregates "op" records by kind.
@@ -50,6 +73,14 @@ func Analyze(r io.Reader) (*Analysis, error) {
 		max float64
 	}
 	ops := map[string]*opAcc{}
+	type kindAcc struct {
+		n              int64
+		first, last    float64
+		gapSum         float64
+		gapMin, gapMax float64
+		gaps           int64
+	}
+	kinds := map[string]*kindAcc{}
 
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -72,6 +103,26 @@ func Analyze(r io.Reader) (*Analysis, error) {
 		if ts > a.LastMS {
 			a.LastMS = ts
 		}
+		ka := kinds[fields[1]]
+		if ka == nil {
+			ka = &kindAcc{first: ts}
+			kinds[fields[1]] = ka
+		} else {
+			gap := ts - ka.last
+			if gap < 0 {
+				gap = 0 // out-of-order lines: clamp rather than skew the min
+			}
+			if ka.gaps == 0 || gap < ka.gapMin {
+				ka.gapMin = gap
+			}
+			if gap > ka.gapMax {
+				ka.gapMax = gap
+			}
+			ka.gapSum += gap
+			ka.gaps++
+		}
+		ka.n++
+		ka.last = ts
 		kv := parseKV(fields[2])
 		switch fields[1] {
 		case "seg":
@@ -93,6 +144,19 @@ func Analyze(r io.Reader) (*Analysis, error) {
 				ds.WriteBytes += n
 			}
 			ds.BusyMS += svc
+			// Span-enriched records carry the lifecycle phases as extra
+			// tokens; all four must parse for the record to count as a span.
+			wait, e1 := strconv.ParseFloat(kv["wait"], 64)
+			seek, e2 := strconv.ParseFloat(kv["seek"], 64)
+			rot, e3 := strconv.ParseFloat(kv["rot"], 64)
+			xfer, e4 := strconv.ParseFloat(kv["xfer"], 64)
+			if e1 == nil && e2 == nil && e3 == nil && e4 == nil {
+				ds.Spans++
+				ds.WaitMS += wait
+				ds.SeekMS += seek
+				ds.RotMS += rot
+				ds.XferMS += xfer
+			}
 		case "op":
 			kind := strings.Fields(fields[2])[0]
 			lat, err := strconv.ParseFloat(kv["lat"], 64)
@@ -130,6 +194,16 @@ func Analyze(r io.Reader) (*Analysis, error) {
 		})
 	}
 	sort.Slice(a.Ops, func(i, j int) bool { return a.Ops[i].Kind < a.Ops[j].Kind })
+	for kind, acc := range kinds {
+		ks := KindSummary{Kind: kind, Count: acc.n, FirstMS: acc.first, LastMS: acc.last}
+		if acc.gaps > 0 {
+			ks.MeanGapMS = acc.gapSum / float64(acc.gaps)
+			ks.MinGapMS = acc.gapMin
+			ks.MaxGapMS = acc.gapMax
+		}
+		a.Kinds = append(a.Kinds, ks)
+	}
+	sort.Slice(a.Kinds, func(i, j int) bool { return a.Kinds[i].Kind < a.Kinds[j].Kind })
 	return a, nil
 }
 

@@ -62,6 +62,84 @@ func TestAnalyze(t *testing.T) {
 	}
 }
 
+func TestAnalyzeKinds(t *testing.T) {
+	a, err := Analyze(strings.NewReader(sampleTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kinds are sorted by name: op, seg, weird. The malformed-detail seg at
+	// 60ms still counts toward the seg kind (the line itself parsed).
+	if len(a.Kinds) != 3 {
+		t.Fatalf("kinds = %+v", a.Kinds)
+	}
+	op, seg, weird := a.Kinds[0], a.Kinds[1], a.Kinds[2]
+	if op.Kind != "op" || op.Count != 3 || op.FirstMS != 30 || op.LastMS != 40 {
+		t.Errorf("op kind = %+v", op)
+	}
+	// op gaps: 31-30=1, 40-31=9 → mean 5, min 1, max 9.
+	if op.MeanGapMS != 5 || op.MinGapMS != 1 || op.MaxGapMS != 9 {
+		t.Errorf("op gaps = %+v", op)
+	}
+	if seg.Kind != "seg" || seg.Count != 3 || seg.FirstMS != 10 || seg.LastMS != 60 {
+		t.Errorf("seg kind = %+v", seg)
+	}
+	// seg gaps: 2 and 48 → mean 25.
+	if seg.MeanGapMS != 25 || seg.MinGapMS != 2 || seg.MaxGapMS != 48 {
+		t.Errorf("seg gaps = %+v", seg)
+	}
+	if weird.Kind != "weird" || weird.Count != 1 {
+		t.Errorf("weird kind = %+v", weird)
+	}
+	// A single record has no gaps: stats stay zero.
+	if weird.MeanGapMS != 0 || weird.MinGapMS != 0 || weird.MaxGapMS != 0 {
+		t.Errorf("weird gaps = %+v", weird)
+	}
+}
+
+func TestAnalyzeOutOfOrderGapClamped(t *testing.T) {
+	fixture := "10.000\tmark\ta\n" +
+		"5.000\tmark\tb\n" + // earlier than its predecessor
+		"20.000\tmark\tc\n"
+	a, err := Analyze(strings.NewReader(fixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := a.Kinds[0]
+	// Gaps: clamp(5-10)=0 and 20-5=15.
+	if m.Count != 3 || m.MinGapMS != 0 || m.MaxGapMS != 15 || m.MeanGapMS != 7.5 {
+		t.Errorf("mark kind = %+v", m)
+	}
+}
+
+func TestAnalyzeSpans(t *testing.T) {
+	// Two span-enriched segments for drive 0, one legacy segment (no phase
+	// tokens) for drive 1, and one partially-enriched record that must NOT
+	// count as a span.
+	fixture := "10.000\tseg\tdisk=0 r start=0 n=1024 svc=10.000 wait=2.000 seek=3.000 rot=4.000 xfer=3.000\n" +
+		"20.000\tseg\tdisk=0 w start=2048 n=512 svc=6.000 wait=0.500 seek=1.000 rot=2.000 xfer=3.000\n" +
+		"30.000\tseg\tdisk=1 r start=0 n=4096 svc=8.000\n" +
+		"40.000\tseg\tdisk=1 r start=4096 n=4096 svc=8.000 wait=1.000 seek=2.000\n"
+	a, err := Analyze(strings.NewReader(fixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Drives) != 2 {
+		t.Fatalf("drives = %+v", a.Drives)
+	}
+	d0, d1 := a.Drives[0], a.Drives[1]
+	if d0.Spans != 2 || d0.WaitMS != 2.5 || d0.SeekMS != 4 || d0.RotMS != 6 || d0.XferMS != 6 {
+		t.Errorf("drive 0 spans = %+v", d0)
+	}
+	// The legacy and partial records still count as segments, just not
+	// spans.
+	if d1.Segments != 2 || d1.Spans != 0 || d1.WaitMS != 0 {
+		t.Errorf("drive 1 spans = %+v", d1)
+	}
+	if d0.Segments != 2 || d0.BusyMS != 16 || d0.WriteBytes != 512 {
+		t.Errorf("drive 0 base fields = %+v", d0)
+	}
+}
+
 func TestAnalyzeEmpty(t *testing.T) {
 	a, err := Analyze(strings.NewReader(""))
 	if err != nil {

@@ -1,0 +1,40 @@
+#!/bin/sh
+# check_metrics.sh — the metrics-smoke gate: run one short simulation per
+# exporter format and validate the JSON bundle's schema with
+# scripts/metricscheck. Exercises the -metrics plumbing end to end without
+# depending on golden values.
+set -eu
+cd "$(dirname "$0")/.."
+
+run="go run ./cmd/rofsim -workload TS -test app -max-sim 30000"
+
+echo "check_metrics: json bundle + schema check"
+$run -metrics - -metrics-format json >/dev/null 2>&1 || {
+	echo "check_metrics: FAIL: rofsim -metrics - exited non-zero" >&2
+	exit 1
+}
+$run -metrics - -metrics-format json 2>/dev/null | go run ./scripts/metricscheck
+
+echo "check_metrics: csv bundle parses"
+csv=$($run -metrics - -metrics-format csv 2>/dev/null)
+echo "$csv" | head -1 | grep -q '^kind,name,time_ms,key,value$' || {
+	echo "check_metrics: FAIL: bad CSV header" >&2
+	exit 1
+}
+echo "$csv" | grep -q '^counter,disk.requests,' || {
+	echo "check_metrics: FAIL: CSV missing disk.requests" >&2
+	exit 1
+}
+
+echo "check_metrics: prometheus bundle parses"
+prom=$($run -metrics - -metrics-format prom 2>/dev/null)
+echo "$prom" | grep -q '^# TYPE rofs_disk_requests counter$' || {
+	echo "check_metrics: FAIL: Prometheus output missing rofs_disk_requests" >&2
+	exit 1
+}
+echo "$prom" | grep -q '^rofs_disk_request_latency_ms_count' || {
+	echo "check_metrics: FAIL: Prometheus output missing latency histogram" >&2
+	exit 1
+}
+
+echo "check_metrics: ok"

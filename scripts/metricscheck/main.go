@@ -1,0 +1,122 @@
+// Command metricscheck validates a rofs-metrics JSON bundle read from
+// stdin (or the files named as arguments): the schema tag, the required
+// top-level sections, and the internal consistency of every histogram and
+// timeline. CI pipes `rofsim -metrics -` through it so a malformed bundle
+// fails the metrics-smoke step instead of surfacing in a consumer.
+//
+//	rofsim -workload TS -test app -metrics - | go run ./scripts/metricscheck
+//	go run ./scripts/metricscheck bundle1.json bundle2.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// bundle mirrors the rofs-metrics/v1 layout (internal/metrics/export.go).
+type bundle struct {
+	Schema     string                 `json:"schema"`
+	Labels     map[string]string      `json:"labels"`
+	IntervalMS float64                `json:"interval_ms"`
+	Samples    int64                  `json:"samples"`
+	Counters   map[string]int64       `json:"counters"`
+	Gauges     map[string]float64     `json:"gauges"`
+	Histograms map[string]histSection `json:"histograms"`
+	Timelines  map[string][]point     `json:"timelines"`
+}
+
+type histSection struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Total  int64     `json:"total"`
+	Sum    float64   `json:"sum"`
+}
+
+type point struct {
+	T float64 `json:"t"`
+	V float64 `json:"v"`
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		if err := check("<stdin>", os.Stdin); err != nil {
+			fail(err)
+		}
+		fmt.Println("metricscheck: <stdin> ok")
+		return
+	}
+	for _, path := range os.Args[1:] {
+		f, err := os.Open(path)
+		if err != nil {
+			fail(err)
+		}
+		err = check(path, f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("metricscheck: %s ok\n", path)
+	}
+}
+
+func check(name string, r io.Reader) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var b bundle
+	if err := dec.Decode(&b); err != nil {
+		return fmt.Errorf("%s: %v", name, err)
+	}
+	if b.Schema != "rofs-metrics/v1" {
+		return fmt.Errorf("%s: schema = %q, want rofs-metrics/v1", name, b.Schema)
+	}
+	// The encoder always emits every section, even when empty.
+	if b.Labels == nil || b.Counters == nil || b.Gauges == nil ||
+		b.Histograms == nil || b.Timelines == nil {
+		return fmt.Errorf("%s: missing top-level section", name)
+	}
+	if b.IntervalMS < 0 || b.Samples < 0 {
+		return fmt.Errorf("%s: negative interval/samples", name)
+	}
+	for metric, v := range b.Counters {
+		if v < 0 {
+			return fmt.Errorf("%s: counter %s is negative (%d)", name, metric, v)
+		}
+	}
+	for metric, h := range b.Histograms {
+		if len(h.Counts) != len(h.Bounds)+1 {
+			return fmt.Errorf("%s: histogram %s has %d counts for %d bounds",
+				name, metric, len(h.Counts), len(h.Bounds))
+		}
+		for i := 1; i < len(h.Bounds); i++ {
+			if h.Bounds[i] <= h.Bounds[i-1] {
+				return fmt.Errorf("%s: histogram %s bounds not increasing", name, metric)
+			}
+		}
+		var sum int64
+		for _, c := range h.Counts {
+			if c < 0 {
+				return fmt.Errorf("%s: histogram %s has a negative count", name, metric)
+			}
+			sum += c
+		}
+		if sum != h.Total {
+			return fmt.Errorf("%s: histogram %s counts sum to %d, total says %d",
+				name, metric, sum, h.Total)
+		}
+	}
+	for metric, pts := range b.Timelines {
+		for i := 1; i < len(pts); i++ {
+			if pts[i].T < pts[i-1].T {
+				return fmt.Errorf("%s: timeline %s goes backwards at point %d", name, metric, i)
+			}
+		}
+	}
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "metricscheck: %v\n", err)
+	os.Exit(1)
+}
