@@ -23,12 +23,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"testing"
 	"time"
 
@@ -73,6 +76,23 @@ type cellResult struct {
 	Metric float64 `json:"metric"`
 }
 
+// poolResult reports the parallel saturation pass: the timed grid
+// resubmitted through an instrumented runner.Pool (each cell twice, so
+// the second submission exercises the result cache). It tracks how far
+// the pool layer is from the sequential cells' aggregate wall time and
+// whether its queue/in-flight accounting saturates the workers.
+type poolResult struct {
+	Jobs           int     `json:"jobs"`
+	Runs           int     `json:"runs"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	Submitted      int64   `json:"submitted"`
+	Simulated      int64   `json:"simulated"`
+	Cached         int64   `json:"cached"`
+	Failed         int64   `json:"failed"`
+	PeakInFlight   int64   `json:"peak_in_flight"`
+	PeakQueueDepth int64   `json:"peak_queue_depth"`
+}
+
 // reportJSON is the whole artifact.
 type reportJSON struct {
 	Schema     string         `json:"schema"`
@@ -84,6 +104,7 @@ type reportJSON struct {
 	GOMAXPROCS int            `json:"gomaxprocs"`
 	Engine     []engineResult `json:"engine"`
 	Cells      []cellResult   `json:"cells"`
+	Pool       *poolResult    `json:"pool,omitempty"`
 }
 
 func main() {
@@ -91,6 +112,8 @@ func main() {
 		outFlag   = flag.String("out", "BENCH_PR2.json", "output file (- for stdout)")
 		shortFlag = flag.Bool("short", false, "run the reduced CI smoke grid")
 		seedFlag  = flag.Int64("seed", 42, "simulation seed")
+		poolJobs  = flag.Int("pool-jobs", runtime.GOMAXPROCS(0),
+			"workers for the parallel pool saturation pass (0 or negative skips it)")
 
 		// Enabling -metrics adds sampling events to each run, so the
 		// reported events/sec are not comparable with metrics-off artifacts;
@@ -104,6 +127,12 @@ func main() {
 		execTraceFlg = flag.String("exectrace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
+
+	// Ctrl-C / SIGTERM cancel the context: the current cell stops at its
+	// next operation, already-measured rows stay on stderr, and the process
+	// exits nonzero without writing a partial artifact.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	stopProf, err := prof.Start(prof.Flags{CPUProfile: *cpuProfFlag, MemProfile: *memProfFlag, Trace: *execTraceFlg})
 	if err != nil {
@@ -143,7 +172,12 @@ func main() {
 	// Warm-up: run the first cell once untimed so lazy one-time costs
 	// (page faults, first GC sizing) land outside the measurements.
 	if len(specs) > 0 {
-		if _, err := core.Run(specs[0].Config(), specs[0].Kind); err != nil {
+		cfg := specs[0].Config()
+		cfg.Cancel = ctx.Done()
+		if _, err := core.Run(cfg, specs[0].Kind); err != nil {
+			if ctx.Err() != nil {
+				fatal("interrupted (%v)", ctx.Err())
+			}
 			fatal("warm-up %s: %v", specs[0].Label(), err)
 		}
 	}
@@ -160,8 +194,11 @@ func main() {
 		if *metricsFlag != "" {
 			reg = metrics.New(*metricsIntFlag)
 		}
-		cell, err := measure(sp, reg)
+		cell, err := measure(sp, reg, ctx.Done())
 		if err != nil {
+			if ctx.Err() != nil {
+				fatal("interrupted during %s (%v); measured cells above", sp.Label(), ctx.Err())
+			}
 			fatal("%s: %v", sp.Label(), err)
 		}
 		if *metricsFlag != "" {
@@ -172,6 +209,21 @@ func main() {
 		rep.Cells = append(rep.Cells, cell)
 		fmt.Fprintf(os.Stderr, "  %-28s %9d events  %8.0f events/sec  %7.1f ns/event  %6.2f allocs/event\n",
 			sp.Label(), cell.Events, cell.EventsPerSec, cell.NsPerEvent, cell.AllocsPerEvent)
+	}
+
+	if *poolJobs > 0 {
+		pr, err := poolPass(ctx, specs, *poolJobs)
+		if err != nil {
+			if ctx.Err() != nil {
+				fatal("interrupted during pool pass (%v)", ctx.Err())
+			}
+			fatal("pool pass: %v", err)
+		}
+		rep.Pool = &pr
+		fmt.Fprintf(os.Stderr,
+			"rofs-bench: pool pass: %d runs in %.2fs on %d workers (%d simulated, %d cached, %d failed), peak in-flight %d, peak queue %d\n",
+			pr.Runs, pr.WallSeconds, pr.Jobs, pr.Simulated, pr.Cached, pr.Failed,
+			pr.PeakInFlight, pr.PeakQueueDepth)
 	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
@@ -230,12 +282,41 @@ func grid(sc experiments.Scale, short bool) ([]runner.Spec, error) {
 	return specs, nil
 }
 
+// poolPass resubmits the timed grid through an instrumented runner.Pool —
+// every cell twice, so the duplicate hits the result cache — and snapshots
+// the pool's saturation stats. This is the same pool layer rofs-server
+// serves from, measured under the same cells the sequential pass timed.
+func poolPass(ctx context.Context, specs []runner.Spec, jobs int) (poolResult, error) {
+	doubled := make([]runner.Spec, 0, 2*len(specs))
+	doubled = append(doubled, specs...)
+	doubled = append(doubled, specs...)
+	pool := runner.New(jobs)
+	start := time.Now()
+	if _, err := pool.Run(ctx, doubled); err != nil {
+		return poolResult{}, err
+	}
+	st := pool.Stats()
+	return poolResult{
+		Jobs:           jobs,
+		Runs:           len(doubled),
+		WallSeconds:    time.Since(start).Seconds(),
+		Submitted:      st.Submitted,
+		Simulated:      st.Simulated,
+		Cached:         st.Cached,
+		Failed:         st.Failed,
+		PeakInFlight:   st.PeakInFlight,
+		PeakQueueDepth: st.PeakQueueDepth,
+	}, nil
+}
+
 // measure runs one cell sequentially, in-process, with allocation
 // counters read around the run. A non-nil reg attaches a metrics registry
 // to the run (which adds its sampling events to the measured counts).
-func measure(sp runner.Spec, reg *metrics.Registry) (cellResult, error) {
+// cancel aborts the run between operations (the Ctrl-C path).
+func measure(sp runner.Spec, reg *metrics.Registry, cancel <-chan struct{}) (cellResult, error) {
 	cfg := sp.Config()
 	cfg.Metrics = reg
+	cfg.Cancel = cancel
 
 	var before, after runtime.MemStats
 	runtime.GC()

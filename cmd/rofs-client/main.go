@@ -1,0 +1,325 @@
+// Command rofs-client drives a rofs-server: submit simulation runs, wait
+// for or stream their results, and render them as tables — so sweeps can
+// be pointed at a remote server instead of simulating locally.
+//
+// Usage:
+//
+//	rofs-client [command] [flags]
+//
+// Commands:
+//
+//	run      submit a run and wait for its result (default)
+//	submit   submit a run, print its id, return immediately
+//	wait     -id run-000001: follow a run to completion, print the result
+//	stream   -id run-000001: print the raw SSE event feed
+//	status   -id run-000001: one status snapshot
+//	cancel   -id run-000001: stop a run
+//	list     every run the server remembers
+//
+// Examples:
+//
+//	rofs-client run -policy buddy -workload TS -test app
+//	rofs-client run -policy fixed -block 4K -workload TS -test app -json
+//	rofs-client submit -policy rbuddy -sizes 5 -grow 1 -workload SC -test seq
+//	rofs-client wait -id run-000001 -metrics bundle.json
+//
+// The server address comes from -server or the ROFS_SERVER environment
+// variable (default http://127.0.0.1:8080).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"rofs/internal/report"
+	"rofs/internal/service"
+	"rofs/internal/units"
+)
+
+func main() {
+	args := os.Args[1:]
+	cmd := "run"
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		cmd, args = args[0], args[1:]
+	}
+
+	fs := flag.NewFlagSet("rofs-client "+cmd, flag.ExitOnError)
+	var (
+		serverFlag = fs.String("server", envOr("ROFS_SERVER", "http://127.0.0.1:8080"), "rofs-server base URL")
+		idFlag     = fs.String("id", "", "run id (wait, stream, status, cancel)")
+		jsonFlag   = fs.Bool("json", false, "print raw JSON instead of tables")
+		metricsOut = fs.String("metrics", "", "write the run's rofs-metrics/v1 bundle to this file (- for stdout)")
+
+		policyFlag   = fs.String("policy", "rbuddy", "buddy | rbuddy | extent | fixed")
+		workloadFlag = fs.String("workload", "TS", "TS | TP | SC")
+		testFlag     = fs.String("test", "alloc", "alloc | app | seq")
+		scaleFlag    = fs.String("scale", "bench", "full | bench")
+		seedFlag     = fs.Int64("seed", 42, "simulation seed")
+		nameFlag     = fs.String("name", "", "presentation label for the run")
+
+		sizesFlag = fs.Int("sizes", 5, "rbuddy: number of block sizes (2-5)")
+		growFlag  = fs.Float64("grow", 1, "rbuddy: grow-policy multiplier")
+		clustFlag = fs.Bool("clustered", true, "rbuddy: use 32M bookkeeping regions")
+
+		fitFlag    = fs.String("fit", "first", "extent: first | best")
+		rangesFlag = fs.Int("ranges", 3, "extent: number of extent-size ranges (1-5)")
+
+		blockFlag = fs.String("block", "4K", "fixed: block size (4K or 16K)")
+
+		stableFlag = fs.Int("stable-windows", 0,
+			"consecutive in-tolerance windows before a throughput run stops early (0: server default)")
+
+		disksFlag   = fs.Int("disks", 0, "override number of drives")
+		layoutFlag  = fs.String("layout", "striped", "striped | mirrored | raid5 | parity")
+		stripeFlag  = fs.String("stripe", "", "override stripe unit, e.g. 24K")
+		maxSimFlag  = fs.Float64("max-sim", 0, "override simulated-time cap (ms)")
+		timeoutFlag = fs.Duration("timeout", 0, "server-side wall-time cap for the run (e.g. 2m)")
+	)
+	fs.Parse(args)
+
+	client := &service.Client{BaseURL: *serverFlag}
+	// Ctrl-C cancels the in-flight HTTP call; for ?wait=1 submissions the
+	// server cancels the simulation too (disconnect propagates to
+	// Config.Cancel).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	req := service.RunRequest{
+		Policy:    *policyFlag,
+		Workload:  *workloadFlag,
+		Test:      *testFlag,
+		Scale:     *scaleFlag,
+		Seed:      *seedFlag,
+		Name:      *nameFlag,
+		Sizes:     *sizesFlag,
+		Grow:      *growFlag,
+		Clustered: clustFlag,
+		Fit:       *fitFlag,
+		Ranges:    *rangesFlag,
+		Disks:     *disksFlag,
+		Layout:    *layoutFlag,
+		MaxSimMS:  *maxSimFlag,
+
+		StableWindows: *stableFlag,
+	}
+	if *policyFlag == "fixed" {
+		n, err := parseSize(*blockFlag)
+		if err != nil {
+			fatal("bad block size: %v", err)
+		}
+		req.BlockBytes = n
+	}
+	if *stripeFlag != "" {
+		n, err := parseSize(*stripeFlag)
+		if err != nil {
+			fatal("bad stripe unit: %v", err)
+		}
+		req.StripeBytes = n
+	}
+	if *timeoutFlag > 0 {
+		req.TimeoutMS = float64(*timeoutFlag) / float64(time.Millisecond)
+	}
+
+	switch cmd {
+	case "run":
+		sub, err := client.Submit(ctx, req)
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "rofs-client: submitted %s; waiting\n", sub.ID)
+		st, err := client.Wait(ctx, sub.ID)
+		if err != nil {
+			fatal("%v", err)
+		}
+		finish(st, *jsonFlag, *metricsOut)
+	case "submit":
+		sub, err := client.Submit(ctx, req)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if *jsonFlag {
+			printJSON(sub)
+			return
+		}
+		fmt.Println(sub.ID)
+	case "wait":
+		st, err := client.Wait(ctx, need(*idFlag))
+		if err != nil {
+			fatal("%v", err)
+		}
+		finish(st, *jsonFlag, *metricsOut)
+	case "stream":
+		err := client.Stream(ctx, need(*idFlag), func(ev service.Event) bool {
+			fmt.Printf("%s\t%s\n", ev.Name, ev.Data)
+			return true
+		})
+		if err != nil {
+			fatal("%v", err)
+		}
+	case "status":
+		st, err := client.Status(ctx, need(*idFlag))
+		if err != nil {
+			fatal("%v", err)
+		}
+		finish(st, *jsonFlag, *metricsOut)
+	case "cancel":
+		st, err := client.Cancel(ctx, need(*idFlag))
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "rofs-client: %s -> %s\n", st.ID, st.State)
+	case "list":
+		runs, err := client.List(ctx)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if *jsonFlag {
+			printJSON(runs)
+			return
+		}
+		t := report.NewTable("", "ID", "State", "Label", "Detail")
+		for _, st := range runs {
+			t.AddRow(st.ID, st.State, st.Label, detail(st))
+		}
+		t.Render(os.Stdout)
+	default:
+		fatal("unknown command %q (want run, submit, wait, stream, status, cancel, or list)", cmd)
+	}
+}
+
+// finish renders a terminal (or snapshot) status and exits nonzero for
+// failed and canceled runs so scripts can branch on the outcome.
+func finish(st service.RunStatus, asJSON bool, metricsOut string) {
+	if metricsOut != "" && st.Result != nil && len(st.Result.Metrics) > 0 {
+		if err := writeBundle(metricsOut, st.Result.Metrics); err != nil {
+			fatal("%v", err)
+		}
+		if metricsOut != "-" {
+			fmt.Fprintf(os.Stderr, "rofs-client: wrote metrics bundle to %s\n", metricsOut)
+		}
+	}
+	if asJSON {
+		printJSON(st)
+	} else {
+		renderStatus(st)
+	}
+	switch st.State {
+	case service.StateDone, service.StateQueued, service.StateRunning:
+	default:
+		os.Exit(1)
+	}
+}
+
+// renderStatus prints the human view: a table per result kind.
+func renderStatus(st service.RunStatus) {
+	switch {
+	case st.Result != nil && st.Result.Frag != nil:
+		f := st.Result.Frag
+		t := report.NewTable(fmt.Sprintf("%s  %s  (%s)", st.ID, st.Label, note(st)),
+			"Internal%", "External%", "Filled", "Ops", "ExtentsPerFile")
+		t.AddRow(fmt.Sprintf("%.2f", f.InternalPct), fmt.Sprintf("%.2f", f.ExternalPct),
+			f.Filled, f.Ops, fmt.Sprintf("%.1f", f.ExtentsPerFile))
+		t.Render(os.Stdout)
+	case st.Result != nil && st.Result.Perf != nil:
+		p := st.Result.Perf
+		t := report.NewTable(fmt.Sprintf("%s  %s  (%s)", st.ID, st.Label, note(st)),
+			"Throughput%", "Stable", "MeanLatMS", "P95LatMS", "Ops", "Moved")
+		t.AddRow(fmt.Sprintf("%.6f", p.Percent), p.Stable, fmt.Sprintf("%.2f", p.MeanLatencyMS),
+			fmt.Sprintf("%.0f", p.P95LatencyMS), p.Ops, units.Format(p.Bytes))
+		t.Render(os.Stdout)
+	case st.Error != "":
+		fmt.Printf("%s  %s  state=%s: %s\n", st.ID, st.Label, st.State, st.Error)
+	default:
+		pos := ""
+		if st.Position > 0 {
+			pos = fmt.Sprintf(" (queue position %d)", st.Position)
+		}
+		fmt.Printf("%s  %s  state=%s%s\n", st.ID, st.Label, st.State, pos)
+	}
+}
+
+// note summarizes how the run was served for the table title.
+func note(st service.RunStatus) string {
+	if st.Result == nil {
+		return st.State
+	}
+	how := "simulated"
+	if st.Result.Cached {
+		how = "cached"
+	}
+	return fmt.Sprintf("%s in %.2fs, %s", how, st.Result.WallSeconds, st.State)
+}
+
+// detail is the list view's last column.
+func detail(st service.RunStatus) string {
+	switch {
+	case st.Result != nil && st.Result.Perf != nil:
+		return fmt.Sprintf("%.2f%% of max", st.Result.Perf.Percent)
+	case st.Result != nil && st.Result.Frag != nil:
+		return fmt.Sprintf("int %.2f%% / ext %.2f%%", st.Result.Frag.InternalPct, st.Result.Frag.ExternalPct)
+	case st.Error != "":
+		return st.Error
+	case st.Position > 0:
+		return fmt.Sprintf("queue position %d", st.Position)
+	default:
+		return ""
+	}
+}
+
+func writeBundle(path string, data []byte) error {
+	if path == "-" {
+		_, err := os.Stdout.Write(append(data, '\n'))
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func printJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func need(id string) string {
+	if id == "" {
+		fatal("this command needs -id")
+	}
+	return id
+}
+
+func envOr(key, def string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return def
+}
+
+func parseSize(s string) (int64, error) {
+	s = strings.ToUpper(strings.TrimSpace(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "K"):
+		mult, s = units.KB, strings.TrimSuffix(s, "K")
+	case strings.HasSuffix(s, "M"):
+		mult, s = units.MB, strings.TrimSuffix(s, "M")
+	case strings.HasSuffix(s, "G"):
+		mult, s = units.GB, strings.TrimSuffix(s, "G")
+	}
+	var n int64
+	if _, err := fmt.Sscanf(s, "%d", &n); err != nil {
+		return 0, fmt.Errorf("cannot parse size %q", s)
+	}
+	return n * mult, nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rofs-client: "+format+"\n", args...)
+	os.Exit(1)
+}

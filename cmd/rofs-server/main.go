@@ -1,0 +1,124 @@
+// Command rofs-server serves simulations over HTTP: POST a run request,
+// stream its progress and final metrics bundle over SSE, scrape /metrics
+// for server and pool saturation. See EXPERIMENTS.md "Serving simulations"
+// for the API reference.
+//
+// Usage:
+//
+//	rofs-server -addr :8080 -jobs 8 -queue 32
+//	rofs-server -addr 127.0.0.1:0 -addr-file /tmp/rofs.addr   # scripts
+//
+// SIGTERM (or SIGINT) drains gracefully: admission stops (readyz goes
+// 503), in-flight runs get -drain to finish, stragglers are canceled,
+// and the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"rofs/internal/metrics"
+	"rofs/internal/prof"
+	"rofs/internal/service"
+)
+
+func main() {
+	var (
+		addrFlag     = flag.String("addr", ":8080", "listen address (host:port; port 0 picks one)")
+		addrFileFlag = flag.String("addr-file", "", "write the bound address to this file once listening")
+		jobsFlag     = flag.Int("jobs", 0, "maximum simulations running at once (0: one per CPU)")
+		queueFlag    = flag.Int("queue", 16, "admission queue bound; beyond it submissions get 503 + Retry-After")
+		runTimeout   = flag.Duration("run-timeout", 0, "default per-run wall-time cap (0: none; requests may set their own)")
+		drainFlag    = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget before in-flight runs are canceled")
+
+		metricsIntFlag = flag.Float64("metrics-interval", metrics.DefaultIntervalMS,
+			"per-run timeline sampling interval (simulated ms; negative disables run bundles)")
+
+		cpuProfFlag  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfFlag  = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		execTraceFlg = flag.String("exectrace", "", "write a runtime execution trace to this file")
+	)
+	flag.Parse()
+
+	stopProf, err := prof.Start(prof.Flags{CPUProfile: *cpuProfFlag, MemProfile: *memProfFlag, Trace: *execTraceFlg})
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "rofs-server: %v\n", err)
+		}
+	}()
+
+	svc := service.New(service.Options{
+		Jobs:              *jobsFlag,
+		QueueDepth:        *queueFlag,
+		RunTimeout:        *runTimeout,
+		MetricsIntervalMS: *metricsIntFlag,
+	})
+
+	ln, err := net.Listen("tcp", *addrFlag)
+	if err != nil {
+		fatal("%v", err)
+	}
+	addr := ln.Addr().String()
+	if *addrFileFlag != "" {
+		if err := os.WriteFile(*addrFileFlag, []byte(addr+"\n"), 0o644); err != nil {
+			fatal("%v", err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "rofs-server: listening on %s (jobs=%d queue=%d)\n",
+		addr, svcJobs(*jobsFlag), *queueFlag)
+
+	httpSrv := &http.Server{Handler: svc.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		fatal("%v", err)
+	case <-ctx.Done():
+	}
+	stop()
+
+	fmt.Fprintf(os.Stderr, "rofs-server: draining (budget %s)\n", *drainFlag)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainFlag)
+	defer cancel()
+	if err := svc.Drain(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "rofs-server: drain deadline hit; canceled remaining runs\n")
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "rofs-server: shutdown: %v\n", err)
+	}
+
+	st := svc.Pool().Stats()
+	fmt.Fprintf(os.Stderr,
+		"rofs-server: served %d runs (%d simulated, %d cached, %d failed), peak in-flight %d, peak queue %d\n",
+		st.Submitted, st.Simulated, st.Cached, st.Failed, st.PeakInFlight, st.PeakQueueDepth)
+}
+
+// svcJobs mirrors the service's default for the startup log line.
+func svcJobs(jobs int) int {
+	if jobs > 0 {
+		return jobs
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rofs-server: "+format+"\n", args...)
+	os.Exit(1)
+}

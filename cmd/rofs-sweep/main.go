@@ -25,9 +25,11 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"rofs/internal/core"
 	"rofs/internal/experiments"
@@ -96,7 +98,11 @@ func main() {
 		fatal("%v", err)
 	}
 
-	ctx := context.Background()
+	// Ctrl-C / SIGTERM cancel the context: in-flight simulations stop at
+	// their next operation, completed rows still render, and the process
+	// exits nonzero.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	if *timeoutFlag > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeoutFlag)
@@ -124,9 +130,10 @@ func main() {
 			r.Spec.Label(), r.Wall.Seconds(), st.SimMS, st.Events,
 			float64(st.Events)/r.Wall.Seconds(), note)
 	}
-	outs, err := pool.Run(ctx, specs)
-	if err != nil {
-		fatal("%v", err)
+	outs, runErr := pool.Run(ctx, specs)
+	interrupted := ctx.Err() != nil
+	if runErr != nil && !interrupted {
+		fatal("%v", runErr)
 	}
 	if *metricsFlag != "" {
 		for _, r := range outs {
@@ -145,7 +152,12 @@ func main() {
 	t := report.NewTable("",
 		*paramFlag, "policy", "workload", "test", "metric1", "metric2", "metric3")
 	var m1, m2, m3 stats.Welford
+	completed := 0
 	for i, r := range outs {
+		if r.Err != nil {
+			continue
+		}
+		completed++
 		v := formatValue(values[i])
 		sp := r.Spec
 		switch kind {
@@ -177,6 +189,11 @@ func main() {
 		}
 	} else {
 		t.Render(os.Stdout)
+	}
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "rofs-sweep: interrupted (%v); rendered %d of %d completed points\n",
+			ctx.Err(), completed, len(specs))
+		os.Exit(1)
 	}
 }
 

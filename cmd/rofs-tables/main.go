@@ -13,8 +13,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"rofs/internal/disk"
@@ -118,7 +120,11 @@ func main() {
 	}
 	sc.Seed = *seedFlag
 
-	ctx := context.Background()
+	// Ctrl-C / SIGTERM cancel the context: in-flight simulations stop at
+	// their next operation, already-rendered tables stay on stdout, and
+	// the process exits nonzero.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	if *timeoutFlag > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeoutFlag)
@@ -165,6 +171,11 @@ func main() {
 		start := time.Now()
 		fmt.Printf("=== %s (scale=%s, seed=%d) ===\n", name, sc.Name, sc.Seed)
 		if err := fn(ctx, pool, sc); err != nil {
+			if ctx.Err() != nil {
+				fmt.Fprintf(os.Stderr, "rofs-tables: interrupted during %s (%v); earlier experiments rendered\n",
+					name, ctx.Err())
+				os.Exit(1)
+			}
 			fmt.Fprintf(os.Stderr, "rofs-tables: %s: %v\n", name, err)
 			os.Exit(1)
 		}

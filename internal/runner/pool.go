@@ -49,8 +49,108 @@ type Pool struct {
 	// cached Result carries the registry of the run that populated it.
 	MetricsIntervalMS float64
 
+	// Metrics holds optional pool-level observability handles; nil handles
+	// drop their updates, so the zero value costs nothing. Set it (or call
+	// Instrument) before the first Run.
+	Metrics Metrics
+
 	mu    sync.Mutex
 	cache map[string]*cacheEntry
+
+	// statsMu guards stats and the Metrics handles (registry handles are
+	// not safe for concurrent update on their own).
+	statsMu sync.Mutex
+	stats   Stats
+}
+
+// Metrics is the pool's set of nil-safe observability handles, typically
+// obtained from one metrics.Registry via Instrument. Gauges track the
+// instantaneous queue depth (accepted by Run, no worker yet) and in-flight
+// count (worker occupied, including cache waits); counters accumulate
+// lifetime submitted / cached / failed totals.
+type Metrics struct {
+	QueueDepth *metrics.Gauge
+	InFlight   *metrics.Gauge
+	Submitted  *metrics.Counter
+	Cached     *metrics.Counter
+	Failed     *metrics.Counter
+}
+
+// Stats is a point-in-time snapshot of the pool's lifetime activity.
+type Stats struct {
+	// Submitted counts every Spec handed to Run; Simulated the ones that
+	// actually ran a simulation; Cached the ones served from the pool's
+	// result cache; Failed the ones whose Result carried an error.
+	Submitted, Simulated, Cached, Failed int64
+	// QueueDepth and InFlight are the instantaneous values; the Peak
+	// variants their lifetime maxima — the saturation signal.
+	QueueDepth, InFlight         int64
+	PeakQueueDepth, PeakInFlight int64
+}
+
+// Instrument registers the pool's gauges and counters (pool.queue_depth,
+// pool.in_flight, pool.runs_submitted, pool.runs_cached, pool.runs_failed)
+// on reg. A nil registry installs nil (dropping) handles.
+func (p *Pool) Instrument(reg *metrics.Registry) {
+	p.Metrics = Metrics{
+		QueueDepth: reg.Gauge("pool.queue_depth"),
+		InFlight:   reg.Gauge("pool.in_flight"),
+		Submitted:  reg.Counter("pool.runs_submitted"),
+		Cached:     reg.Counter("pool.runs_cached"),
+		Failed:     reg.Counter("pool.runs_failed"),
+	}
+}
+
+// Stats returns a snapshot of the pool's counters and gauges.
+func (p *Pool) Stats() Stats {
+	p.statsMu.Lock()
+	defer p.statsMu.Unlock()
+	return p.stats
+}
+
+// enqueue records n Specs accepted by Run.
+func (p *Pool) enqueue(n int) {
+	p.statsMu.Lock()
+	p.stats.Submitted += int64(n)
+	p.stats.QueueDepth += int64(n)
+	if p.stats.QueueDepth > p.stats.PeakQueueDepth {
+		p.stats.PeakQueueDepth = p.stats.QueueDepth
+	}
+	p.Metrics.Submitted.Add(int64(n))
+	p.Metrics.QueueDepth.Set(float64(p.stats.QueueDepth))
+	p.statsMu.Unlock()
+}
+
+// dequeue moves one Spec from the queue to in-flight.
+func (p *Pool) dequeue() {
+	p.statsMu.Lock()
+	p.stats.QueueDepth--
+	p.stats.InFlight++
+	if p.stats.InFlight > p.stats.PeakInFlight {
+		p.stats.PeakInFlight = p.stats.InFlight
+	}
+	p.Metrics.QueueDepth.Set(float64(p.stats.QueueDepth))
+	p.Metrics.InFlight.Set(float64(p.stats.InFlight))
+	p.statsMu.Unlock()
+}
+
+// finish retires one in-flight Spec with its disposition.
+func (p *Pool) finish(r Result, simulated bool) {
+	p.statsMu.Lock()
+	p.stats.InFlight--
+	if simulated {
+		p.stats.Simulated++
+	}
+	if r.Cached {
+		p.stats.Cached++
+		p.Metrics.Cached.Inc()
+	}
+	if r.Err != nil {
+		p.stats.Failed++
+		p.Metrics.Failed.Inc()
+	}
+	p.Metrics.InFlight.Set(float64(p.stats.InFlight))
+	p.statsMu.Unlock()
 }
 
 // cacheEntry is one key's slot: done closes when the owning run finishes.
@@ -81,6 +181,7 @@ func (p *Pool) jobs() int {
 // not-yet-started ones with ctx's error.
 func (p *Pool) Run(ctx context.Context, specs []Spec) ([]Result, error) {
 	results := make([]Result, len(specs))
+	p.enqueue(len(specs))
 	workers := p.jobs()
 	if workers > len(specs) {
 		workers = len(specs)
@@ -116,9 +217,13 @@ func (p *Pool) Run(ctx context.Context, specs []Spec) ([]Result, error) {
 }
 
 // one resolves a single Spec: from the cache when an equal Spec already
-// ran (or is running) in this process, otherwise by simulating.
-func (p *Pool) one(ctx context.Context, sp Spec) Result {
-	res := Result{Spec: sp}
+// ran (or is running) in this process, otherwise by simulating. It owns
+// the Spec's queue→in-flight→finished stats transitions.
+func (p *Pool) one(ctx context.Context, sp Spec) (res Result) {
+	p.dequeue()
+	simulated := false
+	defer func() { p.finish(res, simulated) }()
+	res = Result{Spec: sp}
 	if err := ctx.Err(); err != nil {
 		res.Err = err
 		return res
@@ -142,6 +247,7 @@ func (p *Pool) one(ctx context.Context, sp Spec) Result {
 	p.cache[key] = e
 	p.mu.Unlock()
 
+	simulated = true
 	start := time.Now()
 	out, err := p.simulate(ctx, sp)
 	e.outcome, e.err, e.wall = out, err, time.Since(start)

@@ -49,6 +49,7 @@ func TestSpecKeyIdentity(t *testing.T) {
 		"kind":   func(s *Spec) { s.Kind = core.Application },
 		"policy": func(s *Spec) { s.Policy = core.RBuddy(5, 1.5, true) },
 		"max":    func(s *Spec) { s.MaxSimMS = 30_000 },
+		"stable": func(s *Spec) { s.StableWindows = 8 },
 		"deg":    func(s *Spec) { s.Degraded = true },
 		"disk":   func(s *Spec) { s.Disk.NDisks = 3 },
 	} {

@@ -34,6 +34,9 @@ type Spec struct {
 
 	// MaxSimMS caps throughput runs (0: the core default).
 	MaxSimMS float64
+	// StableWindows overrides how many consecutive in-tolerance windows
+	// count as a stabilized throughput run (0: the core default of 3).
+	StableWindows int
 	// Degraded fails drive 0 before the run (RAID-5 only).
 	Degraded bool
 }
@@ -41,12 +44,13 @@ type Spec struct {
 // Config assembles the core.Config the Spec declares.
 func (s Spec) Config() core.Config {
 	return core.Config{
-		Disk:     s.Disk,
-		Policy:   s.Policy,
-		Workload: s.Workload,
-		Seed:     s.Seed,
-		MaxSimMS: s.MaxSimMS,
-		Degraded: s.Degraded,
+		Disk:          s.Disk,
+		Policy:        s.Policy,
+		Workload:      s.Workload,
+		Seed:          s.Seed,
+		MaxSimMS:      s.MaxSimMS,
+		StableWindows: s.StableWindows,
+		Degraded:      s.Degraded,
 	}
 }
 
@@ -56,8 +60,8 @@ func (s Spec) Config() core.Config {
 // excluded. The encodings are plain-value struct dumps, deterministic
 // because the underlying configurations hold no maps or pointers.
 func (s Spec) Key() string {
-	return fmt.Sprintf("%s|%+v|%+v|%+v|seed=%d|max=%g|deg=%t",
-		s.Kind, s.Policy, s.Disk, s.Workload, s.Seed, s.MaxSimMS, s.Degraded)
+	return fmt.Sprintf("%s|%+v|%+v|%+v|seed=%d|max=%g|sw=%d|deg=%t",
+		s.Kind, s.Policy, s.Disk, s.Workload, s.Seed, s.MaxSimMS, s.StableWindows, s.Degraded)
 }
 
 // Label returns the short human-readable name progress lines use:

@@ -1,0 +1,248 @@
+// Package service turns the simulator into long-running infrastructure: a
+// JSON-over-HTTP server that maps request bodies onto runner.Spec /
+// runner.Pool. Submissions pass a bounded admission queue (overload is a
+// 503 with Retry-After, never an unbounded backlog), per-request deadlines
+// and client disconnects propagate to Config.Cancel, identical concurrent
+// Specs coalesce on the pool's Spec.Key() cache, and results — including
+// the final rofs-metrics/v1 bundle — stream back over SSE.
+//
+// Endpoints:
+//
+//	POST   /v1/runs              submit a run (?wait=1 blocks for the result)
+//	GET    /v1/runs              list runs
+//	GET    /v1/runs/{id}         one run's status + result
+//	DELETE /v1/runs/{id}         cancel a run (also POST /v1/runs/{id}/cancel)
+//	GET    /v1/runs/{id}/events  SSE: status heartbeats, then result/error
+//	GET    /metrics              server + pool gauges, counters, histograms
+//	GET    /healthz              process liveness
+//	GET    /readyz               admission readiness (503 while draining)
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"rofs/internal/alloc/extent"
+	"rofs/internal/core"
+	"rofs/internal/disk"
+	"rofs/internal/experiments"
+	"rofs/internal/runner"
+	"rofs/internal/units"
+)
+
+// RunRequest is the POST /v1/runs body. It speaks the same vocabulary as
+// the CLIs (rofsim's flags, one field per knob); zero values take the
+// CLI defaults. Sizes are bytes; the client translates "4K"-style flags.
+type RunRequest struct {
+	Policy   string `json:"policy"`          // buddy | rbuddy | extent | fixed
+	Workload string `json:"workload"`        // TS | TP | SC
+	Test     string `json:"test"`            // alloc | app | seq
+	Scale    string `json:"scale,omitempty"` // full | bench (default bench)
+	Seed     int64  `json:"seed,omitempty"`  // default 42
+	Name     string `json:"name,omitempty"`  // presentation-only label
+
+	// rbuddy knobs (defaults: 5 sizes, grow 1, clustered).
+	Sizes     int     `json:"sizes,omitempty"`
+	Grow      float64 `json:"grow,omitempty"`
+	Clustered *bool   `json:"clustered,omitempty"`
+
+	// extent knobs (defaults: first fit, 3 ranges).
+	Fit    string `json:"fit,omitempty"`
+	Ranges int    `json:"ranges,omitempty"`
+
+	// fixed knob (default 4K).
+	BlockBytes int64 `json:"block_bytes,omitempty"`
+
+	// Disk overrides.
+	Disks       int    `json:"disks,omitempty"`
+	Layout      string `json:"layout,omitempty"` // striped | mirrored | raid5 | parity
+	StripeBytes int64  `json:"stripe_bytes,omitempty"`
+	Degraded    bool   `json:"degraded,omitempty"`
+
+	// MaxSimMS overrides the scale's simulated-time cap.
+	MaxSimMS float64 `json:"max_sim_ms,omitempty"`
+
+	// StableWindows overrides the stabilization criterion for throughput
+	// runs — consecutive in-tolerance windows before the run stops early
+	// (default 3; raise it to force runs to the simulated-time cap).
+	StableWindows int `json:"stable_windows,omitempty"`
+
+	// TimeoutMS bounds the run's wall time; past it the simulation is
+	// canceled and the run fails. Zero means the server's default.
+	TimeoutMS float64 `json:"timeout_ms,omitempty"`
+}
+
+// Spec validates the request and assembles the runner.Spec it declares,
+// reusing the experiments.Scale plumbing so a request and the equivalent
+// rofsim invocation build byte-identical configurations (and therefore
+// identical Spec cache keys).
+func (req *RunRequest) Spec() (runner.Spec, error) {
+	var zero runner.Spec
+
+	var sc experiments.Scale
+	switch strings.ToLower(req.Scale) {
+	case "", "bench":
+		sc = experiments.BenchScale()
+	case "full":
+		sc = experiments.FullScale()
+	default:
+		return zero, fmt.Errorf("unknown scale %q (want full or bench)", req.Scale)
+	}
+	if req.Seed != 0 {
+		sc.Seed = req.Seed
+	}
+	if req.MaxSimMS > 0 {
+		sc.MaxSimMS = req.MaxSimMS
+	}
+	if req.Disks > 0 {
+		sc.Disk.NDisks = req.Disks
+	}
+	switch strings.ToLower(req.Layout) {
+	case "", "striped":
+		sc.Disk.Layout = disk.Striped
+	case "mirrored":
+		sc.Disk.Layout = disk.Mirrored
+	case "raid5":
+		sc.Disk.Layout = disk.RAID5
+	case "parity":
+		sc.Disk.Layout = disk.ParityStriped
+	default:
+		return zero, fmt.Errorf("unknown layout %q (want striped, mirrored, raid5, or parity)", req.Layout)
+	}
+	if req.StripeBytes > 0 {
+		sc.Disk.StripeUnitBytes = req.StripeBytes
+	}
+	if req.Degraded && sc.Disk.Layout != disk.RAID5 {
+		return zero, fmt.Errorf("degraded mode requires the raid5 layout")
+	}
+
+	wl, err := sc.Workload(req.Workload)
+	if err != nil {
+		return zero, err
+	}
+
+	var kind core.TestKind
+	switch req.Test {
+	case "alloc":
+		kind = core.Allocation
+	case "app":
+		kind = core.Application
+	case "seq":
+		kind = core.Sequential
+	default:
+		return zero, fmt.Errorf("unknown test %q (want alloc, app, or seq)", req.Test)
+	}
+
+	var policy core.PolicySpec
+	switch req.Policy {
+	case "buddy":
+		policy = core.Buddy()
+	case "rbuddy":
+		sizes, grow, clustered := req.Sizes, req.Grow, true
+		if sizes == 0 {
+			sizes = 5
+		}
+		if sizes < 2 || sizes > 5 {
+			return zero, fmt.Errorf("rbuddy wants 2-5 block sizes, got %d", sizes)
+		}
+		if grow == 0 {
+			grow = 1
+		}
+		if req.Clustered != nil {
+			clustered = *req.Clustered
+		}
+		policy = core.RBuddy(sizes, grow, clustered)
+	case "extent":
+		fit := extent.FirstFit
+		switch strings.ToLower(req.Fit) {
+		case "", "first":
+		case "best":
+			fit = extent.BestFit
+		default:
+			return zero, fmt.Errorf("unknown fit %q (want first or best)", req.Fit)
+		}
+		n := req.Ranges
+		if n == 0 {
+			n = 3
+		}
+		ranges, err := sc.ExtentRanges(wl.Name, n)
+		if err != nil {
+			return zero, err
+		}
+		policy = core.Extent(fit, ranges)
+	case "fixed":
+		block := req.BlockBytes
+		if block == 0 {
+			block = 4 * units.KB
+		}
+		policy = core.Fixed(block)
+	default:
+		return zero, fmt.Errorf("unknown policy %q (want buddy, rbuddy, extent, or fixed)", req.Policy)
+	}
+
+	if req.StableWindows < 0 {
+		return zero, fmt.Errorf("stable_windows must be non-negative, got %d", req.StableWindows)
+	}
+	sp := sc.Spec(policy, wl, kind)
+	sp.Name = req.Name
+	sp.StableWindows = req.StableWindows
+	sp.Degraded = req.Degraded
+	return sp, nil
+}
+
+// Run states, in lifecycle order. Done, Failed, and Canceled are terminal.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// RunStatus is the GET /v1/runs/{id} document (and the list entries).
+type RunStatus struct {
+	ID    string `json:"id"`
+	Label string `json:"label"`
+	State string `json:"state"`
+	// Error carries the failure or cancellation message in terminal
+	// states.
+	Error string `json:"error,omitempty"`
+	// Result is present once State is done.
+	Result *RunResult `json:"result,omitempty"`
+	// Position is the run's place in the admission queue while queued
+	// (1 = next to start).
+	Position int `json:"position,omitempty"`
+}
+
+// RunResult is the deterministic payload of a finished run plus its
+// serving metadata. Frag/Perf/Stats/Metrics depend only on the Spec (the
+// byte-identical contract proved by the service's end-to-end test);
+// WallSeconds and Cached describe how this particular submission was
+// served.
+type RunResult struct {
+	Test string `json:"test"`
+	// Exactly one of Frag and Perf is set, selected by Test.
+	Frag  *core.FragResult `json:"frag,omitempty"`
+	Perf  *core.PerfResult `json:"perf,omitempty"`
+	Stats core.RunStats    `json:"stats"`
+	// Metrics is the run's rofs-metrics/v1 bundle (absent when the server
+	// runs with per-run metrics disabled).
+	Metrics json.RawMessage `json:"metrics,omitempty"`
+
+	WallSeconds float64 `json:"wall_seconds"`
+	Cached      bool    `json:"cached"`
+}
+
+// SubmitResponse is the POST /v1/runs (async) body.
+type SubmitResponse struct {
+	ID string `json:"id"`
+	// StatusURL and EventsURL are the polling and streaming views.
+	StatusURL string `json:"status_url"`
+	EventsURL string `json:"events_url"`
+}
+
+// errorJSON is every non-2xx body.
+type errorJSON struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,202 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client is the Go view of a rofs-server: cmd/rofs-client is a thin shell
+// around it, and the end-to-end tests drive the server through it.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTP is the transport; nil means http.DefaultClient.
+	HTTP *http.Client
+}
+
+// APIError is a non-2xx response, carrying the decoded error body and —
+// for 503s — the server's Retry-After hint.
+type APIError struct {
+	Code       int
+	Message    string
+	RetryAfter string
+}
+
+func (e *APIError) Error() string {
+	msg := fmt.Sprintf("server returned %d: %s", e.Code, e.Message)
+	if e.RetryAfter != "" {
+		msg += " (Retry-After: " + e.RetryAfter + "s)"
+	}
+	return msg
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do issues one request and decodes the JSON response into out (skipped
+// when out is nil). Non-2xx responses come back as *APIError.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, strings.TrimRight(c.BaseURL, "/")+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e errorJSON
+		json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&e)
+		if e.Error == "" {
+			e.Error = resp.Status
+		}
+		return &APIError{Code: resp.StatusCode, Message: e.Error, RetryAfter: resp.Header.Get("Retry-After")}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit enqueues a run asynchronously and returns its handle.
+func (c *Client) Submit(ctx context.Context, req RunRequest) (SubmitResponse, error) {
+	var out SubmitResponse
+	err := c.do(ctx, http.MethodPost, "/v1/runs", &req, &out)
+	return out, err
+}
+
+// SubmitWait submits with ?wait=1: the call blocks until the run
+// finishes (canceling ctx cancels the simulation server-side) and
+// returns the final status.
+func (c *Client) SubmitWait(ctx context.Context, req RunRequest) (RunStatus, error) {
+	var out RunStatus
+	err := c.do(ctx, http.MethodPost, "/v1/runs?wait=1", &req, &out)
+	return out, err
+}
+
+// Status fetches one run's document.
+func (c *Client) Status(ctx context.Context, id string) (RunStatus, error) {
+	var out RunStatus
+	err := c.do(ctx, http.MethodGet, "/v1/runs/"+id, nil, &out)
+	return out, err
+}
+
+// List fetches every run the server remembers, in submission order.
+func (c *Client) List(ctx context.Context) ([]RunStatus, error) {
+	var out []RunStatus
+	err := c.do(ctx, http.MethodGet, "/v1/runs", nil, &out)
+	return out, err
+}
+
+// Cancel asks the server to stop a run.
+func (c *Client) Cancel(ctx context.Context, id string) (RunStatus, error) {
+	var out RunStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/runs/"+id, nil, &out)
+	return out, err
+}
+
+// Stream attaches to a run's SSE feed, invoking fn per event until the
+// stream closes or fn returns false.
+func (c *Client) Stream(ctx context.Context, id string, fn func(Event) bool) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimRight(c.BaseURL, "/")+"/v1/runs/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e errorJSON
+		json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&e)
+		return &APIError{Code: resp.StatusCode, Message: e.Error}
+	}
+	return ReadSSE(resp.Body, fn)
+}
+
+// Wait follows the run's event stream to its terminal status — the
+// push-based alternative to polling Status. The returned status carries
+// the result (and metrics bundle) for done runs.
+func (c *Client) Wait(ctx context.Context, id string) (RunStatus, error) {
+	var final RunStatus
+	var got bool
+	err := c.Stream(ctx, id, func(ev Event) bool {
+		if ev.Name != "result" && ev.Name != "error" {
+			return true
+		}
+		got = json.Unmarshal(ev.Data, &final) == nil
+		return false
+	})
+	if err != nil {
+		return final, err
+	}
+	if !got {
+		return final, fmt.Errorf("event stream for %s ended without a terminal event", id)
+	}
+	return final, nil
+}
+
+// Metrics scrapes the server's /metrics endpoint.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimRight(c.BaseURL, "/")+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("metrics scrape: %s", resp.Status)
+	}
+	return string(b), nil
+}
+
+// Healthy reports whether the server answers /healthz within timeout —
+// the startup probe scripts and tests poll.
+func (c *Client) Healthy(timeout time.Duration) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimRight(c.BaseURL, "/")+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}

@@ -1,0 +1,167 @@
+package service
+
+import (
+	"io"
+	"sync"
+	"time"
+
+	"rofs/internal/metrics"
+	"rofs/internal/runner"
+)
+
+// latencyBoundsMS are the wall-time histogram buckets (log-spaced, ms).
+var latencyBoundsMS = []float64{
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500,
+	1000, 2500, 5000, 10_000, 30_000, 60_000, 300_000,
+}
+
+// serverMetrics is the server-level observability registry: HTTP request
+// counters and latency histograms, admission gauges, run-disposition
+// counters, and a scrape-time mirror of the pool's saturation stats. The
+// registry handles are not concurrency-safe on their own, so every
+// update and the export itself go through one mutex.
+type serverMetrics struct {
+	mu  sync.Mutex
+	reg *metrics.Registry
+
+	queueDepth *metrics.Gauge
+	inFlight   *metrics.Gauge
+	inFlightN  int
+
+	admitted, rejected *metrics.Counter
+	done, failed       *metrics.Counter
+	canceled, cached   *metrics.Counter
+
+	queueWaitMS *metrics.Hist
+	runWallMS   *metrics.Hist
+
+	requests  map[string]*metrics.Counter
+	latencies map[string]*metrics.Hist
+
+	// Pool mirror: gauges copied and counters delta-advanced from
+	// runner.Stats at scrape time, so the pool's own handles stay free
+	// for single-threaded users and no lock is shared with the hot path.
+	poolQueue, poolInFlight               *metrics.Gauge
+	poolPeakQueue, poolPeakInFlight       *metrics.Gauge
+	poolSubmitted, poolCached, poolFailed *metrics.Counter
+	lastPool                              runner.Stats
+
+	started time.Time
+	uptime  *metrics.Gauge
+}
+
+func newServerMetrics() *serverMetrics {
+	reg := metrics.New(metrics.DefaultIntervalMS)
+	reg.SetLabel("component", "rofs-server")
+	return &serverMetrics{
+		reg:              reg,
+		queueDepth:       reg.Gauge("service.queue_depth"),
+		inFlight:         reg.Gauge("service.in_flight"),
+		admitted:         reg.Counter("service.runs_admitted"),
+		rejected:         reg.Counter("service.runs_rejected"),
+		done:             reg.Counter("service.runs_done"),
+		failed:           reg.Counter("service.runs_failed"),
+		canceled:         reg.Counter("service.runs_canceled"),
+		cached:           reg.Counter("service.runs_cached"),
+		queueWaitMS:      reg.Histogram("service.queue_wait_ms", latencyBoundsMS),
+		runWallMS:        reg.Histogram("service.run_wall_ms", latencyBoundsMS),
+		requests:         make(map[string]*metrics.Counter),
+		latencies:        make(map[string]*metrics.Hist),
+		poolQueue:        reg.Gauge("pool.queue_depth"),
+		poolInFlight:     reg.Gauge("pool.in_flight"),
+		poolPeakQueue:    reg.Gauge("pool.peak_queue_depth"),
+		poolPeakInFlight: reg.Gauge("pool.peak_in_flight"),
+		poolSubmitted:    reg.Counter("pool.runs_submitted"),
+		poolCached:       reg.Counter("pool.runs_cached"),
+		poolFailed:       reg.Counter("pool.runs_failed"),
+		started:          time.Now(),
+		uptime:           reg.Gauge("service.uptime_seconds"),
+	}
+}
+
+// observeRequest records one finished HTTP request on the route's
+// counter and latency histogram (created on first use).
+func (m *serverMetrics) observeRequest(route string, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.requests[route]
+	if !ok {
+		c = m.reg.Counter("service.http_requests." + route)
+		m.requests[route] = c
+	}
+	h, ok := m.latencies[route]
+	if !ok {
+		h = m.reg.Histogram("service.request_latency_ms."+route, latencyBoundsMS)
+		m.latencies[route] = h
+	}
+	c.Inc()
+	h.Observe(float64(d) / float64(time.Millisecond))
+}
+
+func (m *serverMetrics) setQueueDepth(n int) {
+	m.mu.Lock()
+	m.queueDepth.Set(float64(n))
+	m.mu.Unlock()
+}
+
+func (m *serverMetrics) addInFlight(delta int) {
+	m.mu.Lock()
+	m.inFlightN += delta
+	m.inFlight.Set(float64(m.inFlightN))
+	m.mu.Unlock()
+}
+
+func (m *serverMetrics) observeQueueWait(d time.Duration) {
+	m.mu.Lock()
+	m.queueWaitMS.Observe(float64(d) / float64(time.Millisecond))
+	m.mu.Unlock()
+}
+
+func (m *serverMetrics) countAdmitted() {
+	m.mu.Lock()
+	m.admitted.Inc()
+	m.mu.Unlock()
+}
+
+func (m *serverMetrics) countRejected() {
+	m.mu.Lock()
+	m.rejected.Inc()
+	m.mu.Unlock()
+}
+
+// countFinished records a run's terminal disposition.
+func (m *serverMetrics) countFinished(state string, res runner.Result) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch state {
+	case StateDone:
+		m.done.Inc()
+	case StateCanceled:
+		m.canceled.Inc()
+	default:
+		m.failed.Inc()
+	}
+	if res.Cached {
+		m.cached.Inc()
+	}
+	if res.Err == nil {
+		m.runWallMS.Observe(res.Wall.Seconds() * 1000)
+	}
+}
+
+// write syncs the pool mirror and uptime, then renders the registry in
+// Prometheus text exposition format.
+func (m *serverMetrics) write(w io.Writer, ps runner.Stats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.poolQueue.Set(float64(ps.QueueDepth))
+	m.poolInFlight.Set(float64(ps.InFlight))
+	m.poolPeakQueue.Set(float64(ps.PeakQueueDepth))
+	m.poolPeakInFlight.Set(float64(ps.PeakInFlight))
+	m.poolSubmitted.Add(ps.Submitted - m.lastPool.Submitted)
+	m.poolCached.Add(ps.Cached - m.lastPool.Cached)
+	m.poolFailed.Add(ps.Failed - m.lastPool.Failed)
+	m.lastPool = ps
+	m.uptime.Set(time.Since(m.started).Seconds())
+	m.reg.Write(w, metrics.Prometheus)
+}

@@ -1,0 +1,73 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"time"
+
+	"rofs/internal/core"
+	"rofs/internal/metrics"
+	"rofs/internal/runner"
+)
+
+// run is one submitted simulation's server-side record. Mutable fields
+// are guarded by the owning Server's mu; done closes exactly once when
+// the run reaches a terminal state, which is how SSE streams and ?wait=1
+// submissions learn the result without polling.
+type run struct {
+	id   string
+	spec runner.Spec
+
+	state   string
+	err     string
+	result  *RunResult
+	seq     int // admission order, for queue positions
+	started time.Time
+
+	// cancel aborts the run's context: queued runs fail admission,
+	// in-flight simulations stop at the next Config.Cancel poll.
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// status renders the run's public document. Caller holds s.mu.
+func (r *run) status(queuePos int) RunStatus {
+	st := RunStatus{ID: r.id, Label: r.spec.Label(), State: r.state, Error: r.err}
+	if r.state == StateQueued {
+		st.Position = queuePos
+	}
+	if r.state == StateDone {
+		st.Result = r.result
+	}
+	return st
+}
+
+// newRunResult converts a pool Result into the wire payload, rendering
+// the metrics registry (if any) as its canonical JSON bundle. It is the
+// single encoding path for HTTP responses, SSE events, and the
+// byte-identical end-to-end test.
+func newRunResult(res runner.Result) (*RunResult, error) {
+	out := &RunResult{
+		Test:        res.Spec.Kind.String(),
+		Stats:       res.Outcome.Stats,
+		WallSeconds: res.Wall.Seconds(),
+		Cached:      res.Cached,
+	}
+	switch res.Spec.Kind {
+	case core.Allocation, core.AllocationRealloc:
+		frag := res.Outcome.Frag
+		out.Frag = &frag
+	default:
+		perf := res.Outcome.Perf
+		out.Perf = &perf
+	}
+	if reg := res.Outcome.Metrics; reg != nil {
+		var buf bytes.Buffer
+		if err := reg.Write(&buf, metrics.JSON); err != nil {
+			return nil, fmt.Errorf("encode metrics bundle: %w", err)
+		}
+		out.Metrics = buf.Bytes()
+	}
+	return out, nil
+}

@@ -1,0 +1,58 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// writeSSE emits one server-sent event with a JSON payload and flushes
+// it down the wire. json.Marshal escapes newlines, so the payload always
+// fits one data: line.
+func writeSSE(w io.Writer, f http.Flusher, event string, data any) error {
+	b, err := json.Marshal(data)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b); err != nil {
+		return err
+	}
+	f.Flush()
+	return nil
+}
+
+// Event is one decoded server-sent event, as produced by ReadSSE.
+type Event struct {
+	Name string
+	Data []byte
+}
+
+// ReadSSE decodes a text/event-stream body, calling fn for each event
+// until the stream ends, fn returns false, or a read fails. It exists
+// for rofs-client and the end-to-end tests; it implements the subset of
+// the SSE grammar the server emits (event: + single data: line).
+func ReadSSE(r io.Reader, fn func(ev Event) bool) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024) // metrics bundles are large
+	var ev Event
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if ev.Name != "" || len(ev.Data) > 0 {
+				if !fn(ev) {
+					return nil
+				}
+			}
+			ev = Event{}
+		case strings.HasPrefix(line, "event:"):
+			ev.Name = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		case strings.HasPrefix(line, "data:"):
+			ev.Data = append(ev.Data, strings.TrimSpace(strings.TrimPrefix(line, "data:"))...)
+		}
+	}
+	return sc.Err()
+}

@@ -32,12 +32,19 @@ func NewThroughputTracker(windowMS, maxBytesPerMS, tolerancePct float64, needWin
 	if windowMS <= 0 || maxBytesPerMS <= 0 || needWindows < 2 {
 		panic("stats: invalid throughput tracker parameters")
 	}
+	// The ring is appended to as windows actually elapse, so cap the
+	// eager allocation: a huge needWindows (the "never stabilize, run to
+	// the simulated-time cap" idiom) must not preallocate gigabytes.
+	preallocate := needWindows
+	if preallocate > 64 {
+		preallocate = 64
+	}
 	return &ThroughputTracker{
 		windowMS:   windowMS,
 		maxBytesMS: maxBytesPerMS,
 		tolerance:  tolerancePct,
 		need:       needWindows,
-		recent:     make([]float64, 0, needWindows),
+		recent:     make([]float64, 0, preallocate),
 	}
 }
 
