@@ -38,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"rofs/internal/fault"
 	"rofs/internal/report"
 	"rofs/internal/service"
 	"rofs/internal/units"
@@ -81,6 +82,9 @@ func main() {
 		stripeFlag  = fs.String("stripe", "", "override stripe unit, e.g. 24K")
 		maxSimFlag  = fs.Float64("max-sim", 0, "override simulated-time cap (ms)")
 		timeoutFlag = fs.Duration("timeout", 0, "server-side wall-time cap for the run (e.g. 2m)")
+
+		// fault-scenario knobs, forwarded as the request's faults object
+		faultFlags = fault.AddFlags(fs)
 	)
 	fs.Parse(args)
 
@@ -125,6 +129,12 @@ func main() {
 	}
 	if *timeoutFlag > 0 {
 		req.TimeoutMS = float64(*timeoutFlag) / float64(time.Millisecond)
+	}
+	if faults := faultFlags.Scenario(); faults.Enabled() {
+		if err := faults.Validate(); err != nil {
+			fatal("%v", err)
+		}
+		req.Faults = &faults
 	}
 
 	switch cmd {
@@ -234,6 +244,20 @@ func renderStatus(st service.RunStatus) {
 		t.AddRow(fmt.Sprintf("%.6f", p.Percent), p.Stable, fmt.Sprintf("%.2f", p.MeanLatencyMS),
 			fmt.Sprintf("%.0f", p.P95LatencyMS), p.Ops, units.Format(p.Bytes))
 		t.Render(os.Stdout)
+		if fr := p.Faults; fr != nil {
+			ft := report.NewTable("Fault report",
+				"DriveFails", "Transient", "Retries", "Permanent", "Degraded (s)", "Rebuilt")
+			rebuilt := "-"
+			switch {
+			case fr.Rebuilds > 0:
+				rebuilt = units.Format(fr.RebuildBytes)
+			case fr.DegradedAtEnd:
+				rebuilt = "incomplete"
+			}
+			ft.AddRow(fr.DriveFailures, fr.TransientErrors, fr.Retries, fr.PermanentErrors,
+				fmt.Sprintf("%.1f", fr.DegradedMS/1000), rebuilt)
+			ft.Render(os.Stdout)
+		}
 	case st.Error != "":
 		fmt.Printf("%s  %s  state=%s: %s\n", st.ID, st.Label, st.State, st.Error)
 	default:

@@ -4,12 +4,17 @@
 //
 // Sweepable parameters:
 //
-//	seed     re-run the same configuration under different seeds
-//	users    scale every file type's user count
-//	stripe   stripe-unit size (bytes, powers of the base value)
-//	disks    number of drives
-//	grow     restricted buddy grow factor (fractional values allowed)
-//	sizes    restricted buddy block-size count (2-5)
+//	seed           re-run the same configuration under different seeds
+//	users          scale every file type's user count
+//	stripe         stripe-unit size (bytes, powers of the base value)
+//	disks          number of drives
+//	grow           restricted buddy grow factor (fractional values allowed)
+//	sizes          restricted buddy block-size count (2-5)
+//	rebuild-pause  fault: rebuild throttle pause between chunks (ms)
+//
+// The fault-scenario flags (-fail-at, -mttf, -transient, -rebuild, ...)
+// apply to every sweep point, so a degraded-mode sweep is any ordinary
+// sweep with a scenario attached.
 //
 // Examples:
 //
@@ -17,6 +22,8 @@
 //	rofs-sweep -param stripe -values 8192,24576,98304 -workload SC -test seq
 //	rofs-sweep -param grow -values 1,1.5,2 -workload TS -test alloc
 //	rofs-sweep -param users -values 8,16,32,64 -workload TP -test app -scale full -jobs 4
+//	rofs-sweep -param rebuild-pause -values 0,5,20,100 -workload TS -test app \
+//	  -layout raid5 -disks 4 -fail-at 20000 -rebuild
 package main
 
 import (
@@ -32,7 +39,9 @@ import (
 	"syscall"
 
 	"rofs/internal/core"
+	"rofs/internal/disk"
 	"rofs/internal/experiments"
+	"rofs/internal/fault"
 	"rofs/internal/metrics"
 	"rofs/internal/prof"
 	"rofs/internal/report"
@@ -47,6 +56,8 @@ func main() {
 		workloadFlag = flag.String("workload", "TP", "TS | TP | SC")
 		testFlag     = flag.String("test", "app", "alloc | app | seq")
 		scaleFlag    = flag.String("scale", "bench", "full | bench")
+		layoutFlag   = flag.String("layout", "striped", "striped | mirrored | raid5 | parity")
+		disksFlag    = flag.Int("disks", 0, "override number of drives (fixed across the sweep)")
 		csvFlag      = flag.Bool("csv", true, "emit CSV (false: aligned table)")
 		summaryFlag  = flag.Bool("summary", false, "append mean ± 95% CI rows per metric (useful with -param seed)")
 		jobsFlag     = flag.Int("jobs", runtime.GOMAXPROCS(0), "maximum simulations running at once")
@@ -59,6 +70,9 @@ func main() {
 		cpuProfFlag  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfFlag  = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 		execTraceFlg = flag.String("exectrace", "", "write a runtime execution trace to this file")
+
+		// fault-scenario knobs, applied to every sweep point
+		faultFlags = fault.AddFlags(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -88,12 +102,33 @@ func main() {
 		fatal("unknown scale %q", *scaleFlag)
 	}
 
+	if *disksFlag > 0 {
+		sc.Disk.NDisks = *disksFlag
+	}
+	switch *layoutFlag {
+	case "striped":
+		sc.Disk.Layout = disk.Striped
+	case "mirrored":
+		sc.Disk.Layout = disk.Mirrored
+	case "raid5":
+		sc.Disk.Layout = disk.RAID5
+	case "parity":
+		sc.Disk.Layout = disk.ParityStriped
+	default:
+		fatal("unknown layout %q", *layoutFlag)
+	}
+
 	kind, err := parseTest(*testFlag)
 	if err != nil {
 		fatal("%v", err)
 	}
 
-	specs, err := buildSpecs(sc, *paramFlag, *workloadFlag, kind, values)
+	faults := faultFlags.Scenario()
+	if err := faults.Validate(); err != nil {
+		fatal("%v", err)
+	}
+
+	specs, err := buildSpecs(sc, *paramFlag, *workloadFlag, kind, values, faults)
 	if err != nil {
 		fatal("%v", err)
 	}
@@ -237,10 +272,11 @@ func asInt(param string, v float64) (int64, error) {
 }
 
 // buildSpecs declares one Spec per sweep value for the given parameter.
-func buildSpecs(sc experiments.Scale, param, wlName string, kind core.TestKind, values []float64) ([]runner.Spec, error) {
+func buildSpecs(sc experiments.Scale, param, wlName string, kind core.TestKind, values []float64, faults fault.Scenario) ([]runner.Spec, error) {
 	specs := make([]runner.Spec, 0, len(values))
 	for _, v := range values {
 		pt := sc
+		fl := faults
 		policy := core.RBuddy(5, 1, true)
 		wl, err := pt.Workload(wlName)
 		if err != nil {
@@ -281,11 +317,20 @@ func buildSpecs(sc experiments.Scale, param, wlName string, kind core.TestKind, 
 				return nil, err
 			}
 			policy = core.RBuddy(int(n), 1, true)
+		case "rebuild-pause":
+			if !fl.Enabled() || !fl.Rebuild {
+				return nil, fmt.Errorf("parameter %q needs a rebuild scenario (-fail-at or -mttf, plus -rebuild)", param)
+			}
+			if v < 0 {
+				return nil, fmt.Errorf("parameter %q needs values >= 0, got %g", param, v)
+			}
+			fl.RebuildPauseMS = v
 		default:
 			return nil, fmt.Errorf("unknown parameter %q", param)
 		}
 		sp := pt.Spec(policy, wl, kind)
 		sp.Name = fmt.Sprintf("%s=%s %s/%s/%s", param, formatValue(v), policy.Name(), wl.Name, kind)
+		sp.Faults = fl
 		specs = append(specs, sp)
 	}
 	return specs, nil

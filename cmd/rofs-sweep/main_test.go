@@ -6,6 +6,7 @@ import (
 
 	"rofs/internal/core"
 	"rofs/internal/experiments"
+	"rofs/internal/fault"
 )
 
 func TestParseValuesAcceptsFractions(t *testing.T) {
@@ -29,7 +30,7 @@ func TestParseValuesAcceptsFractions(t *testing.T) {
 
 func TestBuildSpecsGrowFraction(t *testing.T) {
 	sc := experiments.BenchScale()
-	specs, err := buildSpecs(sc, "grow", "TS", core.Allocation, []float64{1, 1.5, 2})
+	specs, err := buildSpecs(sc, "grow", "TS", core.Allocation, []float64{1, 1.5, 2}, fault.Scenario{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,12 +48,12 @@ func TestBuildSpecsGrowFraction(t *testing.T) {
 func TestBuildSpecsRejectsFractionalIntParams(t *testing.T) {
 	sc := experiments.BenchScale()
 	for _, param := range []string{"seed", "users", "stripe", "disks", "sizes"} {
-		if _, err := buildSpecs(sc, param, "TP", core.Application, []float64{1.5}); err == nil {
+		if _, err := buildSpecs(sc, param, "TP", core.Application, []float64{1.5}, fault.Scenario{}); err == nil {
 			t.Errorf("parameter %q accepted a fractional value", param)
 		}
 	}
 	// Integer-valued floats convert cleanly.
-	specs, err := buildSpecs(sc, "seed", "TP", core.Application, []float64{7})
+	specs, err := buildSpecs(sc, "seed", "TP", core.Application, []float64{7}, fault.Scenario{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,9 +62,42 @@ func TestBuildSpecsRejectsFractionalIntParams(t *testing.T) {
 	}
 }
 
+func TestBuildSpecsRebuildPauseSweep(t *testing.T) {
+	sc := experiments.BenchScale()
+	// rebuild-pause without a rebuild scenario is an error.
+	if _, err := buildSpecs(sc, "rebuild-pause", "TS", core.Application, []float64{0, 50}, fault.Scenario{}); err == nil {
+		t.Error("rebuild-pause sweep accepted without a fault scenario")
+	}
+	faults := fault.Scenario{FailAtMS: 1000, Rebuild: true}
+	specs, err := buildSpecs(sc, "rebuild-pause", "TS", core.Application, []float64{0, 50}, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if specs[0].Faults.RebuildPauseMS != 0 || specs[1].Faults.RebuildPauseMS != 50 {
+		t.Errorf("pause not applied: %g, %g", specs[0].Faults.RebuildPauseMS, specs[1].Faults.RebuildPauseMS)
+	}
+	if specs[0].Key() == specs[1].Key() {
+		t.Error("different rebuild pauses share a key")
+	}
+}
+
+func TestBuildSpecsAttachScenario(t *testing.T) {
+	sc := experiments.BenchScale()
+	faults := fault.Scenario{FailAtMS: 2000, TransientProb: 0.01}
+	specs, err := buildSpecs(sc, "seed", "TP", core.Application, []float64{1, 2}, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sp := range specs {
+		if sp.Faults != faults {
+			t.Errorf("spec %d lost the fault scenario: %+v", i, sp.Faults)
+		}
+	}
+}
+
 func TestBuildSpecsVariesOnlyTheParameter(t *testing.T) {
 	sc := experiments.BenchScale()
-	specs, err := buildSpecs(sc, "users", "TP", core.Application, []float64{8, 16})
+	specs, err := buildSpecs(sc, "users", "TP", core.Application, []float64{8, 16}, fault.Scenario{})
 	if err != nil {
 		t.Fatal(err)
 	}

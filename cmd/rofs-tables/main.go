@@ -21,6 +21,7 @@ import (
 
 	"rofs/internal/disk"
 	"rofs/internal/experiments"
+	"rofs/internal/fault"
 	"rofs/internal/metrics"
 	"rofs/internal/prof"
 	"rofs/internal/report"
@@ -56,12 +57,17 @@ func experimentRegistry() (map[string]expFunc, []string) {
 		"meta":    metadataTable,
 		"skew":    ablationSkew,
 		"aging":   ablationAging,
+		"faults":  faultTable,
 	}
 	order := []string{"table1", "table2", "table3", "fig1", "fig2", "fig3", "fig4", "fig5",
 		"table4", "fig6", "raid", "stripe", "mix", "cluster", "sched", "realloc", "meta",
-		"skew", "aging"}
+		"skew", "aging", "faults"}
 	return all, order
 }
+
+// tableFaults is the scenario the `faults` experiment runs, set from the
+// fault flags in main (zero: experiments.DefaultFaultScenario).
+var tableFaults fault.Scenario
 
 // progress prints one per-run line to stderr as results land.
 func progress(_ int, r runner.Result) {
@@ -81,7 +87,7 @@ func progress(_ int, r runner.Result) {
 
 func main() {
 	var (
-		expFlag     = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,fig1,fig2,fig3,fig4,fig5,table4,fig6,raid,stripe,mix,cluster, or all")
+		expFlag     = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,fig1,fig2,fig3,fig4,fig5,table4,fig6,raid,stripe,mix,cluster,sched,realloc,meta,skew,aging,faults, or all")
 		scaleFlag   = flag.String("scale", "bench", "full (the paper's 8-drive 2.8G array) or bench (reduced)")
 		seedFlag    = flag.Int64("seed", 42, "simulation seed")
 		jobsFlag    = flag.Int("jobs", runtime.GOMAXPROCS(0), "maximum simulations running at once")
@@ -94,8 +100,17 @@ func main() {
 		cpuProfFlag  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfFlag  = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 		execTraceFlg = flag.String("exectrace", "", "write a runtime execution trace to this file")
+
+		// Scenario knobs for the `faults` experiment (all other experiments
+		// run fault-free; zero flags select the default scenario).
+		faultFlags = fault.AddFlags(flag.CommandLine)
 	)
 	flag.Parse()
+	tableFaults = faultFlags.Scenario()
+	if err := tableFaults.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "rofs-tables: %v\n", err)
+		os.Exit(2)
+	}
 
 	stopProf, err := prof.Start(prof.Flags{CPUProfile: *cpuProfFlag, MemProfile: *memProfFlag, Trace: *execTraceFlg})
 	if err != nil {
@@ -533,6 +548,28 @@ func ablationAging(ctx context.Context, pool *runner.Pool, sc experiments.Scale)
 		t.AddRow(c.Policy, c.SeqPct, c.AppPct)
 	}
 	t.Render(os.Stdout)
+	return nil
+}
+
+func faultTable(ctx context.Context, pool *runner.Pool, sc experiments.Scale) error {
+	for _, wl := range []string{"TP", "TS"} {
+		cells, err := experiments.FaultTable(ctx, pool, sc, wl, tableFaults)
+		if err != nil {
+			return err
+		}
+		t := report.NewTable(fmt.Sprintf("Fault injection (%s): RAID-5 throughput, healthy vs failure+rebuild", wl),
+			"Policy", "Healthy%", "Faulted%", "Degraded (s)", "Rebuilt", "Transient", "Retries", "Permanent")
+		for _, c := range cells {
+			rebuilt := "incomplete"
+			if c.RebuildDone {
+				rebuilt = units.Format(c.RebuildBytes)
+			}
+			t.AddRow(c.Policy, c.HealthyPct, c.FaultedPct,
+				fmt.Sprintf("%.1f", c.DegradedMS/1000), rebuilt,
+				c.TransientErrors, c.Retries, c.PermanentErrors)
+		}
+		t.Render(os.Stdout)
+	}
 	return nil
 }
 

@@ -21,6 +21,7 @@ import (
 	"rofs/internal/core"
 	"rofs/internal/disk"
 	"rofs/internal/experiments"
+	"rofs/internal/fault"
 	"rofs/internal/metrics"
 	"rofs/internal/prof"
 	"rofs/internal/units"
@@ -68,6 +69,9 @@ func main() {
 		cpuProfFlag  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfFlag  = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 		execTraceFlg = flag.String("exectrace", "", "write a runtime execution trace to this file")
+
+		// fault-scenario knobs (see EXPERIMENTS.md "Fault injection")
+		faultFlags = fault.AddFlags(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -166,6 +170,10 @@ func main() {
 	}
 
 	cfg := sc.Config(spec, wl)
+	cfg.Faults = faultFlags.Scenario()
+	if err := cfg.Faults.Validate(); err != nil {
+		fatal("%v", err)
+	}
 	if *traceFlag != "" {
 		tf, err := os.Create(*traceFlag)
 		if err != nil {
@@ -219,6 +227,24 @@ func main() {
 			res.MeanLatencyMS, res.P95LatencyMS)
 		if res.AllocFails > 0 {
 			fmt.Fprintf(rpt, "  disk-full conditions logged: %d\n", res.AllocFails)
+		}
+		if fr := res.Faults; fr != nil {
+			fmt.Fprintf(rpt, "  faults:       %d drive failure(s), %d transient error(s), %d retries, %d permanent\n",
+				fr.DriveFailures, fr.TransientErrors, fr.Retries, fr.PermanentErrors)
+			if fr.DegradedMS > 0 {
+				fmt.Fprintf(rpt, "  degraded:     %.1f s of simulated time\n", fr.DegradedMS/1000)
+			}
+			switch {
+			case fr.Rebuilds > 0:
+				fmt.Fprintf(rpt, "  rebuild completed: %.1f s after failure (%s reconstructed)\n",
+					fr.RebuildMS/1000, units.Format(fr.RebuildBytes))
+			case fr.DegradedAtEnd:
+				fmt.Fprintf(rpt, "  rebuild incomplete: still degraded at end of run\n")
+			}
+			if fr.RetriedOps > 0 {
+				fmt.Fprintf(rpt, "  retry delay:  p50 <= %.0f ms, p95 <= %.0f ms over %d retried requests\n",
+					fr.RetryP50MS, fr.RetryP95MS, fr.RetriedOps)
+			}
 		}
 	default:
 		fatal("unknown test %q", *testFlag)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"rofs/internal/fault"
 	"rofs/internal/fs"
 )
 
@@ -54,6 +55,10 @@ type PerfResult struct {
 	// §2.2 bounds keep it inside [LowerUtil, UpperUtil] plus at most one
 	// allocation granule of overshoot.
 	FinalUtilization float64
+	// Faults is the run's fault report — failures, degraded time, rebuild
+	// progress, retries — present only when Config.Faults was enabled, so
+	// fault-free results serialize exactly as before.
+	Faults *fault.Report `json:",omitempty"`
 }
 
 // RunAllocation performs the allocation test: initialization, then only
@@ -211,6 +216,9 @@ func (s *session) perf() (PerfResult, error) {
 	res.MeanLatencyMS = s.latency.Mean()
 	res.P95LatencyMS = s.latencyH.Quantile(0.95)
 	res.FinalUtilization = s.fsys.Utilization()
+	if s.inj != nil {
+		res.Faults = s.inj.Report(end)
+	}
 	if err := s.fsys.Check(); err != nil {
 		return res, fmt.Errorf("core: post-run fsck: %w", err)
 	}

@@ -46,6 +46,23 @@ func (s *session) wireMetrics(kind testKind) {
 	reg.TimelineFunc("frag.external_pct", s.fsys.ExternalFragPct)
 	reg.TimelineFunc("frag.utilization", s.fsys.Utilization)
 
+	// Fault timelines, only when a scenario is armed — fault-free bundles
+	// keep their pre-fault series set.
+	if s.inj != nil {
+		reg.TimelineFunc("fault.degraded", func() float64 {
+			if s.dsys.Degraded() {
+				return 1
+			}
+			return 0
+		})
+		reg.TimelineFunc("fault.rebuilding", func() float64 {
+			if s.dsys.Rebuilding() {
+				return 1
+			}
+			return 0
+		})
+	}
+
 	// Per-drive queue depth and utilization (busy time over elapsed time).
 	// One shared StatsInto buffer keeps the per-sample cost to a single
 	// bounded refill.
@@ -134,6 +151,18 @@ func (s *session) finalizeMetrics() {
 	reg.Gauge("workload.types").Set(types)
 
 	reg.Gauge("core.ops_total").Set(float64(s.ops))
+
+	if s.inj != nil {
+		fst := s.dsys.FaultStats(s.eng.Now())
+		reg.Gauge("fault.drive_failures").Set(float64(fst.DriveFailures))
+		reg.Gauge("fault.transient_errors").Set(float64(fst.TransientErrors))
+		reg.Gauge("fault.rebuild_bytes").Set(float64(fst.RebuildBytes))
+		reg.Gauge("fault.rebuild_segments").Set(float64(fst.RebuildSegments))
+		reg.Gauge("fault.degraded_ms").Set(fst.DegradedMS)
+		rst := s.fsys.RetryStats()
+		reg.Gauge("fault.retries").Set(float64(rst.Retries))
+		reg.Gauge("fault.permanent_errors").Set(float64(rst.PermanentErrors))
+	}
 
 	// A final sample closes every timeline at the run's end time, so a run
 	// shorter than one interval still exports non-empty series.

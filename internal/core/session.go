@@ -7,6 +7,7 @@ import (
 	"math/rand"
 
 	"rofs/internal/disk"
+	"rofs/internal/fault"
 	"rofs/internal/fs"
 	"rofs/internal/metrics"
 	"rofs/internal/sim"
@@ -61,6 +62,14 @@ type Config struct {
 	// reconstruct from the survivors, writes update parity alone.
 	Degraded bool
 
+	// Faults, when enabled, injects the declared fault scenario into the
+	// run: seeded drive failures, transient media errors, hot-spare
+	// rebuild, and bounded retry-with-backoff (see internal/fault). It
+	// applies to the timing tests only — the allocation test measures
+	// space, not time, and ignores it. The fault RNG is dedicated, so
+	// enabling faults never perturbs the workload's draw sequence.
+	Faults fault.Scenario
+
 	// Cancel, when non-nil, is polled between operations: once it is
 	// closed the run stops early and reports ErrCanceled. It is how the
 	// runner's pool propagates context cancellation and timeouts into a
@@ -76,6 +85,9 @@ func (c *Config) setDefaults() error {
 		return err
 	}
 	if err := c.Workload.Validate(); err != nil {
+		return err
+	}
+	if err := c.Faults.Validate(); err != nil {
 		return err
 	}
 	if c.LowerUtil == 0 {
@@ -136,6 +148,7 @@ type session struct {
 	rng  *sim.RNG
 	dsys *disk.System
 	fsys *fs.FileSystem
+	inj  *fault.Injector // nil unless Config.Faults is enabled
 
 	types   []*typeState
 	tracker *stats.ThroughputTracker
@@ -255,6 +268,13 @@ func newSession(cfg Config, kind testKind) (*session, error) {
 		return nil, err
 	}
 	s.fsys = fsys
+	if cfg.Faults.Enabled() && kind != allocationTest {
+		inj, err := fault.NewInjector(cfg.Faults, cfg.Seed, dsys, fsys)
+		if err != nil {
+			return nil, err
+		}
+		s.inj = inj
+	}
 	s.wireMetrics(kind)
 	s.startMetricsTick()
 	return s, nil

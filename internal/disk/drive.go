@@ -60,6 +60,12 @@ type segment struct {
 	extraRotations int
 	enqueueMS      float64  // when the segment joined its drive's queue
 	req            *pending // the request this segment is part of
+	// diskFailed marks the in-flight segment of a drive that failed
+	// mid-service (FailDriveNow): its request completes on the failure
+	// path. A per-segment flag rather than a live check against the failed
+	// drive index, so rebuild writes to the spare in the same slot are
+	// unaffected.
+	diskFailed bool
 }
 
 // rotPos returns the angular position of the platter at absolute time t,

@@ -181,6 +181,12 @@ type Request struct {
 	Runs  []Run
 	Write bool
 	Done  func(now float64)
+	// Fail fires instead of Done when any of the request's segments failed
+	// — a transient media error or a mid-run drive failure. Only possible
+	// on a system armed with ArmFaults; with Fail nil a failed request
+	// falls back to Done (the caller cannot distinguish, but the operation
+	// stream continues).
+	Fail func(now float64)
 }
 
 // Bytes returns the request's total payload given the system's unit size.
@@ -209,13 +215,22 @@ type System struct {
 	spanTrace SpanTrace
 
 	// Metrics handles (nil when metrics are disabled; see SetMetrics).
-	mRequests  *metrics.Counter
-	mBytes     *metrics.Counter
-	mSegments  *metrics.Counter
-	mLatency   *metrics.Hist
-	mQueueWait *metrics.Hist
+	mRequests      *metrics.Counter
+	mBytes         *metrics.Counter
+	mSegments      *metrics.Counter
+	mLatency       *metrics.Hist
+	mQueueWait     *metrics.Hist
+	mTransient     *metrics.Counter
+	mDriveFailures *metrics.Counter
+	mRebuildBytes  *metrics.Counter
 
 	failed int // index of the failed drive, or -1
+
+	// flt is the armed fault machinery (fault.go), nil on a healthy
+	// system; usablePerDrive is the addressable byte span of each drive,
+	// the space a rebuild reconstructs.
+	flt            *faultState
+	usablePerDrive int64
 
 	// Request decomposition and completion recycle through these buffers:
 	// segScratch and lastSeg are the per-Submit working set (the disk
@@ -230,12 +245,18 @@ type System struct {
 
 // pending tracks one in-flight request's completion: segments left to
 // finish, the payload to credit, the submission time (for request latency),
-// and the caller's Done.
+// and the caller's Done. failed marks a request poisoned by a transient
+// error or drive failure (it completes on the fail path and credits
+// nothing); internal marks rebuild I/O, which skips request accounting
+// entirely.
 type pending struct {
 	remaining int
 	payload   int64
 	submitMS  float64
 	done      func(now float64)
+	fail      func(now float64)
+	failed    bool
+	internal  bool
 }
 
 // SegmentTrace observes every segment as a drive begins servicing it.
@@ -284,6 +305,9 @@ func (s *System) SetMetrics(reg *metrics.Registry) {
 	s.mSegments = reg.Counter("disk.segments")
 	s.mLatency = reg.Histogram("disk.request_latency_ms", latencyBoundsMS)
 	s.mQueueWait = reg.Histogram("disk.queue_wait_ms", latencyBoundsMS)
+	s.mTransient = reg.Counter("disk.transient_errors")
+	s.mDriveFailures = reg.Counter("disk.drive_failures")
+	s.mRebuildBytes = reg.Counter("disk.rebuild_bytes")
 }
 
 // New builds a disk system attached to the given engine.
@@ -311,6 +335,7 @@ func New(cfg Config, eng *sim.Engine) (*System, error) {
 	if usable == 0 {
 		return nil, fmt.Errorf("disk: stripe unit %d larger than a drive", cfg.StripeUnitBytes)
 	}
+	s.usablePerDrive = usable
 	switch cfg.Layout {
 	case Striped:
 		s.dataBytes = usable * int64(cfg.NDisks)
@@ -490,6 +515,7 @@ func (s *System) Submit(req *Request) {
 		return
 	}
 	p := s.newPending(len(segs), payload, req.Done)
+	p.fail = req.Fail
 	p.submitMS = s.eng.Now()
 	for _, sg := range segs {
 		sg.seg.req = p
@@ -537,6 +563,7 @@ func (s *System) newPending(remaining int, payload int64, done func(now float64)
 // releasePending returns a completion record to the free list.
 func (s *System) releasePending(p *pending) {
 	p.done = nil
+	p.fail = nil
 	s.pendFree = append(s.pendFree, p)
 }
 
@@ -839,23 +866,65 @@ func (s *System) complete(d *drive, now float64) {
 	seg := d.cur
 	d.cur = nil
 	p := seg.req
+	if s.flt != nil {
+		// The fault paths: a segment serviced by a drive that failed
+		// mid-service poisons its request, and a foreground segment draws
+		// a transient-error outcome from the dedicated fault RNG. Rebuild
+		// I/O (internal) is assumed verified and never glitches.
+		if seg.diskFailed {
+			p.failed = true
+		} else if !p.internal && s.flt.cfg.TransientProb > 0 &&
+			s.flt.cfg.RNG.Float64() < s.flt.cfg.TransientProb {
+			p.failed = true
+			s.flt.transientErrors++
+			s.mTransient.Inc()
+		}
+	}
 	s.releaseSegment(seg)
+	s.segmentDone(p, now)
+	if len(d.queue) > 0 {
+		s.start(d, s.next(d))
+	} else {
+		d.busy = false
+	}
+}
+
+// segmentDone retires one of a pending request's segments, completing the
+// request when it was the last: internal (rebuild) requests just fire
+// their continuation, failed requests fire the fail path and credit
+// nothing, healthy requests credit throughput and latency as always.
+func (s *System) segmentDone(p *pending, now float64) {
 	p.remaining--
-	if p.remaining == 0 {
-		s.totalBytes += p.payload
-		s.requests++
-		s.mRequests.Inc()
-		s.mBytes.Add(p.payload)
-		s.mLatency.Observe(now - p.submitMS)
+	if p.remaining != 0 {
+		return
+	}
+	if p.internal {
 		done := p.done
 		s.releasePending(p)
 		if done != nil {
 			done(now)
 		}
+		return
 	}
-	if len(d.queue) > 0 {
-		s.start(d, s.next(d))
-	} else {
-		d.busy = false
+	if p.failed {
+		fail, done := p.fail, p.done
+		s.releasePending(p)
+		switch {
+		case fail != nil:
+			fail(now)
+		case done != nil:
+			done(now)
+		}
+		return
+	}
+	s.totalBytes += p.payload
+	s.requests++
+	s.mRequests.Inc()
+	s.mBytes.Add(p.payload)
+	s.mLatency.Observe(now - p.submitMS)
+	done := p.done
+	s.releasePending(p)
+	if done != nil {
+		done(now)
 	}
 }

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"rofs/internal/fault"
+	"rofs/internal/runner"
+)
+
+// TestFaultTableShape runs the fault comparison at bench scale: every
+// Figure 6 policy appears, faults cost throughput, and the default
+// scenario's rebuild completes.
+func TestFaultTableShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid run in short mode")
+	}
+	cells, err := FaultTable(context.Background(), testPool, BenchScale(), "TP", fault.Scenario{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("got %d cells, want one per Figure 6 policy", len(cells))
+	}
+	for _, c := range cells {
+		if c.HealthyPct <= 0 || c.FaultedPct <= 0 {
+			t.Errorf("%s: non-positive throughput %+v", c.Policy, c)
+		}
+		// A failure plus a full rebuild competing for the array must cost
+		// throughput relative to the healthy run.
+		if c.FaultedPct >= c.HealthyPct {
+			t.Errorf("%s: faulted %.2f%% >= healthy %.2f%%", c.Policy, c.FaultedPct, c.HealthyPct)
+		}
+		if c.DriveFailures != 1 {
+			t.Errorf("%s: %d drive failures, want 1", c.Policy, c.DriveFailures)
+		}
+		if !c.RebuildDone {
+			t.Errorf("%s: rebuild did not complete under the default scenario", c.Policy)
+		}
+		if c.DegradedMS <= 0 {
+			t.Errorf("%s: no degraded time recorded", c.Policy)
+		}
+	}
+}
+
+// TestFaultDeterminismAcrossPolicies is the cross-policy determinism
+// check: the same seed and fault scenario replayed from scratch (fresh
+// pools, so nothing is served from cache) must reproduce every policy's
+// throughput and recovery counters exactly.
+func TestFaultDeterminismAcrossPolicies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid run in short mode")
+	}
+	scenario := fault.Scenario{
+		FailAtMS:          15_000,
+		FailDrive:         2,
+		TransientProb:     0.002,
+		Rebuild:           true,
+		RebuildChunkBytes: 4 << 20,
+		Seed:              9,
+	}
+	run := func() []FaultCell {
+		cells, err := FaultTable(context.Background(), runner.New(0), BenchScale(), "TS", scenario)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cells
+	}
+	first, second := run(), run()
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("replayed fault runs diverged:\n first: %+v\nsecond: %+v", first, second)
+	}
+}

@@ -1,0 +1,55 @@
+package fault
+
+import "flag"
+
+// Flags binds a fault scenario's knobs to a flag set — the one vocabulary
+// shared by rofsim, rofs-sweep, rofs-tables, and rofs-client, so a
+// scenario reproduces verbatim across front ends.
+type Flags struct {
+	failAt     *float64
+	mttf       *float64
+	drive      *int
+	transient  *float64
+	rebuild    *bool
+	spareDelay *float64
+	chunk      *int64
+	pause      *float64
+	retries    *int
+	backoff    *float64
+	seed       *int64
+}
+
+// AddFlags registers the fault-scenario flags on fs.
+func AddFlags(fs *flag.FlagSet) *Flags {
+	return &Flags{
+		failAt:     fs.Float64("fail-at", 0, "fault: fail a drive at this simulated time (ms, 0: never)"),
+		mttf:       fs.Float64("mttf", 0, "fault: mean time to drive failure, exponential arrivals (ms, 0: never)"),
+		drive:      fs.Int("fail-drive", 0, "fault: which drive fails (raid5 only)"),
+		transient:  fs.Float64("transient", 0, "fault: per-segment transient error probability [0,1]"),
+		rebuild:    fs.Bool("rebuild", false, "fault: hot-spare rebuild after a drive failure"),
+		spareDelay: fs.Float64("spare-delay", 0, "fault: hot-spare swap-in delay (ms)"),
+		chunk:      fs.Int64("rebuild-chunk", 0, "fault: rebuild chunk size (bytes, 0: one stripe unit)"),
+		pause:      fs.Float64("rebuild-pause", 0, "fault: throttle pause between rebuild chunks (ms)"),
+		retries:    fs.Int("fault-retries", 0, "fault: max retries of a failed request (0: default 4)"),
+		backoff:    fs.Float64("fault-backoff", 0, "fault: base retry backoff, doubling per attempt (ms, 0: default 5)"),
+		seed:       fs.Int64("fault-seed", 0, "fault: RNG offset from the run seed (0: run seed alone)"),
+	}
+}
+
+// Scenario assembles the parsed flags into a Scenario. Call after the
+// flag set has been parsed; validate with Scenario.Validate.
+func (f *Flags) Scenario() Scenario {
+	return Scenario{
+		FailAtMS:          *f.failAt,
+		MTTFMS:            *f.mttf,
+		FailDrive:         *f.drive,
+		TransientProb:     *f.transient,
+		Rebuild:           *f.rebuild,
+		SpareDelayMS:      *f.spareDelay,
+		RebuildChunkBytes: *f.chunk,
+		RebuildPauseMS:    *f.pause,
+		MaxRetries:        *f.retries,
+		RetryBackoffMS:    *f.backoff,
+		Seed:              *f.seed,
+	}
+}

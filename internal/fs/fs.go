@@ -38,12 +38,19 @@ type FileSystem struct {
 	runScratch []disk.Run
 	req        disk.Request
 
+	// retry is the armed retry machinery (retry.go), nil on a file system
+	// that never retries — the allocation-free fast path.
+	retry *retryState
+
 	// Metrics handles (nil when metrics are disabled; see SetMetrics).
-	mCreates   *metrics.Counter
-	mDeletes   *metrics.Counter
-	mGrows     *metrics.Counter
-	mTruncates *metrics.Counter
-	mRunLen    *metrics.Hist
+	mCreates    *metrics.Counter
+	mDeletes    *metrics.Counter
+	mGrows      *metrics.Counter
+	mTruncates  *metrics.Counter
+	mRunLen     *metrics.Hist
+	mRetries    *metrics.Counter
+	mPermanent  *metrics.Counter
+	mRetryDelay *metrics.Hist
 }
 
 // runLenBoundsUnits buckets the run lengths data operations touch, in disk
@@ -62,6 +69,9 @@ func (fs *FileSystem) SetMetrics(reg *metrics.Registry) {
 	fs.mGrows = reg.Counter("fs.grows")
 	fs.mTruncates = reg.Counter("fs.truncates")
 	fs.mRunLen = reg.Histogram("fs.run_len_units", runLenBoundsUnits)
+	fs.mRetries = reg.Counter("fs.retries")
+	fs.mPermanent = reg.Counter("fs.permanent_errors")
+	fs.mRetryDelay = reg.Histogram("fs.retry_delay_ms", retryDelayBoundsMS)
 }
 
 // New creates a file system. dsys may be nil; unitBytes must match the
@@ -238,6 +248,14 @@ func (f *File) submit(runs []disk.Run, write bool, done func(now float64)) {
 		for _, r := range runs {
 			f.fs.mRunLen.Observe(float64(r.Len))
 		}
+	}
+	// With retries armed the runs must outlive this call (a failed
+	// request is resent after the scratch buffer has been reused), so the
+	// submission goes through a retry record holding its own copy.
+	if f.fs.retry != nil {
+		op := f.fs.newRetryOp(runs, write, done)
+		op.send()
+		return
 	}
 	// Submit consumes the request before invoking any completion, so the
 	// shared Request (and the runs scratch it points at) is free for

@@ -1,0 +1,175 @@
+package fs
+
+import (
+	"fmt"
+
+	"rofs/internal/disk"
+	"rofs/internal/stats"
+)
+
+// This file is the file system's half of the fault model: bounded
+// retry-with-backoff, in simulated time, for requests the disk system
+// fails with a transient error or a drive failure. Arming it changes the
+// submit path — every data operation's runs are copied into a retry
+// record so the operation can be resent after the shared scratch buffer
+// has been reused — so an unarmed file system keeps the allocation-free
+// fast path exactly as it was.
+
+// retryDelayBoundsMS buckets the delay from a request's first failure to
+// its eventual completion: the base backoff is a handful of simulated
+// milliseconds, doubling per attempt, plus queueing on the resend.
+var retryDelayBoundsMS = []float64{
+	1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000,
+}
+
+// retryState is the armed retry machinery.
+type retryState struct {
+	max         int     // attempts after the first submission
+	backoffMS   float64 // base backoff, doubling per attempt
+	onPermanent func(now float64)
+
+	retries   int64
+	permanent int64
+	delays    *stats.Histogram // first-failure → completion, ms
+
+	free []*retryOp
+}
+
+// RetryStats snapshots the retry machinery's counters.
+type RetryStats struct {
+	Retries         int64
+	PermanentErrors int64
+	// RetryDelays buckets the simulated time from a request's first
+	// failure to its eventual completion (success or permanent failure).
+	// Nil when retries were never armed.
+	RetryDelays *stats.Histogram
+}
+
+// retryOp is one retryable submission: the runs copied out of the scratch
+// buffer, the attempt count, and the caller's completion. The closures are
+// built once per op and recycled with it.
+type retryOp struct {
+	fs          *FileSystem
+	runs        []disk.Run
+	write       bool
+	attempts    int
+	firstFailMS float64
+	done        func(now float64)
+
+	doneFn   func(now float64)
+	failFn   func(now float64)
+	resendFn func(now float64)
+}
+
+// ArmRetries installs bounded retry-with-backoff: a failed request is
+// resent after backoffMS of simulated time, doubling per attempt, up to
+// maxRetries resends; past the bound the failure is permanent and
+// onPermanent fires (the operation still completes, so the user stream
+// continues — a permanent error is an observable, not a deadlock).
+// Requires a disk system; must be called before the simulation starts.
+func (fs *FileSystem) ArmRetries(maxRetries int, backoffMS float64, onPermanent func(now float64)) error {
+	if fs.dsys == nil {
+		return fmt.Errorf("fs: retries need a disk system")
+	}
+	if maxRetries < 0 {
+		return fmt.Errorf("fs: maxRetries %d must be >= 0", maxRetries)
+	}
+	if backoffMS <= 0 {
+		return fmt.Errorf("fs: backoffMS %g must be positive", backoffMS)
+	}
+	fs.retry = &retryState{
+		max:         maxRetries,
+		backoffMS:   backoffMS,
+		onPermanent: onPermanent,
+		delays:      stats.NewHistogram(retryDelayBoundsMS),
+	}
+	return nil
+}
+
+// RetryStats snapshots the retry counters; zero when never armed.
+func (fs *FileSystem) RetryStats() RetryStats {
+	if fs.retry == nil {
+		return RetryStats{}
+	}
+	return RetryStats{
+		Retries:         fs.retry.retries,
+		PermanentErrors: fs.retry.permanent,
+		RetryDelays:     fs.retry.delays,
+	}
+}
+
+// newRetryOp takes an op from the free list (rebinding its state) or
+// builds one with its closure set.
+func (fs *FileSystem) newRetryOp(runs []disk.Run, write bool, done func(now float64)) *retryOp {
+	r := fs.retry
+	var op *retryOp
+	if k := len(r.free); k > 0 {
+		op = r.free[k-1]
+		r.free = r.free[:k-1]
+	} else {
+		op = &retryOp{fs: fs}
+		op.doneFn = op.complete
+		op.failFn = op.fail
+		op.resendFn = op.resend
+	}
+	op.runs = append(op.runs[:0], runs...)
+	op.write = write
+	op.attempts = 0
+	op.firstFailMS = -1
+	op.done = done
+	return op
+}
+
+// release returns the op to the free list, keeping its runs capacity.
+func (op *retryOp) release() {
+	op.done = nil
+	op.fs.retry.free = append(op.fs.retry.free, op)
+}
+
+// send submits the op's runs to the disk system.
+func (op *retryOp) send() {
+	req := &op.fs.req
+	req.Runs, req.Write, req.Done, req.Fail = op.runs, op.write, op.doneFn, op.failFn
+	op.fs.dsys.Submit(req)
+	req.Runs, req.Done, req.Fail = nil, nil, nil
+}
+
+// complete finishes the op: record the retry delay if it ever failed,
+// recycle, and hand completion to the caller.
+func (op *retryOp) complete(now float64) {
+	if op.firstFailMS >= 0 {
+		op.fs.retry.delays.Add(now - op.firstFailMS)
+		op.fs.mRetryDelay.Observe(now - op.firstFailMS)
+	}
+	done := op.done
+	op.release()
+	if done != nil {
+		done(now)
+	}
+}
+
+// fail handles one failed submission: resend after the backoff, or give
+// up past the retry bound.
+func (op *retryOp) fail(now float64) {
+	r := op.fs.retry
+	if op.firstFailMS < 0 {
+		op.firstFailMS = now
+	}
+	if op.attempts >= r.max {
+		r.permanent++
+		op.fs.mPermanent.Inc()
+		if r.onPermanent != nil {
+			r.onPermanent(now)
+		}
+		op.complete(now)
+		return
+	}
+	op.attempts++
+	r.retries++
+	op.fs.mRetries.Inc()
+	backoff := r.backoffMS * float64(int64(1)<<uint(op.attempts-1))
+	op.fs.dsys.After(backoff, op.resendFn)
+}
+
+// resend is the backoff timer's continuation.
+func (op *retryOp) resend(now float64) { op.send() }

@@ -15,6 +15,7 @@ import (
 
 	"rofs/internal/core"
 	"rofs/internal/disk"
+	"rofs/internal/fault"
 	"rofs/internal/workload"
 )
 
@@ -39,6 +40,8 @@ type Spec struct {
 	StableWindows int
 	// Degraded fails drive 0 before the run (RAID-5 only).
 	Degraded bool
+	// Faults declares the run's fault scenario (zero: no faults).
+	Faults fault.Scenario
 }
 
 // Config assembles the core.Config the Spec declares.
@@ -51,6 +54,7 @@ func (s Spec) Config() core.Config {
 		MaxSimMS:      s.MaxSimMS,
 		StableWindows: s.StableWindows,
 		Degraded:      s.Degraded,
+		Faults:        s.Faults,
 	}
 }
 
@@ -60,8 +64,15 @@ func (s Spec) Config() core.Config {
 // excluded. The encodings are plain-value struct dumps, deterministic
 // because the underlying configurations hold no maps or pointers.
 func (s Spec) Key() string {
-	return fmt.Sprintf("%s|%+v|%+v|%+v|seed=%d|max=%g|sw=%d|deg=%t",
+	key := fmt.Sprintf("%s|%+v|%+v|%+v|seed=%d|max=%g|sw=%d|deg=%t",
 		s.Kind, s.Policy, s.Disk, s.Workload, s.Seed, s.MaxSimMS, s.StableWindows, s.Degraded)
+	// The fault term is appended only for enabled scenarios, so fault-free
+	// Specs keep the key encoding they had before faults existed (pinned
+	// by the spec-key golden test).
+	if fk := s.Faults.Key(); fk != "" {
+		key += "|faults{" + fk + "}"
+	}
+	return key
 }
 
 // Label returns the short human-readable name progress lines use:

@@ -27,6 +27,7 @@ import (
 	"rofs/internal/core"
 	"rofs/internal/disk"
 	"rofs/internal/experiments"
+	"rofs/internal/fault"
 	"rofs/internal/runner"
 	"rofs/internal/units"
 )
@@ -59,6 +60,11 @@ type RunRequest struct {
 	Layout      string `json:"layout,omitempty"` // striped | mirrored | raid5 | parity
 	StripeBytes int64  `json:"stripe_bytes,omitempty"`
 	Degraded    bool   `json:"degraded,omitempty"`
+
+	// Faults declares the run's fault scenario (see internal/fault); nil
+	// or a zero scenario runs fault-free. Drive failures require the
+	// raid5 layout.
+	Faults *fault.Scenario `json:"faults,omitempty"`
 
 	// MaxSimMS overrides the scale's simulated-time cap.
 	MaxSimMS float64 `json:"max_sim_ms,omitempty"`
@@ -115,6 +121,16 @@ func (req *RunRequest) Spec() (runner.Spec, error) {
 	}
 	if req.Degraded && sc.Disk.Layout != disk.RAID5 {
 		return zero, fmt.Errorf("degraded mode requires the raid5 layout")
+	}
+	var faults fault.Scenario
+	if req.Faults != nil {
+		faults = *req.Faults
+		if err := faults.Validate(); err != nil {
+			return zero, err
+		}
+		if faults.FailsDrive() && sc.Disk.Layout != disk.RAID5 {
+			return zero, fmt.Errorf("drive-failure faults require the raid5 layout")
+		}
 	}
 
 	wl, err := sc.Workload(req.Workload)
@@ -188,6 +204,7 @@ func (req *RunRequest) Spec() (runner.Spec, error) {
 	sp.Name = req.Name
 	sp.StableWindows = req.StableWindows
 	sp.Degraded = req.Degraded
+	sp.Faults = faults
 	return sp, nil
 }
 

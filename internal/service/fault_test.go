@@ -1,0 +1,104 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+
+	"rofs/internal/fault"
+	"rofs/internal/metrics"
+	"rofs/internal/runner"
+)
+
+// faultReq is shortReq on a four-drive RAID-5 array with a full fault
+// scenario: a failure early in the run, transient errors, and a hot-spare
+// rebuild in large chunks.
+func faultReq() RunRequest {
+	req := shortReq()
+	req.Disks = 4
+	req.Layout = "raid5"
+	req.Faults = &fault.Scenario{
+		FailAtMS:          3_000,
+		FailDrive:         1,
+		TransientProb:     0.001,
+		Rebuild:           true,
+		RebuildChunkBytes: 4 << 20,
+	}
+	return req
+}
+
+// TestFaultRunOverHTTP extends the service's byte-identical contract to
+// fault scenarios: a faulted run served over HTTP matches a direct pool
+// run of the same Spec — including the fault report — and the metrics
+// bundle carries the fault series.
+func TestFaultRunOverHTTP(t *testing.T) {
+	_, c := newTestServer(t, Options{Jobs: 2})
+
+	req := faultReq()
+	st, err := c.SubmitWait(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone || st.Result == nil || st.Result.Perf == nil {
+		t.Fatalf("unexpected terminal status: %+v", st)
+	}
+	fr := st.Result.Perf.Faults
+	if fr == nil {
+		t.Fatal("faulted run returned no fault report")
+	}
+	if fr.DriveFailures != 1 || fr.FirstFailureMS != 3_000 {
+		t.Errorf("fault report: %d failures, first at %g ms; want 1 at 3000", fr.DriveFailures, fr.FirstFailureMS)
+	}
+	if fr.DegradedMS <= 0 {
+		t.Errorf("no degraded time in report: %+v", fr)
+	}
+
+	sp, err := req.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := runner.New(1)
+	pool.MetricsIntervalMS = metrics.DefaultIntervalMS
+	res, err := pool.Run(context.Background(), []runner.Spec{sp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := newRunResult(res[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := mustJSON(t, st.Result.Perf), mustJSON(t, direct.Perf); got != want {
+		t.Errorf("faulted perf result diverged:\nhttp:   %s\ndirect: %s", got, want)
+	}
+	if got, want := compactJSON(t, st.Result.Metrics), compactJSON(t, direct.Metrics); !bytes.Equal(got, want) {
+		t.Errorf("faulted metrics bundles diverged:\nhttp:   %s\ndirect: %s", got, want)
+	}
+	// The rofs-metrics/v1 bundle must carry the fault series.
+	for _, series := range []string{"fault.degraded", "fault.drive_failures", "fs.retries", "disk.transient_errors"} {
+		if !strings.Contains(string(st.Result.Metrics), series) {
+			t.Errorf("metrics bundle missing %q", series)
+		}
+	}
+}
+
+// TestFaultRequestValidation covers the fault-specific 400s: invalid
+// scenarios and drive failures without RAID-5.
+func TestFaultRequestValidation(t *testing.T) {
+	_, c := newTestServer(t, Options{Jobs: 1})
+	for name, body := range map[string]string{
+		"bad-probability": `{"policy":"buddy","workload":"TS","test":"app","faults":{"transient_prob":2}}`,
+		"needs-raid5":     `{"policy":"buddy","workload":"TS","test":"app","faults":{"fail_at_ms":1000}}`,
+		"rebuild-no-fail": `{"policy":"buddy","workload":"TS","test":"app","layout":"raid5","disks":4,"faults":{"transient_prob":0.01,"rebuild":true}}`,
+	} {
+		resp, err := http.Post(c.BaseURL+"/v1/runs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", name, resp.StatusCode)
+		}
+	}
+}

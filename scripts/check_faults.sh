@@ -1,0 +1,56 @@
+#!/bin/sh
+# check_faults.sh — the fault-smoke gate: a seeded degraded-RAID5 scenario
+# must fail a drive, retry transient errors, finish its hot-spare rebuild,
+# and reproduce exactly on a second run; with faults off, the Table 3
+# golden must stay byte-identical (the zero-cost-when-disabled contract).
+set -eu
+cd "$(dirname "$0")/.."
+
+# Four drives: RAID-5 at bench scale needs the extra capacity (the 2-drive
+# bench array leaves only one drive of data space). 4M rebuild chunks let
+# the rebuild finish inside the 120 s simulated-time cap under load.
+scenario="go run ./cmd/rofsim -workload TS -test app -disks 4 -layout raid5 \
+	-fail-at 20000 -fail-drive 1 -transient 0.001 -rebuild -rebuild-chunk 4194304"
+
+echo "check_faults: degraded raid5 scenario with rebuild"
+out1=$($scenario 2>&1)
+echo "$out1" | grep -q 'faults: .*1 drive failure' || {
+	echo "check_faults: FAIL: no drive failure reported" >&2
+	echo "$out1" >&2
+	exit 1
+}
+echo "$out1" | grep -q 'rebuild completed:' || {
+	echo "check_faults: FAIL: rebuild did not complete" >&2
+	echo "$out1" >&2
+	exit 1
+}
+echo "$out1" | grep -q 'degraded: ' || {
+	echo "check_faults: FAIL: no degraded time reported" >&2
+	echo "$out1" >&2
+	exit 1
+}
+
+echo "check_faults: scenario reproduces under the same seed"
+out2=$($scenario 2>&1)
+if [ "$out1" != "$out2" ]; then
+	echo "check_faults: FAIL: seeded fault runs diverged" >&2
+	printf 'first:\n%s\nsecond:\n%s\n' "$out1" "$out2" >&2
+	exit 1
+fi
+
+echo "check_faults: fault metrics land in the bundle"
+go run ./cmd/rofsim -workload TS -test app -disks 4 -layout raid5 \
+	-fail-at 20000 -fail-drive 1 -transient 0.001 -rebuild -rebuild-chunk 4194304 \
+	-metrics - -metrics-format json 2>/dev/null |
+	grep -q 'fault.drive_failures' || {
+	echo "check_faults: FAIL: metrics bundle missing fault.drive_failures" >&2
+	exit 1
+}
+
+echo "check_faults: faults off leaves Table 3 byte-identical"
+go test ./internal/experiments/ -run TestTable3Golden -count=1 || {
+	echo "check_faults: FAIL: Table 3 golden drifted" >&2
+	exit 1
+}
+
+echo "check_faults: ok"
