@@ -36,12 +36,14 @@ import (
 	"time"
 
 	"rofs/internal/alloc/extent"
+	"rofs/internal/cluster"
 	"rofs/internal/core"
 	"rofs/internal/experiments"
 	"rofs/internal/metrics"
 	"rofs/internal/prof"
 	"rofs/internal/runner"
 	"rofs/internal/sim"
+	"rofs/internal/workload"
 )
 
 // engineResult is one microbenchmark row.
@@ -57,6 +59,8 @@ type cellResult struct {
 	Workload string `json:"workload"`
 	Policy   string `json:"policy"`
 	Test     string `json:"test"`
+	// Instances marks the fleet cells (cluster mode); 0 is a plain run.
+	Instances int `json:"instances,omitempty"`
 
 	Events       uint64  `json:"events"`
 	SimMS        float64 `json:"sim_ms"`
@@ -279,6 +283,23 @@ func grid(sc experiments.Scale, short bool) ([]runner.Spec, error) {
 			specs = append(specs, sc.Spec(core.RBuddy(5, 1, true), wl, core.Allocation))
 		}
 	}
+	if !short {
+		// Cluster cells: the fleet dispatch path at N=1/4/16 under open-loop
+		// TP load proportional to the fleet, so per-instance pressure is
+		// constant and the numbers isolate the Deployment's overhead.
+		wl, err := sc.Workload("TP")
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range []int{1, 4, 16} {
+			w := wl
+			w.Arrivals = &workload.Arrivals{RatePerSec: 100 * float64(n)}
+			sp := sc.Spec(core.RBuddy(5, 1, true), w, core.Application)
+			sp.Cluster = cluster.Config{Instances: n}
+			sp.Name = fmt.Sprintf("cluster-n%d/TP/app", n)
+			specs = append(specs, sp)
+		}
+	}
 	return specs, nil
 }
 
@@ -322,7 +343,13 @@ func measure(sp runner.Spec, reg *metrics.Registry, cancel <-chan struct{}) (cel
 	runtime.GC()
 	runtime.ReadMemStats(&before)
 	start := time.Now()
-	out, err := core.Run(cfg, sp.Kind)
+	var out core.Outcome
+	var err error
+	if sp.Cluster.Enabled() {
+		out, err = cluster.Run(cfg, sp.Cluster, sp.Kind)
+	} else {
+		out, err = core.Run(cfg, sp.Kind)
+	}
 	wall := time.Since(start)
 	runtime.ReadMemStats(&after)
 	if err != nil {
@@ -334,6 +361,7 @@ func measure(sp runner.Spec, reg *metrics.Registry, cancel <-chan struct{}) (cel
 		Workload:    sp.Workload.Name,
 		Policy:      sp.Policy.Name(),
 		Test:        sp.Kind.String(),
+		Instances:   sp.Cluster.Instances,
 		Events:      events,
 		SimMS:       out.Stats.SimMS,
 		WallSeconds: wall.Seconds(),

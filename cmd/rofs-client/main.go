@@ -38,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"rofs/internal/cluster"
 	"rofs/internal/fault"
 	"rofs/internal/report"
 	"rofs/internal/service"
@@ -85,6 +86,10 @@ func main() {
 
 		// fault-scenario knobs, forwarded as the request's faults object
 		faultFlags = fault.AddFlags(fs)
+
+		// cluster + open-loop knobs, forwarded as the request's cluster and
+		// arrivals objects
+		clusterFlags = cluster.AddFlags(fs)
 	)
 	fs.Parse(args)
 
@@ -130,11 +135,18 @@ func main() {
 	if *timeoutFlag > 0 {
 		req.TimeoutMS = float64(*timeoutFlag) / float64(time.Millisecond)
 	}
-	if faults := faultFlags.Scenario(); faults.Enabled() {
+	if faults := faultFlags.Scenario(); faults.Enabled() || faults.PreFail {
 		if err := faults.Validate(); err != nil {
 			fatal("%v", err)
 		}
 		req.Faults = &faults
+	}
+	req.Arrivals = clusterFlags.Arrivals()
+	if cc := clusterFlags.Config(); cc.Enabled() {
+		if err := cc.Validate(); err != nil {
+			fatal("%v", err)
+		}
+		req.Cluster = &cc
 	}
 
 	switch cmd {
@@ -257,6 +269,25 @@ func renderStatus(st service.RunStatus) {
 			ft.AddRow(fr.DriveFailures, fr.TransientErrors, fr.Retries, fr.PermanentErrors,
 				fmt.Sprintf("%.1f", fr.DegradedMS/1000), rebuilt)
 			ft.Render(os.Stdout)
+		}
+		if cr := p.Cluster; cr != nil {
+			admit := cr.Admission
+			if admit == "" {
+				admit = "none"
+			}
+			ct := report.NewTable(
+				fmt.Sprintf("Cluster report  (%d instances, routing=%s admission=%s, skew %.3f)",
+					cr.Instances, cr.Routing, admit, cr.UtilSkew),
+				"Inst", "Routed", "Ops", "Throughput%", "MeanLatMS", "Util", "Faulted")
+			for _, ip := range cr.PerInstance {
+				ct.AddRow(ip.Index, ip.Routed, ip.Ops, fmt.Sprintf("%.2f", ip.Percent),
+					fmt.Sprintf("%.2f", ip.MeanLatencyMS), fmt.Sprintf("%.3f", ip.Utilization), ip.Faulted)
+			}
+			ct.Render(os.Stdout)
+			if cr.Arrivals > 0 {
+				fmt.Printf("admission: %d arrivals, %d admitted, %d rejected (%.1f%%)\n",
+					cr.Arrivals, cr.Admitted, cr.Rejected, cr.RejectPct)
+			}
 		}
 	case st.Error != "":
 		fmt.Printf("%s  %s  state=%s: %s\n", st.ID, st.Label, st.State, st.Error)

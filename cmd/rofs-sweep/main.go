@@ -11,10 +11,16 @@
 //	grow           restricted buddy grow factor (fractional values allowed)
 //	sizes          restricted buddy block-size count (2-5)
 //	rebuild-pause  fault: rebuild throttle pause between chunks (ms)
+//	instances      cluster: fleet size (app test only)
+//	routing        cluster: routing policy by name (rr, least, affinity)
+//	admission      cluster: admission policy by name (none, token, queue)
+//	rate           open-loop Poisson arrival rate (ops/s, app test only)
 //
 // The fault-scenario flags (-fail-at, -mttf, -transient, -rebuild, ...)
 // apply to every sweep point, so a degraded-mode sweep is any ordinary
-// sweep with a scenario attached.
+// sweep with a scenario attached. The cluster flags (-instances, -routing,
+// -admission, -rate, ...) likewise fix the fleet shape across the sweep;
+// the cluster sweep parameters vary one of those axes per point.
 //
 // Examples:
 //
@@ -24,6 +30,11 @@
 //	rofs-sweep -param users -values 8,16,32,64 -workload TP -test app -scale full -jobs 4
 //	rofs-sweep -param rebuild-pause -values 0,5,20,100 -workload TS -test app \
 //	  -layout raid5 -disks 4 -fail-at 20000 -rebuild
+//	rofs-sweep -param instances -values 1,2,4,8 -workload TP -test app -rate 400
+//	rofs-sweep -param routing -values rr,least,affinity -workload TP -test app \
+//	  -instances 4 -rate 400 -snapshot-ms 250
+//	rofs-sweep -param rate -values 100,200,400,800 -workload TP -test app \
+//	  -instances 4 -admission queue -queue-cap 64
 package main
 
 import (
@@ -38,6 +49,7 @@ import (
 	"strings"
 	"syscall"
 
+	"rofs/internal/cluster"
 	"rofs/internal/core"
 	"rofs/internal/disk"
 	"rofs/internal/experiments"
@@ -47,11 +59,12 @@ import (
 	"rofs/internal/report"
 	"rofs/internal/runner"
 	"rofs/internal/stats"
+	"rofs/internal/workload"
 )
 
 func main() {
 	var (
-		paramFlag    = flag.String("param", "seed", "seed | users | stripe | disks | grow | sizes")
+		paramFlag    = flag.String("param", "seed", "seed | users | stripe | disks | grow | sizes | rebuild-pause | instances | routing | admission | rate")
 		valuesFlag   = flag.String("values", "1,2,3", "comma-separated values to sweep")
 		workloadFlag = flag.String("workload", "TP", "TS | TP | SC")
 		testFlag     = flag.String("test", "app", "alloc | app | seq")
@@ -73,6 +86,10 @@ func main() {
 
 		// fault-scenario knobs, applied to every sweep point
 		faultFlags = fault.AddFlags(flag.CommandLine)
+
+		// cluster + open-loop knobs, fixed across the sweep unless a
+		// cluster parameter varies one of them per point
+		clusterFlags = cluster.AddFlags(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -128,7 +145,8 @@ func main() {
 		fatal("%v", err)
 	}
 
-	specs, err := buildSpecs(sc, *paramFlag, *workloadFlag, kind, values, faults)
+	specs, err := buildSpecs(sc, *paramFlag, *workloadFlag, kind, values, faults,
+		clusterFlags.Config(), clusterFlags.Arrivals())
 	if err != nil {
 		fatal("%v", err)
 	}
@@ -185,28 +203,35 @@ func main() {
 	// Rows come back in submission order, so the CSV is ordered by value
 	// regardless of which simulation finished first.
 	t := report.NewTable("",
-		*paramFlag, "policy", "workload", "test", "metric1", "metric2", "metric3")
-	var m1, m2, m3 stats.Welford
+		*paramFlag, "policy", "workload", "test", "metric1", "metric2", "metric3", "metric4")
+	var m1, m2, m3, m4 stats.Welford
 	completed := 0
 	for i, r := range outs {
 		if r.Err != nil {
 			continue
 		}
 		completed++
-		v := formatValue(values[i])
+		v := values[i]
 		sp := r.Spec
 		switch kind {
 		case core.Allocation:
 			res := r.Outcome.Frag
 			t.AddRow(v, sp.Policy.Name(), sp.Workload.Name, "alloc",
-				f(res.InternalPct), f(res.ExternalPct), fmt.Sprint(res.Ops))
+				f(res.InternalPct), f(res.ExternalPct), fmt.Sprint(res.Ops), "")
 			m1.Add(res.InternalPct)
 			m2.Add(res.ExternalPct)
 			m3.Add(float64(res.Ops))
 		default:
 			res := r.Outcome.Perf
+			// metric4 is the admission reject rate — meaningful only for
+			// fleet rows; plain rows leave it blank.
+			rej := ""
+			if res.Cluster != nil {
+				rej = f(res.Cluster.RejectPct)
+				m4.Add(res.Cluster.RejectPct)
+			}
 			t.AddRow(v, sp.Policy.Name(), sp.Workload.Name, *testFlag,
-				f(res.Percent), f(res.MeanLatencyMS), f(res.P95LatencyMS))
+				f(res.Percent), f(res.MeanLatencyMS), f(res.P95LatencyMS), rej)
 			m1.Add(res.Percent)
 			m2.Add(res.MeanLatencyMS)
 			m3.Add(res.P95LatencyMS)
@@ -214,9 +239,12 @@ func main() {
 	}
 	if *summaryFlag {
 		ci := func(w *stats.Welford) string {
+			if w.N() == 0 {
+				return ""
+			}
 			return fmt.Sprintf("%.2f±%.2f", w.Mean(), w.CI95())
 		}
-		t.AddRow("mean±CI95", "", "", "", ci(&m1), ci(&m2), ci(&m3))
+		t.AddRow("mean±CI95", "", "", "", ci(&m1), ci(&m2), ci(&m3), ci(&m4))
 	}
 	if *csvFlag {
 		if err := t.RenderCSV(os.Stdout); err != nil {
@@ -232,17 +260,16 @@ func main() {
 	}
 }
 
-// parseValues splits a comma-separated list into floats, so fractional
-// sweep points (grow factor 1.5) parse; integer-valued parameters convert
-// and validate per parameter in buildSpecs.
-func parseValues(list string) ([]float64, error) {
-	var values []float64
+// parseValues splits a comma-separated list into tokens. Values stay
+// strings so name-valued parameters (routing, admission) sweep like
+// numeric ones; numeric parameters convert and validate per parameter in
+// buildSpecs.
+func parseValues(list string) ([]string, error) {
+	var values []string
 	for _, tok := range strings.Split(list, ",") {
-		v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad value %q: %v", tok, err)
+		if tok = strings.TrimSpace(tok); tok != "" {
+			values = append(values, tok)
 		}
-		values = append(values, v)
 	}
 	if len(values) == 0 {
 		return nil, fmt.Errorf("no values to sweep")
@@ -263,8 +290,21 @@ func parseTest(name string) (core.TestKind, error) {
 	return 0, fmt.Errorf("unknown test %q", name)
 }
 
+// asFloat converts a numeric sweep token.
+func asFloat(param, tok string) (float64, error) {
+	v, err := strconv.ParseFloat(tok, 64)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q needs numeric values, got %q", param, tok)
+	}
+	return v, nil
+}
+
 // asInt converts an integer-valued parameter, rejecting fractions.
-func asInt(param string, v float64) (int64, error) {
+func asInt(param, tok string) (int64, error) {
+	v, err := asFloat(param, tok)
+	if err != nil {
+		return 0, err
+	}
 	if v != math.Trunc(v) {
 		return 0, fmt.Errorf("parameter %q needs integer values, got %g", param, v)
 	}
@@ -272,11 +312,20 @@ func asInt(param string, v float64) (int64, error) {
 }
 
 // buildSpecs declares one Spec per sweep value for the given parameter.
-func buildSpecs(sc experiments.Scale, param, wlName string, kind core.TestKind, values []float64, faults fault.Scenario) ([]runner.Spec, error) {
+// The cluster config and arrival process from the flags are the base every
+// point starts from; the cluster parameters vary one axis per point.
+func buildSpecs(sc experiments.Scale, param, wlName string, kind core.TestKind, values []string,
+	faults fault.Scenario, baseCC cluster.Config, baseArr *workload.Arrivals) ([]runner.Spec, error) {
 	specs := make([]runner.Spec, 0, len(values))
-	for _, v := range values {
+	for _, tok := range values {
 		pt := sc
 		fl := faults
+		cc := baseCC
+		var arr *workload.Arrivals
+		if baseArr != nil {
+			a := *baseArr // each point owns its arrival block
+			arr = &a
+		}
 		policy := core.RBuddy(5, 1, true)
 		wl, err := pt.Workload(wlName)
 		if err != nil {
@@ -284,13 +333,13 @@ func buildSpecs(sc experiments.Scale, param, wlName string, kind core.TestKind, 
 		}
 		switch param {
 		case "seed":
-			n, err := asInt(param, v)
+			n, err := asInt(param, tok)
 			if err != nil {
 				return nil, err
 			}
 			pt.Seed = n
 		case "users":
-			n, err := asInt(param, v)
+			n, err := asInt(param, tok)
 			if err != nil {
 				return nil, err
 			}
@@ -298,26 +347,34 @@ func buildSpecs(sc experiments.Scale, param, wlName string, kind core.TestKind, 
 				wl.Types[i].Users = int(n)
 			}
 		case "stripe":
-			n, err := asInt(param, v)
+			n, err := asInt(param, tok)
 			if err != nil {
 				return nil, err
 			}
 			pt.Disk.StripeUnitBytes = n
 		case "disks":
-			n, err := asInt(param, v)
+			n, err := asInt(param, tok)
 			if err != nil {
 				return nil, err
 			}
 			pt.Disk.NDisks = int(n)
 		case "grow":
+			v, err := asFloat(param, tok)
+			if err != nil {
+				return nil, err
+			}
 			policy = core.RBuddy(5, v, true)
 		case "sizes":
-			n, err := asInt(param, v)
+			n, err := asInt(param, tok)
 			if err != nil {
 				return nil, err
 			}
 			policy = core.RBuddy(int(n), 1, true)
 		case "rebuild-pause":
+			v, err := asFloat(param, tok)
+			if err != nil {
+				return nil, err
+			}
 			if !fl.Enabled() || !fl.Rebuild {
 				return nil, fmt.Errorf("parameter %q needs a rebuild scenario (-fail-at or -mttf, plus -rebuild)", param)
 			}
@@ -325,19 +382,65 @@ func buildSpecs(sc experiments.Scale, param, wlName string, kind core.TestKind, 
 				return nil, fmt.Errorf("parameter %q needs values >= 0, got %g", param, v)
 			}
 			fl.RebuildPauseMS = v
+		case "instances":
+			n, err := asInt(param, tok)
+			if err != nil {
+				return nil, err
+			}
+			cc.Instances = int(n)
+		case "routing":
+			cc.Routing = tok
+			if cc.Instances == 0 {
+				return nil, fmt.Errorf("parameter %q needs a fleet (-instances N)", param)
+			}
+		case "admission":
+			if tok == "none" {
+				cc.Admission = ""
+			} else {
+				cc.Admission = tok
+			}
+			if cc.Instances == 0 {
+				return nil, fmt.Errorf("parameter %q needs a fleet (-instances N)", param)
+			}
+		case "rate":
+			v, err := asFloat(param, tok)
+			if err != nil {
+				return nil, err
+			}
+			if v <= 0 {
+				return nil, fmt.Errorf("parameter %q needs values > 0, got %g", param, v)
+			}
+			a := workload.Arrivals{RatePerSec: v}
+			if baseArr != nil {
+				a.Clients = baseArr.Clients
+			}
+			arr = &a
 		default:
 			return nil, fmt.Errorf("unknown parameter %q", param)
 		}
+		if err := cc.Validate(); err != nil {
+			return nil, err
+		}
+		if cc.Enabled() && kind != core.Application {
+			return nil, fmt.Errorf("cluster sweeps run the app test only, not %s", kind)
+		}
+		if arr != nil {
+			if kind != core.Application {
+				return nil, fmt.Errorf("open-loop arrivals run the app test only, not %s", kind)
+			}
+			wl.Arrivals = arr
+			if err := wl.Validate(); err != nil {
+				return nil, err
+			}
+		}
 		sp := pt.Spec(policy, wl, kind)
-		sp.Name = fmt.Sprintf("%s=%s %s/%s/%s", param, formatValue(v), policy.Name(), wl.Name, kind)
+		sp.Name = fmt.Sprintf("%s=%s %s/%s/%s", param, tok, policy.Name(), wl.Name, kind)
 		sp.Faults = fl
+		sp.Cluster = cc
 		specs = append(specs, sp)
 	}
 	return specs, nil
 }
-
-// formatValue renders a sweep value without trailing zeros (1, 1.5, 8192).
-func formatValue(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
 func f(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }
 

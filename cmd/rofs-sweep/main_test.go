@@ -4,33 +4,47 @@ import (
 	"strings"
 	"testing"
 
+	"rofs/internal/cluster"
 	"rofs/internal/core"
 	"rofs/internal/experiments"
 	"rofs/internal/fault"
+	"rofs/internal/workload"
 )
 
-func TestParseValuesAcceptsFractions(t *testing.T) {
+// noCluster is the base for non-cluster sweeps: no fleet, closed loop.
+var noCluster = cluster.Config{}
+
+func TestParseValuesAcceptsFractionsAndNames(t *testing.T) {
 	vals, err := parseValues("1, 1.5 ,2")
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []float64{1, 1.5, 2}
+	want := []string{"1", "1.5", "2"}
 	if len(vals) != len(want) {
 		t.Fatalf("got %v", vals)
 	}
 	for i := range want {
 		if vals[i] != want[i] {
-			t.Errorf("value %d = %g, want %g", i, vals[i], want[i])
+			t.Errorf("value %d = %q, want %q", i, vals[i], want[i])
 		}
 	}
-	if _, err := parseValues("1,x"); err == nil {
-		t.Error("garbage value accepted")
+	// Tokens stay strings, so name-valued axes parse too.
+	names, err := parseValues("rr,least,affinity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 || names[1] != "least" {
+		t.Errorf("name-valued tokens mangled: %v", names)
+	}
+	if _, err := parseValues(" ,, "); err == nil {
+		t.Error("empty list accepted")
 	}
 }
 
 func TestBuildSpecsGrowFraction(t *testing.T) {
 	sc := experiments.BenchScale()
-	specs, err := buildSpecs(sc, "grow", "TS", core.Allocation, []float64{1, 1.5, 2}, fault.Scenario{})
+	specs, err := buildSpecs(sc, "grow", "TS", core.Allocation,
+		[]string{"1", "1.5", "2"}, fault.Scenario{}, noCluster, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,29 +61,38 @@ func TestBuildSpecsGrowFraction(t *testing.T) {
 
 func TestBuildSpecsRejectsFractionalIntParams(t *testing.T) {
 	sc := experiments.BenchScale()
-	for _, param := range []string{"seed", "users", "stripe", "disks", "sizes"} {
-		if _, err := buildSpecs(sc, param, "TP", core.Application, []float64{1.5}, fault.Scenario{}); err == nil {
+	for _, param := range []string{"seed", "users", "stripe", "disks", "sizes", "instances"} {
+		if _, err := buildSpecs(sc, param, "TP", core.Application,
+			[]string{"1.5"}, fault.Scenario{}, noCluster, nil); err == nil {
 			t.Errorf("parameter %q accepted a fractional value", param)
 		}
 	}
-	// Integer-valued floats convert cleanly.
-	specs, err := buildSpecs(sc, "seed", "TP", core.Application, []float64{7}, fault.Scenario{})
+	// Integer-valued tokens convert cleanly.
+	specs, err := buildSpecs(sc, "seed", "TP", core.Application,
+		[]string{"7"}, fault.Scenario{}, noCluster, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if specs[0].Seed != 7 {
 		t.Errorf("seed = %d, want 7", specs[0].Seed)
 	}
+	// Numeric parameters reject garbage tokens.
+	if _, err := buildSpecs(sc, "seed", "TP", core.Application,
+		[]string{"x"}, fault.Scenario{}, noCluster, nil); err == nil {
+		t.Error("garbage token accepted for a numeric parameter")
+	}
 }
 
 func TestBuildSpecsRebuildPauseSweep(t *testing.T) {
 	sc := experiments.BenchScale()
 	// rebuild-pause without a rebuild scenario is an error.
-	if _, err := buildSpecs(sc, "rebuild-pause", "TS", core.Application, []float64{0, 50}, fault.Scenario{}); err == nil {
+	if _, err := buildSpecs(sc, "rebuild-pause", "TS", core.Application,
+		[]string{"0", "50"}, fault.Scenario{}, noCluster, nil); err == nil {
 		t.Error("rebuild-pause sweep accepted without a fault scenario")
 	}
 	faults := fault.Scenario{FailAtMS: 1000, Rebuild: true}
-	specs, err := buildSpecs(sc, "rebuild-pause", "TS", core.Application, []float64{0, 50}, faults)
+	specs, err := buildSpecs(sc, "rebuild-pause", "TS", core.Application,
+		[]string{"0", "50"}, faults, noCluster, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +107,8 @@ func TestBuildSpecsRebuildPauseSweep(t *testing.T) {
 func TestBuildSpecsAttachScenario(t *testing.T) {
 	sc := experiments.BenchScale()
 	faults := fault.Scenario{FailAtMS: 2000, TransientProb: 0.01}
-	specs, err := buildSpecs(sc, "seed", "TP", core.Application, []float64{1, 2}, faults)
+	specs, err := buildSpecs(sc, "seed", "TP", core.Application,
+		[]string{"1", "2"}, faults, noCluster, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +121,8 @@ func TestBuildSpecsAttachScenario(t *testing.T) {
 
 func TestBuildSpecsVariesOnlyTheParameter(t *testing.T) {
 	sc := experiments.BenchScale()
-	specs, err := buildSpecs(sc, "users", "TP", core.Application, []float64{8, 16}, fault.Scenario{})
+	specs, err := buildSpecs(sc, "users", "TP", core.Application,
+		[]string{"8", "16"}, fault.Scenario{}, noCluster, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,5 +132,91 @@ func TestBuildSpecsVariesOnlyTheParameter(t *testing.T) {
 	}
 	if specs[0].Seed != specs[1].Seed {
 		t.Error("seed drifted across points")
+	}
+}
+
+func TestBuildSpecsInstancesSweep(t *testing.T) {
+	sc := experiments.BenchScale()
+	arr := &workload.Arrivals{RatePerSec: 400}
+	specs, err := buildSpecs(sc, "instances", "TP", core.Application,
+		[]string{"1", "2", "4"}, fault.Scenario{}, noCluster, arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []int{1, 2, 4} {
+		if specs[i].Cluster.Instances != want {
+			t.Errorf("point %d: instances = %d, want %d", i, specs[i].Cluster.Instances, want)
+		}
+		if specs[i].Workload.Arrivals == nil || specs[i].Workload.Arrivals.RatePerSec != 400 {
+			t.Errorf("point %d lost the arrival process: %+v", i, specs[i].Workload.Arrivals)
+		}
+	}
+	if specs[0].Key() == specs[2].Key() {
+		t.Error("different fleet sizes share a key")
+	}
+	// The cluster axes are app-test only.
+	if _, err := buildSpecs(sc, "instances", "TP", core.Sequential,
+		[]string{"2"}, fault.Scenario{}, noCluster, nil); err == nil {
+		t.Error("instances sweep accepted outside the app test")
+	}
+}
+
+func TestBuildSpecsRoutingAndAdmissionSweeps(t *testing.T) {
+	sc := experiments.BenchScale()
+	base := cluster.Config{Instances: 4, TokenCapacity: 32, TokenRefillPerSec: 300, QueueCap: 64}
+	arr := &workload.Arrivals{RatePerSec: 400}
+	specs, err := buildSpecs(sc, "routing", "TP", core.Application,
+		[]string{"rr", "least", "affinity"}, fault.Scenario{}, base, arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []string{"rr", "least", "affinity"} {
+		if specs[i].Cluster.Routing != want {
+			t.Errorf("point %d: routing = %q, want %q", i, specs[i].Cluster.Routing, want)
+		}
+	}
+	// Routing needs a fleet to route across.
+	if _, err := buildSpecs(sc, "routing", "TP", core.Application,
+		[]string{"rr"}, fault.Scenario{}, noCluster, arr); err == nil {
+		t.Error("routing sweep accepted without -instances")
+	}
+	// Unknown policy names fail per point via cluster validation.
+	if _, err := buildSpecs(sc, "routing", "TP", core.Application,
+		[]string{"random"}, fault.Scenario{}, base, arr); err == nil {
+		t.Error("unknown routing policy accepted")
+	}
+
+	specs, err = buildSpecs(sc, "admission", "TP", core.Application,
+		[]string{"none", "token", "queue"}, fault.Scenario{}, base, arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []string{"", "token", "queue"} {
+		if specs[i].Cluster.Admission != want {
+			t.Errorf("point %d: admission = %q, want %q", i, specs[i].Cluster.Admission, want)
+		}
+	}
+}
+
+func TestBuildSpecsRateSweep(t *testing.T) {
+	sc := experiments.BenchScale()
+	base := cluster.Config{Instances: 2}
+	arr := &workload.Arrivals{RatePerSec: 100, Clients: 64}
+	specs, err := buildSpecs(sc, "rate", "TP", core.Application,
+		[]string{"200", "400"}, fault.Scenario{}, base, arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{200, 400} {
+		a := specs[i].Workload.Arrivals
+		if a == nil || a.RatePerSec != want {
+			t.Errorf("point %d: arrivals = %+v, want rate %g", i, a, want)
+		}
+		if a != nil && a.Clients != 64 {
+			t.Errorf("point %d dropped the client population: %+v", i, a)
+		}
+	}
+	if specs[0].Key() == specs[1].Key() {
+		t.Error("different arrival rates share a key")
 	}
 }

@@ -58,10 +58,11 @@ func experimentRegistry() (map[string]expFunc, []string) {
 		"skew":    ablationSkew,
 		"aging":   ablationAging,
 		"faults":  faultTable,
+		"fleet":   fleetTable,
 	}
 	order := []string{"table1", "table2", "table3", "fig1", "fig2", "fig3", "fig4", "fig5",
 		"table4", "fig6", "raid", "stripe", "mix", "cluster", "sched", "realloc", "meta",
-		"skew", "aging", "faults"}
+		"skew", "aging", "faults", "fleet"}
 	return all, order
 }
 
@@ -87,7 +88,7 @@ func progress(_ int, r runner.Result) {
 
 func main() {
 	var (
-		expFlag     = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,fig1,fig2,fig3,fig4,fig5,table4,fig6,raid,stripe,mix,cluster,sched,realloc,meta,skew,aging,faults, or all")
+		expFlag     = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,fig1,fig2,fig3,fig4,fig5,table4,fig6,raid,stripe,mix,cluster,sched,realloc,meta,skew,aging,faults,fleet, or all")
 		scaleFlag   = flag.String("scale", "bench", "full (the paper's 8-drive 2.8G array) or bench (reduced)")
 		seedFlag    = flag.Int64("seed", 42, "simulation seed")
 		jobsFlag    = flag.Int("jobs", runtime.GOMAXPROCS(0), "maximum simulations running at once")
@@ -499,6 +500,23 @@ func ablationRealloc(ctx context.Context, pool *runner.Pool, sc experiments.Scal
 	for _, c := range cells {
 		t.AddRow(c.Workload, c.InternalBefore, c.After, c.ExternalBefore, c.ExternalAfter,
 			c.Compacted, c.Failed)
+	}
+	t.Render(os.Stdout)
+	return nil
+}
+
+func fleetTable(ctx context.Context, pool *runner.Pool, sc experiments.Scale) error {
+	cells, err := experiments.FleetTable(ctx, pool, sc)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Cluster mode (TP app, open-loop): fleet scaling, routing, admission",
+		"Instances", "Routing", "Admission", "Rate/s", "Throughput%", "Mean lat (ms)", "P95 (ms)", "Reject%", "Skew")
+	for _, c := range cells {
+		t.AddRow(c.Instances, c.Routing, c.Admission, c.RatePerSec,
+			fmt.Sprintf("%.2f", c.Percent), fmt.Sprintf("%.2f", c.MeanLatencyMS),
+			fmt.Sprintf("%.0f", c.P95LatencyMS), fmt.Sprintf("%.2f", c.RejectPct),
+			fmt.Sprintf("%.3f", c.UtilSkew))
 	}
 	t.Render(os.Stdout)
 	return nil

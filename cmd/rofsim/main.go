@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"rofs/internal/alloc/extent"
+	"rofs/internal/cluster"
 	"rofs/internal/core"
 	"rofs/internal/disk"
 	"rofs/internal/experiments"
@@ -72,6 +73,9 @@ func main() {
 
 		// fault-scenario knobs (see EXPERIMENTS.md "Fault injection")
 		faultFlags = fault.AddFlags(flag.CommandLine)
+
+		// cluster + open-loop knobs (see EXPERIMENTS.md "Cluster mode")
+		clusterFlags = cluster.AddFlags(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -140,6 +144,13 @@ func main() {
 		wl, err = sc.Workload(*workloadFlag)
 	}
 	if err != nil {
+		fatal("%v", err)
+	}
+	if a := clusterFlags.Arrivals(); a != nil {
+		wl.Arrivals = a
+	}
+	cc := clusterFlags.Config()
+	if err := cc.Validate(); err != nil {
 		fatal("%v", err)
 	}
 
@@ -212,9 +223,17 @@ func main() {
 		}
 	case "app", "seq":
 		var res core.PerfResult
-		if *testFlag == "app" {
+		switch {
+		case cc.Enabled():
+			if *testFlag != "app" {
+				fatal("cluster mode requires -test app")
+			}
+			var out core.Outcome
+			out, err = cluster.Run(cfg, cc, core.Application)
+			res = out.Perf
+		case *testFlag == "app":
 			res, err = core.RunApplication(cfg)
-		} else {
+		default:
 			res, err = core.RunSequential(cfg)
 		}
 		if err != nil {
@@ -244,6 +263,27 @@ func main() {
 			if fr.RetriedOps > 0 {
 				fmt.Fprintf(rpt, "  retry delay:  p50 <= %.0f ms, p95 <= %.0f ms over %d retried requests\n",
 					fr.RetryP50MS, fr.RetryP95MS, fr.RetriedOps)
+			}
+		}
+		if cr := res.Cluster; cr != nil {
+			admit := cr.Admission
+			if admit == "" {
+				admit = "none"
+			}
+			fmt.Fprintf(rpt, "  cluster:      %d instances, routing=%s admission=%s\n",
+				cr.Instances, cr.Routing, admit)
+			if cr.Arrivals > 0 {
+				fmt.Fprintf(rpt, "  admission:    %d arrivals, %d admitted, %d rejected (%.1f%%)\n",
+					cr.Arrivals, cr.Admitted, cr.Rejected, cr.RejectPct)
+			}
+			fmt.Fprintf(rpt, "  balance:      utilization skew %.3f (1.0 = perfectly even)\n", cr.UtilSkew)
+			for _, ip := range cr.PerInstance {
+				faulted := ""
+				if ip.Faulted {
+					faulted = " [faulted]"
+				}
+				fmt.Fprintf(rpt, "    inst %d: %6d ops, %5.1f%% throughput, %.1f ms mean latency%s\n",
+					ip.Index, ip.Ops, ip.Percent, ip.MeanLatencyMS, faulted)
 			}
 		}
 	default:

@@ -1,0 +1,92 @@
+package cluster
+
+// AdmissionPolicy decides, per arrival, whether the fleet accepts the
+// operation at all. Rejected arrivals complete immediately without
+// touching any instance — the shed load an overloaded service refuses at
+// the front door. Release is called once per admitted operation when it
+// completes, for policies that track occupancy.
+type AdmissionPolicy interface {
+	// Admit reports whether the arrival at now is accepted.
+	Admit(now float64) bool
+	// Release returns capacity consumed by an admitted operation.
+	Release(now float64)
+	// Name returns the policy's configuration name.
+	Name() string
+}
+
+// admitAll is the default: every arrival is accepted.
+type admitAll struct{}
+
+func (admitAll) Admit(float64) bool { return true }
+func (admitAll) Release(float64)    {}
+func (admitAll) Name() string       { return "" }
+
+// tokenBucket admits while tokens last: capacity tokens at most, refilled
+// continuously at refillPerMS. Refill is computed lazily from the
+// simulated clock — no engine events, exact arithmetic, deterministic.
+// Bursts up to the capacity pass; sustained load beyond the refill rate
+// is shed at exactly the excess rate.
+type tokenBucket struct {
+	capacity    float64
+	refillPerMS float64
+	tokens      float64
+	lastMS      float64
+}
+
+func newTokenBucket(capacity, refillPerSec float64) *tokenBucket {
+	return &tokenBucket{capacity: capacity, refillPerMS: refillPerSec / 1000, tokens: capacity}
+}
+
+func (t *tokenBucket) Name() string { return AdmitTokenBucket }
+
+func (t *tokenBucket) Admit(now float64) bool {
+	t.tokens += (now - t.lastMS) * t.refillPerMS
+	if t.tokens > t.capacity {
+		t.tokens = t.capacity
+	}
+	t.lastMS = now
+	if t.tokens < 1 {
+		return false
+	}
+	t.tokens--
+	return true
+}
+
+func (t *tokenBucket) Release(float64) {}
+
+// boundedQueue admits while fleet-wide in-flight occupancy is below cap
+// and rejects beyond it — a bounded queue whose overflow policy is reject,
+// not wait, so latency of admitted operations stays bounded while the
+// reject rate absorbs the overload.
+type boundedQueue struct {
+	cap      int
+	inFlight int
+}
+
+func newBoundedQueue(cap int) *boundedQueue { return &boundedQueue{cap: cap} }
+
+func (q *boundedQueue) Name() string { return AdmitQueue }
+
+func (q *boundedQueue) Admit(float64) bool {
+	if q.inFlight >= q.cap {
+		return false
+	}
+	q.inFlight++
+	return true
+}
+
+func (q *boundedQueue) Release(float64) {
+	q.inFlight--
+}
+
+// newAdmission builds the configured admission policy.
+func newAdmission(c Config) AdmissionPolicy {
+	switch c.Admission {
+	case AdmitTokenBucket:
+		return newTokenBucket(c.TokenCapacity, c.TokenRefillPerSec)
+	case AdmitQueue:
+		return newBoundedQueue(c.QueueCap)
+	default:
+		return admitAll{}
+	}
+}

@@ -1,0 +1,378 @@
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+
+	"rofs/internal/core"
+	"rofs/internal/fault"
+	"rofs/internal/metrics"
+	"rofs/internal/sim"
+	"rofs/internal/stats"
+)
+
+// Run executes the configured run, plain or fleet. It is the cluster-aware
+// counterpart of core.Run and the single entry point the runner dispatches
+// through:
+//
+//   - cluster mode off: exactly core.Run.
+//   - a fleet of one with no admission policy: delegated verbatim to
+//     core.Run, so an N=1 cluster run reproduces the equivalent plain run
+//     byte-identically — report and metrics bundle (the check_cluster.sh
+//     gate).
+//   - a real fleet: N instances in one engine, closed-loop (each member
+//     serves its own user population) or open-loop (a central arrival
+//     process routed through admission and routing policies).
+func Run(cfg core.Config, cc Config, kind core.TestKind) (core.Outcome, error) {
+	if err := cc.Validate(); err != nil {
+		return core.Outcome{}, err
+	}
+	if !cc.Enabled() || (cc.Instances == 1 && cc.Admission == "") {
+		return core.Run(cfg, kind)
+	}
+	if kind != core.Application {
+		return core.Outcome{}, fmt.Errorf("cluster: fleets run the application test only, not %s (allocation measures space on one array; the sequential test's whole-file phases are single-server)", kind)
+	}
+	d, err := newDeployment(cfg, cc)
+	if err != nil {
+		return core.Outcome{}, err
+	}
+	return d.run()
+}
+
+// Deployment is one live fleet: N core.Instances in a shared engine, the
+// router's load view, the admission policy's occupancy, and the
+// fleet-level accounting.
+type Deployment struct {
+	cfg core.Config
+	cc  Config
+	eng *sim.Engine
+
+	insts  []*core.Instance
+	live   []int   // true per-instance in-flight counts (router ground truth)
+	routed []int64 // arrivals routed per instance
+
+	router RoutingPolicy
+	admit  AdmissionPolicy
+	src    *core.ArrivalSource // nil for closed-loop fleets
+
+	arrivals, admitted, rejected int64
+	latency                      stats.Welford
+	latencyH                     *stats.Histogram
+	stableCount                  int
+
+	// Metrics handles (nil when metrics are off).
+	reg              *metrics.Registry
+	mArr, mAdm, mRej *metrics.Counter
+}
+
+// newDeployment builds the fleet: each member gets the same configuration
+// with its own RNG stream (Seed + index·stride), metrics and tracing
+// detached (instance 0 keeps the trace writer), and the fault scenario
+// only on the targeted member.
+func newDeployment(cfg core.Config, cc Config) (*Deployment, error) {
+	d := &Deployment{
+		cfg:      cfg,
+		cc:       cc,
+		eng:      &sim.Engine{},
+		live:     make([]int, cc.Instances),
+		routed:   make([]int64, cc.Instances),
+		latencyH: core.NewLatencyHistogram(),
+		reg:      cfg.Metrics,
+	}
+	for i := 0; i < cc.Instances; i++ {
+		icfg := cfg
+		// The fleet's registry belongs to the Deployment: per-instance
+		// registries would collide on series names, so members run
+		// metrics-off and the cluster.* series sample them from outside.
+		icfg.Metrics = nil
+		if i != 0 {
+			// One event trace per run: instance 0's. N interleaved traces
+			// in one stream would be unparseable.
+			icfg.TraceWriter = nil
+		}
+		if i != cc.FaultInstance {
+			icfg.Degraded = false
+			icfg.Faults = fault.Scenario{}
+		}
+		in, err := core.NewInstance(icfg, core.Application, d.eng, i)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: instance %d: %w", i, err)
+		}
+		d.insts = append(d.insts, in)
+	}
+	switch cc.EffectiveRouting() {
+	case RouteRoundRobin:
+		d.router = newRoundRobin(cc.Instances)
+	case RouteLeastLoaded:
+		d.router = newLeastLoaded(d.live, cc.SnapshotMS <= 0)
+	case RouteAffinity:
+		d.router = newAffinity(cc.Instances)
+	}
+	d.admit = newAdmission(cc)
+	return d, nil
+}
+
+// run primes every member, starts measurement, drives the load, and
+// assembles the fleet outcome.
+func (d *Deployment) run() (core.Outcome, error) {
+	out := core.Outcome{Kind: core.Application}
+	open := d.cfg.Workload.Arrivals != nil
+
+	// Priming advances no simulated time (allocation-only traffic), so the
+	// sequential loop is deterministic and every member starts at t=0.
+	for i, in := range d.insts {
+		if err := in.PrimeThroughput(); err != nil {
+			return out, fmt.Errorf("cluster: instance %d: %w", i, err)
+		}
+	}
+	for _, in := range d.insts {
+		in.StartMeasurement()
+		in.SetOnStable(d.onStable)
+	}
+	if open {
+		// Central open-loop source → admission → routing → member. The
+		// source draws from instance 0's seed stream offset, so a fleet
+		// and a plain open-loop run see the same arrival sequence.
+		src, err := core.NewArrivalSource(d.eng, d.cfg.Seed, &d.cfg.Workload, d.onArrival)
+		if err != nil {
+			return out, err
+		}
+		d.src = src
+		for _, in := range d.insts {
+			in.SetOnOpDone(d.onOpDone)
+		}
+		src.Start(d.eng.Now())
+	} else {
+		// Closed-loop fleet: every member serves its own user population,
+		// N paper-model servers sharing one clock.
+		for _, in := range d.insts {
+			in.ScheduleUsers()
+		}
+	}
+	d.startSnapshotTick()
+	d.wireMetrics()
+
+	end := d.eng.Run(d.eng.Now() + d.insts[0].MaxSimMS())
+
+	perf, report, err := d.results(end)
+	if err != nil {
+		return out, err
+	}
+	perf.Cluster = report
+	out.Perf = perf
+	out.Stats = core.RunStats{SimMS: end, Events: d.eng.Fired()}
+	d.finalizeMetrics(end, report)
+	out.Metrics = d.cfg.Metrics
+	for _, in := range d.insts {
+		if in.Canceled() {
+			return out, core.ErrCanceled
+		}
+	}
+	return out, nil
+}
+
+// onArrival is the open-loop sink: admission, routing, dispatch.
+func (d *Deployment) onArrival(now float64, a core.Arrival) {
+	d.arrivals++
+	if d.mArr != nil {
+		d.mArr.Inc()
+	}
+	if !d.admit.Admit(now) {
+		d.rejected++
+		if d.mRej != nil {
+			d.mRej.Inc()
+		}
+		return
+	}
+	d.admitted++
+	if d.mAdm != nil {
+		d.mAdm.Inc()
+	}
+	i := d.router.Route(now, a)
+	d.live[i]++
+	d.routed[i]++
+	d.insts[i].Dispatch(now, a)
+}
+
+// onOpDone drains one admitted operation: load accounting, latency, and
+// the trace-exhaustion stop.
+func (d *Deployment) onOpDone(in *core.Instance, now, latencyMS float64) {
+	d.live[in.Index()]--
+	d.admit.Release(now)
+	d.latency.Add(latencyMS)
+	d.latencyH.Add(latencyMS)
+	if d.src.Exhausted() && d.totalLive() == 0 {
+		d.eng.Stop()
+	}
+}
+
+// onStable counts stabilized members; the engine stops when the whole
+// fleet is stable (a plain run stops at its single instance's
+// stabilization — same rule, N=1).
+func (d *Deployment) onStable() {
+	d.stableCount++
+	if d.stableCount == len(d.insts) {
+		d.eng.Stop()
+	}
+}
+
+func (d *Deployment) totalLive() int {
+	t := 0
+	for _, v := range d.live {
+		t += v
+	}
+	return t
+}
+
+// startSnapshotTick schedules the least-loaded router's snapshot refresh
+// at the configured staleness interval.
+func (d *Deployment) startSnapshotTick() {
+	ll, ok := d.router.(*leastLoaded)
+	if !ok || d.cc.SnapshotMS <= 0 {
+		return
+	}
+	var tick sim.Handler
+	tick = func(now float64) {
+		ll.refresh()
+		d.eng.After(d.cc.SnapshotMS, tick)
+	}
+	d.eng.After(d.cc.SnapshotMS, tick)
+}
+
+// results merges the members into the fleet PerfResult and ClusterReport.
+func (d *Deployment) results(end float64) (core.PerfResult, *core.ClusterReport, error) {
+	res := core.PerfResult{Policy: d.cfg.Policy.Name(), Workload: d.cfg.Workload.Name}
+	rep := &core.ClusterReport{
+		Instances: d.cc.Instances,
+		Routing:   d.router.Name(),
+		Admission: d.admit.Name(),
+		Arrivals:  d.arrivals,
+		Admitted:  d.admitted,
+		Rejected:  d.rejected,
+	}
+	if d.arrivals > 0 {
+		rep.RejectPct = 100 * float64(d.rejected) / float64(d.arrivals)
+	}
+
+	var lat stats.Welford
+	latH := core.NewLatencyHistogram()
+	var maxOps int64
+	stable := true
+	for i, in := range d.insts {
+		ir, err := in.Result(end)
+		if err != nil {
+			return res, rep, fmt.Errorf("cluster: instance %d: %w", i, err)
+		}
+		ip := core.InstancePerf{
+			Index:         i,
+			Routed:        d.routed[i],
+			Ops:           ir.Ops,
+			Percent:       ir.Percent,
+			Stable:        ir.Stable,
+			MeanLatencyMS: ir.MeanLatencyMS,
+			P95LatencyMS:  ir.P95LatencyMS,
+			Utilization:   ir.FinalUtilization,
+			Faulted:       i == d.cc.FaultInstance && ir.Faults != nil,
+		}
+		rep.PerInstance = append(rep.PerInstance, ip)
+		if ir.Faults != nil {
+			res.Faults = ir.Faults
+		}
+		// Fleet throughput is the mean of per-member percents: members run
+		// identical arrays, so this is fleet bytes over fleet capacity.
+		res.Percent += ir.Percent / float64(d.cc.Instances)
+		res.Bytes += ir.Bytes
+		res.Ops += ir.Ops
+		res.AllocFails += ir.AllocFails
+		res.FinalUtilization += ir.FinalUtilization / float64(d.cc.Instances)
+		if ir.Windows > res.Windows {
+			res.Windows = ir.Windows
+		}
+		stable = stable && ir.Stable
+		if ir.Ops > maxOps {
+			maxOps = ir.Ops
+		}
+		in.MergeLatency(&lat, latH)
+	}
+	if res.Ops > 0 {
+		rep.UtilSkew = float64(maxOps) * float64(d.cc.Instances) / float64(res.Ops)
+	}
+	res.Stable = stable
+	res.SimMS = end
+	if d.src != nil {
+		// Open-loop fleets report the centrally observed latency — the
+		// client's view across routing and admission.
+		res.MeanLatencyMS = d.latency.Mean()
+		res.P95LatencyMS = d.latencyH.Quantile(0.95)
+	} else {
+		res.MeanLatencyMS = lat.Mean()
+		res.P95LatencyMS = latH.Quantile(0.95)
+	}
+	return res, rep, nil
+}
+
+// wireMetrics registers the cluster.* series on the run's registry and
+// schedules the sampling tick (the members run metrics-off; the fleet's
+// registry samples them from outside).
+func (d *Deployment) wireMetrics() {
+	reg := d.reg
+	if reg == nil {
+		return
+	}
+	reg.SetLabel("policy", d.cfg.Policy.Name())
+	reg.SetLabel("workload", d.cfg.Workload.Name)
+	reg.SetLabel("test", "app")
+	reg.SetLabel("seed", strconv.FormatInt(d.cfg.Seed, 10))
+	reg.SetLabel("cluster", strconv.Itoa(d.cc.Instances))
+	reg.SetLabel("routing", d.router.Name())
+	if d.admit.Name() != "" {
+		reg.SetLabel("admission", d.admit.Name())
+	}
+
+	d.mArr = reg.Counter("cluster.arrivals")
+	d.mAdm = reg.Counter("cluster.admitted")
+	d.mRej = reg.Counter("cluster.rejected")
+
+	reg.TimelineFunc("cluster.inflight", func() float64 { return float64(d.totalLive()) })
+	reg.TimelineFunc("sim.events", func() float64 { return float64(d.eng.Fired()) })
+	reg.TimelineFunc("sim.heap_depth", func() float64 { return float64(d.eng.Pending()) })
+	for i, in := range d.insts {
+		i, in := i, in
+		p := "cluster.inst." + strconv.Itoa(i) + "."
+		reg.TimelineFunc(p+"inflight", func() float64 { return float64(d.live[i]) })
+		reg.TimelineFunc(p+"utilization", in.Utilization)
+		reg.TimelineFunc(p+"ops", func() float64 { return float64(in.Ops()) })
+	}
+
+	interval := reg.IntervalMS()
+	var tick sim.Handler
+	tick = func(now float64) {
+		reg.Sample(now)
+		d.eng.After(interval, tick)
+	}
+	d.eng.After(interval, tick)
+}
+
+// finalizeMetrics records the end-of-run fleet gauges and closes the
+// timelines.
+func (d *Deployment) finalizeMetrics(end float64, rep *core.ClusterReport) {
+	reg := d.reg
+	if reg == nil {
+		return
+	}
+	reg.Gauge("sim.events_fired").Set(float64(d.eng.Fired()))
+	reg.Gauge("sim.heap_max").Set(float64(d.eng.MaxPending()))
+	reg.Gauge("sim.end_ms").Set(end)
+	reg.Gauge("cluster.instances").Set(float64(rep.Instances))
+	reg.Gauge("cluster.reject_pct").Set(rep.RejectPct)
+	reg.Gauge("cluster.util_skew").Set(rep.UtilSkew)
+	for _, ip := range rep.PerInstance {
+		p := "cluster.inst." + strconv.Itoa(ip.Index) + "."
+		reg.Gauge(p + "ops_total").Set(float64(ip.Ops))
+		reg.Gauge(p + "throughput_pct").Set(ip.Percent)
+		reg.Gauge(p + "final_utilization").Set(ip.Utilization)
+		reg.Gauge(p + "routed").Set(float64(ip.Routed))
+	}
+	reg.Sample(end)
+}

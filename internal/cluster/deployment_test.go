@@ -1,0 +1,211 @@
+package cluster_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"rofs/internal/alloc/extent"
+	"rofs/internal/cluster"
+	"rofs/internal/core"
+	"rofs/internal/experiments"
+	"rofs/internal/metrics"
+	"rofs/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// benchCfg returns a bench-scale TP application config (the workload whose
+// random 8K reads exercise routing most evenly).
+func benchCfg(t *testing.T) core.Config {
+	t.Helper()
+	sc := experiments.BenchScale()
+	wl, err := sc.Workload("TP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sc.Config(core.Extent(extent.BestFit, []int64{16 * 1024, 512 * 1024, 16 * 1024 * 1024}), wl)
+	cfg.MaxSimMS = 30_000
+	return cfg
+}
+
+// openLoop attaches a Poisson arrival block to the config's workload.
+func openLoop(cfg core.Config, rate float64) core.Config {
+	cfg.Workload.Arrivals = &workload.Arrivals{RatePerSec: rate}
+	return cfg
+}
+
+// An N=1 closed-loop cluster run must reproduce the plain core run
+// byte-identically: same Outcome, same metrics bundle.
+func TestSingleInstanceMatchesPlainRun(t *testing.T) {
+	cfg := benchCfg(t)
+
+	plainCfg := cfg
+	plainCfg.Metrics = metrics.New(1000)
+	plain, err := core.Run(plainCfg, core.Application)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clCfg := cfg
+	clCfg.Metrics = metrics.New(1000)
+	cl, err := cluster.Run(clCfg, cluster.Config{Instances: 1}, core.Application)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(plain.Perf, cl.Perf) {
+		t.Errorf("perf results differ:\nplain:   %+v\ncluster: %+v", plain.Perf, cl.Perf)
+	}
+	if plain.Stats != cl.Stats {
+		t.Errorf("run stats differ: plain %+v cluster %+v", plain.Stats, cl.Stats)
+	}
+	var pb, cb bytes.Buffer
+	if err := plain.Metrics.Write(&pb, metrics.JSON); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Metrics.Write(&cb, metrics.JSON); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pb.Bytes(), cb.Bytes()) {
+		t.Errorf("metrics bundles differ: plain %d bytes, cluster %d bytes", pb.Len(), cb.Len())
+	}
+}
+
+// A multi-instance fleet must be deterministic per seed: the golden pins
+// the full report of an N=4 least-loaded token-bucket run, byte for byte.
+func TestFleetDeterminismGolden(t *testing.T) {
+	cfg := openLoop(benchCfg(t), 400)
+	cc := cluster.Config{
+		Instances:         4,
+		Routing:           cluster.RouteLeastLoaded,
+		SnapshotMS:        250,
+		Admission:         cluster.AdmitTokenBucket,
+		TokenCapacity:     32,
+		TokenRefillPerSec: 300,
+	}
+	run := func() []byte {
+		out, err := cluster.Run(cfg, cc, core.Application)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.MarshalIndent(out.Perf, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append(b, '\n')
+	}
+	first := run()
+	if again := run(); !bytes.Equal(first, again) {
+		t.Fatal("two same-seed fleet runs produced different reports")
+	}
+
+	golden := filepath.Join("testdata", "fleet_n4_tp_seed42.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, first, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(first, want) {
+		t.Errorf("fleet report deviates from golden %s (re-run with -update if the change is intentional)\ngot:\n%s", golden, first)
+	}
+}
+
+// A closed-loop fleet runs N independent user populations on one clock:
+// every member must complete work and the report must carry all members.
+func TestClosedLoopFleet(t *testing.T) {
+	cfg := benchCfg(t)
+	out, err := cluster.Run(cfg, cluster.Config{Instances: 2}, core.Application)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := out.Perf.Cluster
+	if rep == nil {
+		t.Fatal("fleet run produced no cluster report")
+	}
+	if len(rep.PerInstance) != 2 {
+		t.Fatalf("report has %d instances, want 2", len(rep.PerInstance))
+	}
+	for _, ip := range rep.PerInstance {
+		if ip.Ops == 0 {
+			t.Errorf("instance %d completed no operations", ip.Index)
+		}
+	}
+	if rep.Arrivals != 0 {
+		t.Errorf("closed-loop fleet counted %d arrivals, want 0 (nothing is routed)", rep.Arrivals)
+	}
+	if out.Perf.Ops != rep.PerInstance[0].Ops+rep.PerInstance[1].Ops {
+		t.Error("fleet ops do not sum the members")
+	}
+}
+
+// Past the admission cap the reject rate must be nonzero, and admitted +
+// rejected must account for every arrival.
+func TestAdmissionRejectsPastCap(t *testing.T) {
+	cfg := openLoop(benchCfg(t), 2000) // far beyond two bench drives
+	cfg.MaxSimMS = 10_000
+	out, err := cluster.Run(cfg, cluster.Config{
+		Instances: 2,
+		Admission: cluster.AdmitQueue,
+		QueueCap:  8,
+	}, core.Application)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := out.Perf.Cluster
+	if rep == nil {
+		t.Fatal("no cluster report")
+	}
+	if rep.Rejected == 0 {
+		t.Fatal("overloaded bounded queue rejected nothing")
+	}
+	if rep.Admitted+rep.Rejected != rep.Arrivals {
+		t.Fatalf("admitted %d + rejected %d != arrivals %d", rep.Admitted, rep.Rejected, rep.Arrivals)
+	}
+	if rep.RejectPct <= 0 {
+		t.Fatalf("RejectPct = %g, want > 0", rep.RejectPct)
+	}
+}
+
+// Affinity routing keys on the client: with one client, everything lands
+// on one member.
+func TestAffinityPinsClient(t *testing.T) {
+	cfg := benchCfg(t)
+	cfg.Workload.Arrivals = &workload.Arrivals{RatePerSec: 100, Clients: 1}
+	cfg.MaxSimMS = 10_000
+	out, err := cluster.Run(cfg, cluster.Config{Instances: 4, Routing: cluster.RouteAffinity}, core.Application)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := out.Perf.Cluster
+	nonEmpty := 0
+	for _, ip := range rep.PerInstance {
+		if ip.Routed > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty != 1 {
+		t.Fatalf("one client spread across %d instances, want 1", nonEmpty)
+	}
+}
+
+// Fleets are restricted to the application test.
+func TestFleetRejectsOtherKinds(t *testing.T) {
+	cfg := benchCfg(t)
+	for _, kind := range []core.TestKind{core.Allocation, core.Sequential, core.AllocationRealloc} {
+		if _, err := cluster.Run(cfg, cluster.Config{Instances: 2}, kind); err == nil {
+			t.Errorf("kind %s: fleet run accepted, want error", kind)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package cluster
+
+import (
+	"flag"
+
+	"rofs/internal/workload"
+)
+
+// Flags binds the cluster knobs to a flag set — the one vocabulary shared
+// by rofsim, rofs-sweep, and rofs-tables, so a fleet configuration
+// reproduces verbatim across front ends.
+type Flags struct {
+	instances  *int
+	routing    *string
+	snapshotMS *float64
+	admission  *string
+	tokenCap   *float64
+	tokenRate  *float64
+	queueCap   *int
+	faultInst  *int
+
+	rate    *float64
+	clients *int
+}
+
+// AddFlags registers the cluster and open-loop arrival flags on fs.
+func AddFlags(fs *flag.FlagSet) *Flags {
+	return &Flags{
+		instances:  fs.Int("instances", 0, "cluster: fleet size (0: plain single run)"),
+		routing:    fs.String("routing", "", "cluster: rr | least | affinity (default rr)"),
+		snapshotMS: fs.Float64("snapshot-ms", 0, "cluster: least-loaded snapshot staleness (ms, 0: fresh)"),
+		admission:  fs.String("admission", "", "cluster: token | queue (default admit-all)"),
+		tokenCap:   fs.Float64("token-capacity", 0, "cluster: token-bucket burst capacity"),
+		tokenRate:  fs.Float64("token-refill", 0, "cluster: token-bucket refill rate (tokens/s)"),
+		queueCap:   fs.Int("queue-cap", 0, "cluster: bounded-queue in-flight capacity"),
+		faultInst:  fs.Int("fault-instance", 0, "cluster: instance the fault scenario targets"),
+		rate:       fs.Float64("rate", 0, "open-loop Poisson arrival rate (ops/s, 0: closed-loop)"),
+		clients:    fs.Int("arrival-clients", 0, "open-loop client-key population (0: default 256)"),
+	}
+}
+
+// Config assembles the parsed flags into a cluster Config. Call after the
+// flag set has been parsed; validate with Config.Validate.
+func (f *Flags) Config() Config {
+	return Config{
+		Instances:         *f.instances,
+		Routing:           *f.routing,
+		SnapshotMS:        *f.snapshotMS,
+		Admission:         *f.admission,
+		TokenCapacity:     *f.tokenCap,
+		TokenRefillPerSec: *f.tokenRate,
+		QueueCap:          *f.queueCap,
+		FaultInstance:     *f.faultInst,
+	}
+}
+
+// Arrivals returns the open-loop arrival process the flags declare, or
+// nil when -rate is unset (closed-loop user sessions).
+func (f *Flags) Arrivals() *workload.Arrivals {
+	if *f.rate <= 0 {
+		return nil
+	}
+	return &workload.Arrivals{RatePerSec: *f.rate, Clients: *f.clients}
+}

@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"rofs/internal/core"
+)
+
+// RoutingPolicy picks the instance an admitted arrival is dispatched to.
+// Implementations are deterministic: same arrival sequence and load
+// history, same routing decisions. The load view is the router's own —
+// the least-loaded policy reads a snapshot refreshed on its configured
+// interval, not the instantaneous truth.
+type RoutingPolicy interface {
+	// Route returns the target instance index for the arrival at now.
+	Route(now float64, a core.Arrival) int
+	// Name returns the policy's configuration name.
+	Name() string
+}
+
+// roundRobin cycles through the fleet in index order — the fairness
+// baseline every routing comparison starts from.
+type roundRobin struct {
+	n    int
+	next int
+}
+
+func newRoundRobin(n int) *roundRobin { return &roundRobin{n: n} }
+
+func (r *roundRobin) Name() string { return RouteRoundRobin }
+
+func (r *roundRobin) Route(_ float64, _ core.Arrival) int {
+	i := r.next
+	r.next++
+	if r.next == r.n {
+		r.next = 0
+	}
+	return i
+}
+
+// leastLoaded routes to the instance with the fewest in-flight operations
+// in its load snapshot, breaking ties by lowest index. With SnapshotMS of
+// zero the snapshot is the live count (an ideal, instantly-consistent
+// balancer); with a positive interval the Deployment refreshes the
+// snapshot on an engine tick, so between refreshes the router herds
+// arrivals toward a member whose queue may already have filled — the
+// stale-snapshot pathology real balancers exhibit.
+type leastLoaded struct {
+	live []int // deployment-maintained true in-flight counts
+	snap []int // the router's view
+	// fresh reads live directly instead of snap (SnapshotMS == 0).
+	fresh bool
+}
+
+func newLeastLoaded(live []int, fresh bool) *leastLoaded {
+	l := &leastLoaded{live: live, fresh: fresh}
+	if !fresh {
+		l.snap = make([]int, len(live))
+		copy(l.snap, live)
+	}
+	return l
+}
+
+func (l *leastLoaded) Name() string { return RouteLeastLoaded }
+
+// refresh copies the live counts into the router's snapshot.
+func (l *leastLoaded) refresh() {
+	if !l.fresh {
+		copy(l.snap, l.live)
+	}
+}
+
+func (l *leastLoaded) Route(_ float64, _ core.Arrival) int {
+	view := l.live
+	if !l.fresh {
+		view = l.snap
+	}
+	best := 0
+	for i := 1; i < len(view); i++ {
+		if view[i] < view[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// affinity hashes the arrival's client key to an instance, so one
+// client's operations always land on the same member — the prefix-cache /
+// session-affinity routing of serving systems, here standing in for
+// client-local working sets.
+type affinity struct {
+	n int
+}
+
+func newAffinity(n int) *affinity { return &affinity{n: n} }
+
+func (a *affinity) Name() string { return RouteAffinity }
+
+// splitmix64 is the finalizer of the SplitMix64 generator — a cheap,
+// well-mixed integer hash, so consecutive client keys spread across the
+// fleet instead of striping.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+func (a *affinity) Route(_ float64, ar core.Arrival) int {
+	return int(splitmix64(uint64(ar.Client)) % uint64(a.n))
+}

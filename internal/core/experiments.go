@@ -59,6 +59,10 @@ type PerfResult struct {
 	// progress, retries — present only when Config.Faults was enabled, so
 	// fault-free results serialize exactly as before.
 	Faults *fault.Report `json:",omitempty"`
+	// Cluster is the fleet-level report — routing, admission, per-instance
+	// results — present only for multi-instance cluster runs, so plain
+	// results serialize exactly as before.
+	Cluster *ClusterReport `json:",omitempty"`
 }
 
 // RunAllocation performs the allocation test: initialization, then only
@@ -70,7 +74,7 @@ func RunAllocation(cfg Config) (FragResult, error) {
 }
 
 // allocation runs the §3 allocation test on a fresh session.
-func (s *session) allocation() (FragResult, error) {
+func (s *Instance) allocation() (FragResult, error) {
 	res := FragResult{Policy: s.cfg.Policy.Name(), Workload: s.cfg.Workload.Name}
 	if !s.initFiles() {
 		s.scheduleUsers()
@@ -99,7 +103,7 @@ func (s *session) allocation() (FragResult, error) {
 
 // extentsPerFile averages the extent policy's as-allocated extent counts
 // over all live files (Table 4).
-func (s *session) extentsPerFile() float64 {
+func (s *Instance) extentsPerFile() float64 {
 	type counter interface{ ExtentCount() int }
 	var total, n int64
 	for _, ts := range s.types {
@@ -141,7 +145,7 @@ func RunAllocationWithReallocation(cfg Config) (ReallocResult, error) {
 }
 
 // allocationRealloc runs the allocation test followed by the reallocator.
-func (s *session) allocationRealloc() (ReallocResult, error) {
+func (s *Instance) allocationRealloc() (ReallocResult, error) {
 	var res ReallocResult
 	mk := func() FragResult {
 		return FragResult{
@@ -178,10 +182,17 @@ func (s *session) allocationRealloc() (ReallocResult, error) {
 }
 
 // perf shares the application/sequential flow: initialize, fill to the
-// lower utilization bound, measure until stable or capped. The session's
-// kind at entry selects the test.
-func (s *session) perf() (PerfResult, error) {
+// lower utilization bound, measure until stable or capped. The instance's
+// kind at entry selects the test; a workload with an Arrivals block runs
+// the measurement phase open-loop instead of scheduling user streams.
+func (s *Instance) perf() (PerfResult, error) {
 	kind := s.kind
+	if s.cfg.Workload.Arrivals != nil {
+		if kind == sequentialTest {
+			return PerfResult{}, fmt.Errorf("core: open-loop arrivals drive the application test only (the sequential test's whole-file phases are inherently closed-loop)")
+		}
+		return s.perfOpenLoop()
+	}
 	res := PerfResult{Policy: s.cfg.Policy.Name(), Workload: s.cfg.Workload.Name}
 	if s.initFiles() {
 		return res, fmt.Errorf("core: disk filled during initialization (utilization target too high)")
@@ -202,6 +213,38 @@ func (s *session) perf() (PerfResult, error) {
 		s.scheduleUsers()
 	}
 	end := s.eng.Run(s.eng.Now() + s.cfg.MaxSimMS)
+	return s.perfTail(end)
+}
+
+// perfOpenLoop runs the measurement phase against the workload's arrival
+// process: same initialization and fill, but operations arrive from the
+// open-loop source instead of closed user streams. A trace run stops when
+// the replay drains; a Poisson run stops at stabilization or the cap.
+func (s *Instance) perfOpenLoop() (PerfResult, error) {
+	res := PerfResult{Policy: s.cfg.Policy.Name(), Workload: s.cfg.Workload.Name}
+	if err := s.PrimeThroughput(); err != nil {
+		return res, err
+	}
+	s.startTracker()
+	src, err := NewArrivalSource(s.eng, s.cfg.Seed, &s.cfg.Workload, s.Dispatch)
+	if err != nil {
+		return res, err
+	}
+	s.onOpDone = func(_ *Instance, _, _ float64) {
+		if src.Exhausted() && s.inFlightOpen == 0 {
+			s.eng.Stop()
+		}
+	}
+	src.Start(s.eng.Now())
+	end := s.eng.Run(s.eng.Now() + s.cfg.MaxSimMS)
+	return s.perfTail(end)
+}
+
+// perfTail assembles the throughput-test result at end-of-run: tracker
+// readout, latency summary, fault report, consistency check, trace flush.
+// Plain runs, open-loop runs, and fleet members all share it.
+func (s *Instance) perfTail(end float64) (PerfResult, error) {
+	res := PerfResult{Policy: s.cfg.Policy.Name(), Workload: s.cfg.Workload.Name}
 	res.Stable = s.tracker.Stable()
 	if res.Stable {
 		res.Percent = s.tracker.StablePercent()

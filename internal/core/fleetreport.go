@@ -1,0 +1,51 @@
+package core
+
+// Fleet-level result types live in core (like fault.Report on PerfResult)
+// so PerfResult can carry them without importing the cluster package that
+// fills them in — cluster imports core, never the reverse.
+
+// ClusterReport summarizes a multi-instance fleet run: admission and
+// routing outcomes, balance across instances, and each member's own
+// result. It rides on PerfResult.Cluster only for fleet runs, so
+// single-instance results serialize exactly as before.
+type ClusterReport struct {
+	// Instances is the fleet size.
+	Instances int `json:"instances"`
+	// Routing and Admission name the policies the run used.
+	Routing   string `json:"routing"`
+	Admission string `json:"admission,omitempty"`
+
+	// Arrivals counts offered open-loop requests; Admitted and Rejected
+	// split them at the admission policy. Closed-loop fleets (per-instance
+	// user populations, nothing to route) leave all three zero.
+	Arrivals int64 `json:"arrivals,omitempty"`
+	Admitted int64 `json:"admitted,omitempty"`
+	Rejected int64 `json:"rejected,omitempty"`
+	// RejectPct is Rejected as a percent of Arrivals.
+	RejectPct float64 `json:"reject_pct"`
+
+	// UtilSkew is the fleet's load-balance figure: the busiest instance's
+	// completed operations divided by the per-instance mean (1.0 = perfect
+	// balance; N = everything landed on one of N instances).
+	UtilSkew float64 `json:"util_skew"`
+
+	// PerInstance holds each member's result, indexed by fleet slot.
+	PerInstance []InstancePerf `json:"per_instance"`
+}
+
+// InstancePerf is one fleet member's slice of a ClusterReport.
+type InstancePerf struct {
+	Index int `json:"index"`
+	// Routed counts arrivals the router sent here (open-loop fleets only).
+	Routed int64 `json:"routed,omitempty"`
+	Ops    int64 `json:"ops"`
+	// Percent is the member's throughput as a percent of its own disk
+	// system's maximum bandwidth — the paper's reporting unit, per member.
+	Percent       float64 `json:"percent"`
+	Stable        bool    `json:"stable"`
+	MeanLatencyMS float64 `json:"mean_latency_ms"`
+	P95LatencyMS  float64 `json:"p95_latency_ms"`
+	Utilization   float64 `json:"utilization"`
+	// Faulted marks the member the run's fault scenario targeted.
+	Faulted bool `json:"faulted,omitempty"`
+}

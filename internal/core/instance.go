@@ -87,6 +87,13 @@ func (c *Config) setDefaults() error {
 	if err := c.Workload.Validate(); err != nil {
 		return err
 	}
+	if c.Degraded {
+		// Legacy alias: Degraded predates the fault layer and always meant
+		// "drive 0 dead before the run". It now just sets the scenario's
+		// PreFail path, so there is exactly one mechanism that fails drives.
+		c.Faults.PreFail = true
+		c.Faults.FailDrive = 0
+	}
 	if err := c.Faults.Validate(); err != nil {
 		return err
 	}
@@ -129,7 +136,7 @@ func (c *Config) setDefaults() error {
 	return nil
 }
 
-// testKind selects which of the §3 tests a session runs.
+// testKind selects which of the §3 tests an instance runs.
 type testKind int
 
 const (
@@ -138,11 +145,16 @@ const (
 	sequentialTest
 )
 
-// session is one live simulation: engine, disk, policy, file system, and
-// the per-file-type populations and event streams.
-type session struct {
+// Instance is one live simulated file server: disk array, allocation
+// policy, file system, and the per-file-type populations — everything
+// that was the old one-run "session", minus the assumption that it owns
+// the engine. A plain run drives one Instance on a private engine; a
+// cluster Deployment drives N of them inside one shared engine, each with
+// its own RNG stream derived from Seed and the instance index.
+type Instance struct {
 	cfg  Config
 	kind testKind
+	idx  int // instance index within a fleet (0 for plain runs)
 
 	eng  *sim.Engine
 	rng  *sim.RNG
@@ -159,6 +171,18 @@ type session struct {
 	latency    stats.Welford    // per-operation completion latency (ms)
 	latencyH   *stats.Histogram // for tail quantiles
 	pickBuf    [4]float64       // weight scratch for pickOp (no per-op slice)
+
+	// Open-loop dispatch state: pooled arrival operations and the live
+	// count a router's load snapshots read. Closed-loop runs never touch
+	// these.
+	freeOps      []*userOp
+	inFlightOpen int
+	onOpDone     func(in *Instance, now, latencyMS float64)
+
+	// onStable, when non-nil, replaces the default stop-the-engine
+	// reaction to throughput stabilization — a fleet stops only when every
+	// instance is stable, so the Deployment installs a counter here.
+	onStable func()
 
 	// Metrics handles (nil when Config.Metrics is nil; see metrics.go).
 	mOps        [len(opNames)]*metrics.Counter
@@ -177,7 +201,7 @@ type session struct {
 
 // checkCancel polls Config.Cancel every strideth call (counted by *n); on
 // cancellation it records the fact, stops the engine, and reports true.
-func (s *session) checkCancel(n int64, stride int64) bool {
+func (s *Instance) checkCancel(n int64, stride int64) bool {
 	if s.canceled {
 		return true
 	}
@@ -202,7 +226,7 @@ type typeState struct {
 
 // pickFile selects the file a request targets: uniform (the paper's
 // model), or Zipf-ranked when the type declares hot files.
-func (s *session) pickFile(ts *typeState) *fs.File {
+func (s *Instance) pickFile(ts *typeState) *fs.File {
 	if ts.ft.HotSkew > 1 && len(ts.files) > 1 {
 		if ts.zipf == nil {
 			ts.zipf = s.rng.NewZipf(ts.ft.HotSkew, 1<<30)
@@ -218,14 +242,26 @@ func (s *session) pickFile(ts *typeState) *fs.File {
 var latencyBounds = []float64{5, 10, 20, 35, 50, 75, 100, 150, 250, 400, 650,
 	1000, 2000, 4000, 8000, 16000, 32000, 64000, 120000}
 
-// newSession builds the simulator stack. Throughput tests attach the disk
-// system to the file system; the allocation test runs without disk timing
-// (operations complete immediately) since it measures space, not time.
-func newSession(cfg Config, kind testKind) (*session, error) {
+// instanceSeedStride separates fleet members' RNG streams: instance i
+// seeds at Seed + i*stride. A large odd constant keeps nearby base seeds'
+// fleets from colliding; index 0 leaves Seed untouched, so a plain run and
+// fleet member 0 draw identical streams.
+const instanceSeedStride = 1_000_003
+
+// newInstance builds the simulator stack for fleet slot idx on the given
+// engine (nil: the instance owns a fresh engine, the plain-run case).
+// Throughput tests attach the disk system to the file system; the
+// allocation test runs without disk timing (operations complete
+// immediately) since it measures space, not time.
+func newInstance(cfg Config, kind testKind, eng *sim.Engine, idx int) (*Instance, error) {
 	if err := cfg.setDefaults(); err != nil {
 		return nil, err
 	}
-	s := &session{cfg: cfg, kind: kind, eng: &sim.Engine{}, rng: sim.NewRNG(cfg.Seed)}
+	if eng == nil {
+		eng = &sim.Engine{}
+	}
+	seed := cfg.Seed + int64(idx)*instanceSeedStride
+	s := &Instance{cfg: cfg, kind: kind, idx: idx, eng: eng, rng: sim.NewRNG(seed)}
 	if kind != allocationTest {
 		s.latencyH = stats.NewHistogram(latencyBounds)
 	}
@@ -234,8 +270,10 @@ func newSession(cfg Config, kind testKind) (*session, error) {
 		return nil, err
 	}
 	s.dsys = dsys
-	if cfg.Degraded {
-		if err := dsys.FailDrive(0); err != nil {
+	if cfg.Faults.PreFail {
+		// The one way to start a run with a dead drive: the legacy
+		// Config.Degraded flag is folded into Faults.PreFail by setDefaults.
+		if err := dsys.FailDrive(cfg.Faults.FailDrive); err != nil {
 			return nil, err
 		}
 	}
@@ -269,7 +307,7 @@ func newSession(cfg Config, kind testKind) (*session, error) {
 	}
 	s.fsys = fsys
 	if cfg.Faults.Enabled() && kind != allocationTest {
-		inj, err := fault.NewInjector(cfg.Faults, cfg.Seed, dsys, fsys)
+		inj, err := fault.NewInjector(cfg.Faults, seed, dsys, fsys)
 		if err != nil {
 			return nil, err
 		}
@@ -284,7 +322,7 @@ func newSession(cfg Config, kind testKind) (*session, error) {
 // type's mean (§2.2), rounded to whole disk units — the granularity the
 // simulated file sizes live at, like the sector-granular sizes of the
 // paper's simulator.
-func (s *session) drawInitialSize(ft *workload.FileType) int64 {
+func (s *Instance) drawInitialSize(ft *workload.FileType) int64 {
 	size := s.rng.SizeUniform(float64(ft.InitialBytes), float64(ft.InitialDevBytes), 0)
 	return units.RoundUp(size, s.fsys.UnitBytes())
 }
@@ -292,7 +330,7 @@ func (s *session) drawInitialSize(ft *workload.FileType) int64 {
 // initFiles runs the paper's second initialization phase: each file is
 // created and grown to a size drawn uniformly around its type's initial
 // size (§2.2). It reports whether the disk filled during initialization.
-func (s *session) initFiles() bool {
+func (s *Instance) initFiles() bool {
 	for i := range s.cfg.Workload.Types {
 		ft := s.cfg.Workload.Types[i]
 		ts := &typeState{ft: ft}
@@ -316,7 +354,7 @@ func (s *session) initFiles() bool {
 // fill pushes utilization up to the lower measurement bound by growing
 // randomly chosen files without disk traffic — the §3 precondition that
 // "the disks are at least 90% full" when measurement begins.
-func (s *session) fill() {
+func (s *Instance) fill() {
 	target := s.cfg.LowerUtil
 	for n := int64(1); s.fsys.Utilization() < target; n++ {
 		if s.checkCancel(n, 512) {
@@ -336,7 +374,7 @@ func (s *session) fill() {
 
 // markFull records the allocation-test termination state: fragmentation is
 // measured "as soon as the first allocation request fails" (§3).
-func (s *session) markFull(now float64) {
+func (s *Instance) markFull(now float64) {
 	if s.diskFull {
 		return
 	}
@@ -350,7 +388,7 @@ func (s *session) markFull(now float64) {
 // scheduleUsers creates the per-type event streams (the paper's first
 // initialization phase): each of the type's Users streams fires first at a
 // time uniform in [0, Users·HitFrequency] and then ProcessTime-spaced.
-func (s *session) scheduleUsers() {
+func (s *Instance) scheduleUsers() {
 	for _, ts := range s.types {
 		horizon := float64(ts.ft.Users) * ts.ft.HitFreqMS
 		for u := 0; u < ts.ft.Users; u++ {
@@ -368,7 +406,7 @@ func (s *session) scheduleUsers() {
 // path, replacing the per-operation closure chains doOp/stream used to
 // capture: steady-state operation dispatch allocates nothing.
 type userOp struct {
-	s  *session
+	s  *Instance
 	ts *typeState
 
 	// In-flight operation state.
@@ -379,6 +417,13 @@ type userOp struct {
 	inFlight int64   // bytes of the chunk (or extend) at the disk
 	write    bool
 
+	// Open-loop arrivals reuse the same struct through the instance's free
+	// list: open marks the mode (complete releases instead of
+	// rescheduling), forced carries a trace-dictated operation (-1: draw
+	// from the mix). Closed-loop streams never read either field.
+	open   bool
+	forced opKind
+
 	// Continuations, built once per user: fire issues the next operation;
 	// chunkDone advances a streaming transfer; extendDone completes an
 	// extend's write-out.
@@ -388,8 +433,8 @@ type userOp struct {
 }
 
 // newUserOp builds a user stream's operation state and its continuations.
-func newUserOp(s *session, ts *typeState) *userOp {
-	u := &userOp{s: s, ts: ts}
+func newUserOp(s *Instance, ts *typeState) *userOp {
+	u := &userOp{s: s, ts: ts, forced: -1}
 	u.fire = func(float64) { s.doOp(u) }
 	u.chunkDone = u.onChunk
 	u.extendDone = u.onExtend
@@ -415,6 +460,19 @@ func (u *userOp) complete(now float64) {
 			s.latencyH.Add(now - u.issued)
 		}
 		s.mLatency.Observe(now - u.issued)
+	}
+	if u.open {
+		// Open-loop arrival: no think-time reschedule — release the op to
+		// the free list and notify the dispatcher (load source or cluster
+		// deployment) that a slot drained.
+		lat := now - u.issued
+		u.f = nil
+		s.inFlightOpen--
+		s.freeOps = append(s.freeOps, u)
+		if s.onOpDone != nil {
+			s.onOpDone(s, now, lat)
+		}
+		return
 	}
 	s.eng.After(s.rng.Exp(u.ts.ft.ProcessTimeMS), u.fire)
 }
@@ -487,7 +545,7 @@ const (
 // test performs "only the extend, truncate, delete, and create operations
 // in the proportion as expressed by the file type parameters" (§3); the
 // sequential test performs only reads and writes.
-func (s *session) pickOp(ft *workload.FileType) opKind {
+func (s *Instance) pickOp(ft *workload.FileType) opKind {
 	switch s.kind {
 	case allocationTest:
 		// "Only the extend, truncate, delete, and create operations in the
@@ -537,7 +595,7 @@ func (s *session) pickOp(ft *workload.FileType) opKind {
 
 // doOp executes one operation for a random file of the user's type; the
 // user's continuations carry it to its simulated completion.
-func (s *session) doOp(u *userOp) {
+func (s *Instance) doOp(u *userOp) {
 	s.ops++
 	if s.kind == allocationTest && s.ops > s.cfg.MaxOps {
 		s.eng.Stop()
@@ -550,7 +608,12 @@ func (s *session) doOp(u *userOp) {
 	ft := &ts.ft
 	u.issued = s.eng.Now()
 	f := s.pickFile(ts)
-	op := s.pickOp(ft)
+	var op opKind
+	if u.open && u.forced >= 0 {
+		op = u.forced // trace-dictated operation
+	} else {
+		op = s.pickOp(ft)
+	}
 
 	// Reads and writes of an empty file become extends; the file was
 	// deleted earlier and regrows.
@@ -631,7 +694,7 @@ func (s *session) doOp(u *userOp) {
 // for random-pattern files (a database reads aligned pages, which also
 // keeps an 8K access inside one stripe unit), cursor-advancing for
 // sequential ones.
-func (s *session) offsetFor(ft *workload.FileType, f *fs.File, size int64) int64 {
+func (s *Instance) offsetFor(ft *workload.FileType, f *fs.File, size int64) int64 {
 	if f.Length() <= size {
 		return 0
 	}
@@ -650,7 +713,7 @@ func (s *session) offsetFor(ft *workload.FileType, f *fs.File, size int64) int64
 // startTracker arms throughput measurement and the 1-second tick that
 // closes idle windows and stops the run at stabilization. Starting a new
 // tracker supersedes any previous phase's tick chain.
-func (s *session) startTracker() {
+func (s *Instance) startTracker() {
 	tr := stats.NewThroughputTracker(
 		s.cfg.WindowMS, s.dsys.MaxBandwidth(), s.cfg.TolerancePct, s.cfg.StableWindows)
 	s.tracker = tr
@@ -662,7 +725,13 @@ func (s *session) startTracker() {
 		}
 		tr.Tick(now)
 		if tr.Stable() {
-			s.eng.Stop()
+			// Plain runs stop the engine; a fleet member instead reports to
+			// its Deployment, which stops only when every instance is stable.
+			if s.onStable != nil {
+				s.onStable()
+			} else {
+				s.eng.Stop()
+			}
 			return
 		}
 		s.eng.After(1000, tick)

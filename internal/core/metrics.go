@@ -16,7 +16,7 @@ import (
 // nil and the instrumentation points reduce to nil checks; the sampling
 // tick is never scheduled, so a metrics-off run fires exactly the same
 // event sequence as before the registry existed.
-func (s *session) wireMetrics(kind testKind) {
+func (s *Instance) wireMetrics(kind testKind) {
 	reg := s.cfg.Metrics
 	if reg == nil {
 		return
@@ -90,7 +90,7 @@ func (s *session) wireMetrics(kind testKind) {
 // drives timeline sampling at the registry's interval of *simulated* time.
 // It is only scheduled when metrics are enabled, so a metrics-off run's
 // event sequence — and therefore its seeded results — is untouched.
-func (s *session) startMetricsTick() {
+func (s *Instance) startMetricsTick() {
 	reg := s.cfg.Metrics
 	if reg == nil {
 		return
@@ -108,7 +108,7 @@ func (s *session) startMetricsTick() {
 // decomposition, allocator operation counts, metadata footprint, engine
 // high-water marks, and workload shape. Called once from Run after the
 // test completes (also on error paths that produced a session).
-func (s *session) finalizeMetrics() {
+func (s *Instance) finalizeMetrics() {
 	reg := s.cfg.Metrics
 	if reg == nil {
 		return

@@ -73,23 +73,23 @@ type Outcome struct {
 // alongside the result.
 func Run(cfg Config, kind TestKind) (Outcome, error) {
 	out := Outcome{Kind: kind}
-	var s *session
+	var s *Instance
 	var err error
 	switch kind {
 	case Allocation:
-		if s, err = newSession(cfg, allocationTest); err == nil {
+		if s, err = newInstance(cfg, allocationTest, nil, 0); err == nil {
 			out.Frag, err = s.allocation()
 		}
 	case Application:
-		if s, err = newSession(cfg, applicationTest); err == nil {
+		if s, err = newInstance(cfg, applicationTest, nil, 0); err == nil {
 			out.Perf, err = s.perf()
 		}
 	case Sequential:
-		if s, err = newSession(cfg, sequentialTest); err == nil {
+		if s, err = newInstance(cfg, sequentialTest, nil, 0); err == nil {
 			out.Perf, err = s.perf()
 		}
 	case AllocationRealloc:
-		if s, err = newSession(cfg, allocationTest); err == nil {
+		if s, err = newInstance(cfg, allocationTest, nil, 0); err == nil {
 			out.Realloc, err = s.allocationRealloc()
 		}
 	default:

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"rofs/internal/cluster"
+	"rofs/internal/core"
+	"rofs/internal/runner"
+	"rofs/internal/workload"
+)
+
+// FleetCell reports one fleet configuration under open-loop TP load. The
+// offered rate scales with the fleet (RatePerSec per instance), so the
+// scaling rows ask the question a capacity planner would: does doubling
+// the fleet hold per-instance throughput and latency?
+type FleetCell struct {
+	Instances     int
+	Routing       string
+	Admission     string
+	RatePerSec    float64
+	Percent       float64
+	MeanLatencyMS float64
+	P95LatencyMS  float64
+	RejectPct     float64
+	UtilSkew      float64
+}
+
+// fleetVariant is one row's shape; rate is the total offered rate.
+type fleetVariant struct {
+	cc   cluster.Config
+	rate float64
+}
+
+// FleetTable runs the cluster-mode evaluation: a scaling column (N=1,2,4
+// under proportional load, round-robin) and a routing/admission comparison
+// at N=4 — the fleet counterpart of the paper's single-array tables.
+func FleetTable(ctx context.Context, pool *runner.Pool, sc Scale) ([]FleetCell, error) {
+	wl, err := sc.Workload("TP")
+	if err != nil {
+		return nil, err
+	}
+	const perInstanceRate = 100
+	variants := []fleetVariant{
+		// Scaling: proportional offered load, round-robin routing.
+		{cluster.Config{Instances: 1}, perInstanceRate},
+		{cluster.Config{Instances: 2}, 2 * perInstanceRate},
+		{cluster.Config{Instances: 4}, 4 * perInstanceRate},
+		// Routing comparison at N=4 under the same load.
+		{cluster.Config{Instances: 4, Routing: cluster.RouteLeastLoaded, SnapshotMS: 250}, 4 * perInstanceRate},
+		{cluster.Config{Instances: 4, Routing: cluster.RouteAffinity}, 4 * perInstanceRate},
+		// Overload with admission control: double the load, shed the excess.
+		{cluster.Config{Instances: 4, Admission: cluster.AdmitQueue, QueueCap: 64}, 8 * perInstanceRate},
+	}
+	specs := make([]runner.Spec, 0, len(variants))
+	for _, v := range variants {
+		w := wl
+		w.Arrivals = &workload.Arrivals{RatePerSec: v.rate}
+		sp := sc.Spec(core.RBuddy(5, 1, true), w, core.Application)
+		sp.Cluster = v.cc
+		specs = append(specs, sp)
+	}
+	outs, err := runAll(ctx, pool, specs)
+	if err != nil {
+		return nil, fmt.Errorf("fleet table: %w", err)
+	}
+	cells := make([]FleetCell, len(variants))
+	for i, v := range variants {
+		perf := outs[i].Perf
+		c := FleetCell{
+			Instances:     v.cc.Instances,
+			Routing:       v.cc.EffectiveRouting(),
+			Admission:     v.cc.Admission,
+			RatePerSec:    v.rate,
+			Percent:       perf.Percent,
+			MeanLatencyMS: perf.MeanLatencyMS,
+			P95LatencyMS:  perf.P95LatencyMS,
+			UtilSkew:      1,
+		}
+		if cr := perf.Cluster; cr != nil {
+			c.RejectPct = cr.RejectPct
+			c.UtilSkew = cr.UtilSkew
+		}
+		if c.Admission == "" {
+			c.Admission = "none"
+		}
+		cells[i] = c
+	}
+	return cells, nil
+}

@@ -47,6 +47,13 @@ type Scenario struct {
 	// FailDrive selects the drive that fails (default 0). Drive failures
 	// require the RAID5 layout — the only layout with a degraded mode.
 	FailDrive int `json:"fail_drive,omitempty"`
+	// PreFail fails FailDrive before the run begins: the whole run executes
+	// in degraded mode (reads reconstruct from the survivors, writes update
+	// parity alone). It subsumes the legacy core.Config.Degraded flag, which
+	// remains as a documented alias for PreFail with FailDrive 0. PreFail
+	// alone does not arm the injector or the retry machinery — it is a
+	// static initial condition, not an event.
+	PreFail bool `json:"pre_fail,omitempty"`
 
 	// TransientProb is the per-segment probability that a serviced segment
 	// completes with a transient media error (0: none). Failed requests
@@ -116,6 +123,8 @@ func (s Scenario) Validate() error {
 		return fmt.Errorf("fault: RetryBackoffMS %g must be >= 0", s.RetryBackoffMS)
 	case s.Rebuild && !s.FailsDrive():
 		return fmt.Errorf("fault: Rebuild needs a drive failure (FailAtMS or MTTFMS)")
+	case s.PreFail && s.FailsDrive():
+		return fmt.Errorf("fault: PreFail starts the run with FailDrive dead; combining it with scheduled drive failures (FailAtMS/MTTFMS) would fail a second drive, which RAID5 cannot survive")
 	}
 	return nil
 }
@@ -136,24 +145,33 @@ func (s Scenario) withDefaults() Scenario {
 }
 
 // Key renders the scenario's canonical identity for runner.Spec cache
-// keys. Disabled scenarios render empty, so fault-free Specs keep the key
-// encoding they had before this package existed.
+// keys. Scenarios that neither inject events nor pre-fail a drive render
+// empty, so fault-free Specs keep the key encoding they had before this
+// package existed; the prefail term appends only when set, preserving
+// pre-PreFail keys the same way.
 func (s Scenario) Key() string {
-	if !s.Enabled() {
+	if !s.Enabled() && !s.PreFail {
 		return ""
 	}
-	return fmt.Sprintf("failat=%g|mttf=%g|drive=%d|tp=%g|rebuild=%t|spare=%g|chunk=%d|pause=%g|retries=%d|backoff=%g|fseed=%d",
+	key := fmt.Sprintf("failat=%g|mttf=%g|drive=%d|tp=%g|rebuild=%t|spare=%g|chunk=%d|pause=%g|retries=%d|backoff=%g|fseed=%d",
 		s.FailAtMS, s.MTTFMS, s.FailDrive, s.TransientProb, s.Rebuild,
 		s.SpareDelayMS, s.RebuildChunkBytes, s.RebuildPauseMS,
 		s.MaxRetries, s.RetryBackoffMS, s.Seed)
+	if s.PreFail {
+		key += "|prefail=true"
+	}
+	return key
 }
 
 // String summarizes the scenario for progress lines and reports.
 func (s Scenario) String() string {
-	if !s.Enabled() {
+	if !s.Enabled() && !s.PreFail {
 		return "none"
 	}
 	var parts []string
+	if s.PreFail {
+		parts = append(parts, fmt.Sprintf("prefail d%d", s.FailDrive))
+	}
 	if s.FailAtMS > 0 {
 		parts = append(parts, fmt.Sprintf("fail d%d@%gms", s.FailDrive, s.FailAtMS))
 	}

@@ -6,6 +6,7 @@ import "flag"
 // shared by rofsim, rofs-sweep, rofs-tables, and rofs-client, so a
 // scenario reproduces verbatim across front ends.
 type Flags struct {
+	preFail    *bool
 	failAt     *float64
 	mttf       *float64
 	drive      *int
@@ -22,6 +23,7 @@ type Flags struct {
 // AddFlags registers the fault-scenario flags on fs.
 func AddFlags(fs *flag.FlagSet) *Flags {
 	return &Flags{
+		preFail:    fs.Bool("pre-fail", false, "fault: start with -fail-drive already failed (raid5 only)"),
 		failAt:     fs.Float64("fail-at", 0, "fault: fail a drive at this simulated time (ms, 0: never)"),
 		mttf:       fs.Float64("mttf", 0, "fault: mean time to drive failure, exponential arrivals (ms, 0: never)"),
 		drive:      fs.Int("fail-drive", 0, "fault: which drive fails (raid5 only)"),
@@ -40,6 +42,7 @@ func AddFlags(fs *flag.FlagSet) *Flags {
 // flag set has been parsed; validate with Scenario.Validate.
 func (f *Flags) Scenario() Scenario {
 	return Scenario{
+		PreFail:           *f.preFail,
 		FailAtMS:          *f.failAt,
 		MTTFMS:            *f.mttf,
 		FailDrive:         *f.drive,

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"rofs/internal/cluster"
 	"rofs/internal/core"
 	"rofs/internal/metrics"
 )
@@ -276,6 +277,9 @@ func (p *Pool) simulate(ctx context.Context, sp Spec) (out core.Outcome, err err
 	cfg.Cancel = ctx.Done()
 	if p.MetricsIntervalMS > 0 {
 		cfg.Metrics = metrics.New(p.MetricsIntervalMS)
+	}
+	if sp.Cluster.Enabled() {
+		return cluster.Run(cfg, sp.Cluster, sp.Kind)
 	}
 	return core.Run(cfg, sp.Kind)
 }

@@ -13,6 +13,7 @@ package runner
 import (
 	"fmt"
 
+	"rofs/internal/cluster"
 	"rofs/internal/core"
 	"rofs/internal/disk"
 	"rofs/internal/fault"
@@ -38,10 +39,14 @@ type Spec struct {
 	// StableWindows overrides how many consecutive in-tolerance windows
 	// count as a stabilized throughput run (0: the core default of 3).
 	StableWindows int
-	// Degraded fails drive 0 before the run (RAID-5 only).
+	// Degraded fails drive 0 before the run (RAID-5 only). It is the
+	// legacy alias for Faults.PreFail with FailDrive 0.
 	Degraded bool
 	// Faults declares the run's fault scenario (zero: no faults).
 	Faults fault.Scenario
+	// Cluster, when enabled, runs the Spec as an N-instance fleet through
+	// the cluster Deployment (zero: plain single-instance run).
+	Cluster cluster.Config
 }
 
 // Config assembles the core.Config the Spec declares.
@@ -64,13 +69,21 @@ func (s Spec) Config() core.Config {
 // excluded. The encodings are plain-value struct dumps, deterministic
 // because the underlying configurations hold no maps or pointers.
 func (s Spec) Key() string {
-	key := fmt.Sprintf("%s|%+v|%+v|%+v|seed=%d|max=%g|sw=%d|deg=%t",
-		s.Kind, s.Policy, s.Disk, s.Workload, s.Seed, s.MaxSimMS, s.StableWindows, s.Degraded)
+	// Workload renders through KeyString, which matches the historical
+	// two-field %+v dump byte-for-byte and appends an arrivals term only
+	// when an open-loop process is configured — a raw %+v would render the
+	// Arrivals pointer as an address and break key determinism.
+	key := fmt.Sprintf("%s|%+v|%+v|%s|seed=%d|max=%g|sw=%d|deg=%t",
+		s.Kind, s.Policy, s.Disk, s.Workload.KeyString(), s.Seed, s.MaxSimMS, s.StableWindows, s.Degraded)
 	// The fault term is appended only for enabled scenarios, so fault-free
 	// Specs keep the key encoding they had before faults existed (pinned
 	// by the spec-key golden test).
 	if fk := s.Faults.Key(); fk != "" {
 		key += "|faults{" + fk + "}"
+	}
+	// Likewise the cluster term exists only for fleet runs.
+	if ck := s.Cluster.Key(); ck != "" {
+		key += "|cluster{" + ck + "}"
 	}
 	return key
 }

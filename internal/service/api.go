@@ -24,12 +24,14 @@ import (
 	"strings"
 
 	"rofs/internal/alloc/extent"
+	"rofs/internal/cluster"
 	"rofs/internal/core"
 	"rofs/internal/disk"
 	"rofs/internal/experiments"
 	"rofs/internal/fault"
 	"rofs/internal/runner"
 	"rofs/internal/units"
+	"rofs/internal/workload"
 )
 
 // RunRequest is the POST /v1/runs body. It speaks the same vocabulary as
@@ -65,6 +67,16 @@ type RunRequest struct {
 	// or a zero scenario runs fault-free. Drive failures require the
 	// raid5 layout.
 	Faults *fault.Scenario `json:"faults,omitempty"`
+
+	// Arrivals attaches an open-loop arrival process (Poisson rate or
+	// timestamped trace, see internal/workload) to the workload; nil keeps
+	// the closed-loop user sessions. Application test only.
+	Arrivals *workload.Arrivals `json:"arrivals,omitempty"`
+
+	// Cluster runs the request as an N-instance fleet through the cluster
+	// Deployment (see internal/cluster); nil or a zero config runs a plain
+	// single-instance simulation. Application test only.
+	Cluster *cluster.Config `json:"cluster,omitempty"`
 
 	// MaxSimMS overrides the scale's simulated-time cap.
 	MaxSimMS float64 `json:"max_sim_ms,omitempty"`
@@ -137,6 +149,25 @@ func (req *RunRequest) Spec() (runner.Spec, error) {
 	if err != nil {
 		return zero, err
 	}
+	if req.Arrivals != nil {
+		wl.Arrivals = req.Arrivals
+		if err := wl.Validate(); err != nil {
+			return zero, err
+		}
+		if req.Test != "app" {
+			return zero, fmt.Errorf("open-loop arrivals require the app test, not %q", req.Test)
+		}
+	}
+	var cl cluster.Config
+	if req.Cluster != nil {
+		cl = *req.Cluster
+		if err := cl.Validate(); err != nil {
+			return zero, err
+		}
+		if cl.Enabled() && req.Test != "app" {
+			return zero, fmt.Errorf("cluster mode requires the app test, not %q", req.Test)
+		}
+	}
 
 	var kind core.TestKind
 	switch req.Test {
@@ -205,6 +236,7 @@ func (req *RunRequest) Spec() (runner.Spec, error) {
 	sp.StableWindows = req.StableWindows
 	sp.Degraded = req.Degraded
 	sp.Faults = faults
+	sp.Cluster = cl
 	return sp, nil
 }
 

@@ -1,0 +1,149 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+
+	"rofs/internal/cluster"
+	"rofs/internal/metrics"
+	"rofs/internal/runner"
+	"rofs/internal/workload"
+)
+
+// clusterReq is shortReq as an open-loop two-instance fleet behind
+// least-loaded routing and a bounded queue — every cluster knob the
+// request schema exposes gets exercised in one run.
+func clusterReq() RunRequest {
+	req := shortReq()
+	req.Arrivals = &workload.Arrivals{RatePerSec: 200}
+	req.Cluster = &cluster.Config{
+		Instances: 2,
+		Routing:   cluster.RouteLeastLoaded,
+		Admission: cluster.AdmitQueue,
+		QueueCap:  64,
+	}
+	return req
+}
+
+// TestClusterRunOverHTTP extends the service's byte-identical contract to
+// fleet runs: a cluster run served over HTTP matches a direct pool run of
+// the same Spec — including the cluster report — and the report's
+// admission accounting balances.
+func TestClusterRunOverHTTP(t *testing.T) {
+	_, c := newTestServer(t, Options{Jobs: 2})
+
+	req := clusterReq()
+	st, err := c.SubmitWait(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone || st.Result == nil || st.Result.Perf == nil {
+		t.Fatalf("unexpected terminal status: %+v", st)
+	}
+	cr := st.Result.Perf.Cluster
+	if cr == nil {
+		t.Fatal("fleet run returned no cluster report")
+	}
+	if cr.Instances != 2 || len(cr.PerInstance) != 2 {
+		t.Errorf("report has %d instances (%d per-instance rows), want 2",
+			cr.Instances, len(cr.PerInstance))
+	}
+	if cr.Routing != cluster.RouteLeastLoaded || cr.Admission != cluster.AdmitQueue {
+		t.Errorf("policies = %s/%s, want least/queue", cr.Routing, cr.Admission)
+	}
+	if cr.Arrivals <= 0 {
+		t.Errorf("open-loop fleet recorded %d arrivals, want > 0", cr.Arrivals)
+	}
+	if cr.Admitted+cr.Rejected != cr.Arrivals {
+		t.Errorf("admission does not balance: %d admitted + %d rejected != %d arrivals",
+			cr.Admitted, cr.Rejected, cr.Arrivals)
+	}
+
+	sp, err := req.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := runner.New(1)
+	pool.MetricsIntervalMS = metrics.DefaultIntervalMS
+	res, err := pool.Run(context.Background(), []runner.Spec{sp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := newRunResult(res[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := mustJSON(t, st.Result.Perf), mustJSON(t, direct.Perf); got != want {
+		t.Errorf("fleet perf result diverged:\nhttp:   %s\ndirect: %s", got, want)
+	}
+	if got, want := compactJSON(t, st.Result.Metrics), compactJSON(t, direct.Metrics); !bytes.Equal(got, want) {
+		t.Errorf("fleet metrics bundles diverged:\nhttp:   %s\ndirect: %s", got, want)
+	}
+	// The rofs-metrics/v1 bundle must carry the cluster series.
+	for _, series := range []string{"cluster.arrivals", "cluster.admitted"} {
+		if !strings.Contains(string(st.Result.Metrics), series) {
+			t.Errorf("metrics bundle missing %q", series)
+		}
+	}
+}
+
+// TestClusterRequestSpecKey pins that the cluster config and arrivals
+// reach the Spec and its cache key — two fleets of different shapes must
+// never coalesce on the pool cache.
+func TestClusterRequestSpecKey(t *testing.T) {
+	req := clusterReq()
+	sp, err := req.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sp.Cluster.Enabled() || sp.Cluster.Instances != 2 {
+		t.Fatalf("spec did not pick up the cluster config: %+v", sp.Cluster)
+	}
+	if !strings.Contains(sp.Key(), "n=2|route=least") {
+		t.Errorf("spec key %q does not encode the fleet", sp.Key())
+	}
+	other := clusterReq()
+	other.Cluster.Instances = 4
+	osp, err := other.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Key() == osp.Key() {
+		t.Errorf("2- and 4-instance fleets share cache key %q", sp.Key())
+	}
+	plain := shortReq()
+	psp, err := plain.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(psp.Key(), "cluster") || strings.Contains(psp.Key(), "arrive") {
+		t.Errorf("plain request key %q grew cluster terms", psp.Key())
+	}
+}
+
+// TestClusterRequestValidation covers the cluster-specific 400s: fleets
+// and arrivals outside the app test, and invalid policy configurations.
+func TestClusterRequestValidation(t *testing.T) {
+	_, c := newTestServer(t, Options{Jobs: 1})
+	for name, body := range map[string]string{
+		"cluster-needs-app":  `{"policy":"buddy","workload":"TS","test":"seq","cluster":{"instances":2}}`,
+		"arrivals-needs-app": `{"policy":"buddy","workload":"TS","test":"alloc","arrivals":{"rate_per_s":100}}`,
+		"bad-routing":        `{"policy":"buddy","workload":"TS","test":"app","cluster":{"instances":2,"routing":"random"}}`,
+		"token-needs-rate":   `{"policy":"buddy","workload":"TS","test":"app","cluster":{"instances":2,"admission":"token"}}`,
+		"queue-needs-cap":    `{"policy":"buddy","workload":"TS","test":"app","cluster":{"instances":2,"admission":"queue"}}`,
+		"fault-inst-range":   `{"policy":"buddy","workload":"TS","test":"app","cluster":{"instances":2,"fault_instance":5}}`,
+		"bad-rate":           `{"policy":"buddy","workload":"TS","test":"app","arrivals":{"rate_per_s":-1}}`,
+	} {
+		resp, err := http.Post(c.BaseURL+"/v1/runs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", name, resp.StatusCode)
+		}
+	}
+}

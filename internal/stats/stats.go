@@ -170,6 +170,25 @@ func (h *Histogram) Counts() []int64 {
 	return c
 }
 
+// Merge folds another histogram's counts into this one. Both histograms
+// must have been built with identical bucket bounds (fleet aggregation
+// merges per-instance latency histograms that share latencyBounds).
+func (h *Histogram) Merge(o *Histogram) {
+	if len(h.bounds) != len(o.bounds) {
+		panic("stats: merging histograms with different bucket counts")
+	}
+	for i, b := range h.bounds {
+		if o.bounds[i] != b {
+			panic("stats: merging histograms with different bounds")
+		}
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+	h.nans += o.nans
+}
+
 // Quantile returns an upper bound on the q-quantile (0 <= q <= 1) by
 // walking the buckets; it returns +Inf when the quantile falls in the
 // overflow bucket and 0 when the histogram is empty.

@@ -95,10 +95,16 @@ func (ft *FileType) Validate() error {
 	return nil
 }
 
-// Workload is a named set of file types.
+// Workload is a named set of file types, optionally driven by an
+// open-loop arrival process instead of the default closed-loop user
+// streams (see Arrivals).
 type Workload struct {
 	Name  string
 	Types []FileType
+	// Arrivals, when non-nil, replaces the closed-loop per-user sessions
+	// with an open-loop arrival process (Poisson or trace). Closed-loop
+	// runs leave it nil.
+	Arrivals *Arrivals `json:"Arrivals,omitempty"`
 }
 
 // Validate checks every file type.
@@ -111,7 +117,24 @@ func (w *Workload) Validate() error {
 			return err
 		}
 	}
+	if w.Arrivals != nil {
+		if err := w.Arrivals.Validate(w); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// KeyString renders the workload for runner.Spec cache keys. The Name/Types
+// rendering is byte-identical to the pre-arrivals `%+v` of the two-field
+// struct, so existing spec keys (and the spec_key golden) are preserved; an
+// arrivals block appends its own term only when present.
+func (w *Workload) KeyString() string {
+	s := fmt.Sprintf("{Name:%s Types:%+v}", w.Name, w.Types)
+	if w.Arrivals != nil {
+		s += "|arrivals{" + w.Arrivals.Key() + "}"
+	}
+	return s
 }
 
 // InitialBytes returns the expected total initial allocation.

@@ -1,0 +1,66 @@
+#!/bin/sh
+# check_cluster.sh — the cluster-smoke gate, three contracts:
+#
+#   1. delegation: an N=1 closed-loop cluster run is byte-identical to the
+#      plain run — report and rofs-metrics/v1 bundle;
+#   2. determinism: a routed N=4 open-loop fleet reproduces exactly under
+#      the same seed;
+#   3. admission: past the configured capacity the fleet sheds load — the
+#      reject rate is nonzero and arrivals = admitted + rejected.
+set -eu
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "check_cluster: N=1 cluster run matches the plain run byte for byte"
+# The human report goes to stdout; stderr carries the bundle-path note,
+# which necessarily differs between the two runs.
+go run ./cmd/rofsim -workload TP -test app -metrics "$tmp/plain.json" \
+	>"$tmp/plain.txt" 2>/dev/null
+go run ./cmd/rofsim -workload TP -test app -metrics "$tmp/fleet1.json" \
+	-instances 1 >"$tmp/fleet1.txt" 2>/dev/null
+cmp "$tmp/plain.txt" "$tmp/fleet1.txt" || {
+	echo "check_cluster: FAIL: N=1 cluster report deviates from the plain run" >&2
+	diff "$tmp/plain.txt" "$tmp/fleet1.txt" >&2 || true
+	exit 1
+}
+cmp "$tmp/plain.json" "$tmp/fleet1.json" || {
+	echo "check_cluster: FAIL: N=1 cluster metrics bundle deviates from the plain run" >&2
+	exit 1
+}
+
+echo "check_cluster: routed N=4 open-loop fleet reproduces under the same seed"
+fleet="go run ./cmd/rofsim -workload TP -test app -instances 4 -routing least \
+	-snapshot-ms 250 -admission token -token-capacity 32 -token-refill 300 \
+	-rate 400 -max-sim 30000"
+out1=$($fleet 2>&1)
+out2=$($fleet 2>&1)
+if [ "$out1" != "$out2" ]; then
+	echo "check_cluster: FAIL: seeded fleet runs diverged" >&2
+	printf 'first:\n%s\nsecond:\n%s\n' "$out1" "$out2" >&2
+	exit 1
+fi
+echo "$out1" | grep -q 'cluster: *4 instances' || {
+	echo "check_cluster: FAIL: no cluster report in the fleet run" >&2
+	echo "$out1" >&2
+	exit 1
+}
+
+echo "check_cluster: overloaded fleet sheds load through admission control"
+out=$(go run ./cmd/rofsim -workload TP -test app -instances 2 -admission queue \
+	-queue-cap 8 -rate 2000 -max-sim 10000 2>&1)
+rejected=$(echo "$out" | sed -n 's/.* \([0-9][0-9]*\) rejected .*/\1/p')
+if [ -z "$rejected" ] || [ "$rejected" -eq 0 ]; then
+	echo "check_cluster: FAIL: overloaded bounded queue rejected nothing" >&2
+	echo "$out" >&2
+	exit 1
+fi
+arrivals=$(echo "$out" | sed -n 's/.* \([0-9][0-9]*\) arrivals.*/\1/p')
+admitted=$(echo "$out" | sed -n 's/.* \([0-9][0-9]*\) admitted.*/\1/p')
+if [ "$((admitted + rejected))" -ne "$arrivals" ]; then
+	echo "check_cluster: FAIL: admitted $admitted + rejected $rejected != arrivals $arrivals" >&2
+	exit 1
+fi
+
+echo "check_cluster: all cluster-smoke checks passed"
