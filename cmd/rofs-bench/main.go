@@ -61,6 +61,15 @@ type cellResult struct {
 	Test     string `json:"test"`
 	// Instances marks the fleet cells (cluster mode); 0 is a plain run.
 	Instances int `json:"instances,omitempty"`
+	// Par is the fleet's worker-goroutine count (Cluster.Parallelism);
+	// 0 is the serial executor. Results are byte-identical either way —
+	// only the wall-clock figures move.
+	Par int `json:"par,omitempty"`
+	// GOMAXPROCS records the scheduler width in effect for this cell:
+	// fleet cells pin it (1 for the serial baseline, all cores for the
+	// parallel cells) so speedups are attributable; plain cells inherit
+	// the process setting.
+	GOMAXPROCS int `json:"gomaxprocs"`
 
 	Events       uint64  `json:"events"`
 	SimMS        float64 `json:"sim_ms"`
@@ -151,8 +160,10 @@ func main() {
 	sc := experiments.BenchScale()
 	sc.Seed = *seedFlag
 
+	// v2 adds per-cell gomaxprocs/par and the parallel fleet cells; plain
+	// cells are unchanged from v1.
 	rep := reportJSON{
-		Schema:     "rofs-bench/v1",
+		Schema:     "rofs-bench/v2",
 		Scale:      sc.Name,
 		Seed:       sc.Seed,
 		Short:      *shortFlag,
@@ -198,7 +209,18 @@ func main() {
 		if *metricsFlag != "" {
 			reg = metrics.New(*metricsIntFlag)
 		}
+		// Fleet cells pin GOMAXPROCS to 1: the serial executor is the
+		// baseline the parallel pass below is compared against, and a
+		// single P keeps its wall clock free of GC assist jitter from
+		// idle Ps.
+		prevProcs := 0
+		if sp.Cluster.Enabled() {
+			prevProcs = runtime.GOMAXPROCS(1)
+		}
 		cell, err := measure(sp, reg, ctx.Done())
+		if prevProcs > 0 {
+			runtime.GOMAXPROCS(prevProcs)
+		}
 		if err != nil {
 			if ctx.Err() != nil {
 				fatal("interrupted during %s (%v); measured cells above", sp.Label(), ctx.Err())
@@ -213,6 +235,35 @@ func main() {
 		rep.Cells = append(rep.Cells, cell)
 		fmt.Fprintf(os.Stderr, "  %-28s %9d events  %8.0f events/sec  %7.1f ns/event  %6.2f allocs/event\n",
 			sp.Label(), cell.Events, cell.EventsPerSec, cell.NsPerEvent, cell.AllocsPerEvent)
+	}
+
+	if !*shortFlag {
+		// Parallel fleet pass: the cluster cells again with the fleet's
+		// engines fanned across worker goroutines and the scheduler opened
+		// to every core. The simulated results are byte-identical to the
+		// serial cells above (the executor's contract); only events/sec
+		// moves, and the serial-vs-parallel pairing in the artifact is what
+		// makes the speedup reviewable.
+		fleet, err := parallelFleetSpecs(sc)
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "rofs-bench: %d parallel fleet cells (gomaxprocs=%d)\n",
+			len(fleet), runtime.NumCPU())
+		prevProcs := runtime.GOMAXPROCS(runtime.NumCPU())
+		for _, sp := range fleet {
+			cell, err := measure(sp, nil, ctx.Done())
+			if err != nil {
+				if ctx.Err() != nil {
+					fatal("interrupted during %s (%v); measured cells above", sp.Label(), ctx.Err())
+				}
+				fatal("%s: %v", sp.Label(), err)
+			}
+			rep.Cells = append(rep.Cells, cell)
+			fmt.Fprintf(os.Stderr, "  %-28s %9d events  %8.0f events/sec  %7.1f ns/event  %6.2f allocs/event\n",
+				sp.Label(), cell.Events, cell.EventsPerSec, cell.NsPerEvent, cell.AllocsPerEvent)
+		}
+		runtime.GOMAXPROCS(prevProcs)
 	}
 
 	if *poolJobs > 0 {
@@ -287,18 +338,51 @@ func grid(sc experiments.Scale, short bool) ([]runner.Spec, error) {
 		// Cluster cells: the fleet dispatch path at N=1/4/16 under open-loop
 		// TP load proportional to the fleet, so per-instance pressure is
 		// constant and the numbers isolate the Deployment's overhead.
-		wl, err := sc.Workload("TP")
+		for _, n := range fleetSizes {
+			sp, err := fleetSpec(sc, n, 0)
+			if err != nil {
+				return nil, err
+			}
+			specs = append(specs, sp)
+		}
+	}
+	return specs, nil
+}
+
+// fleetSizes is the cluster grid: one instance (the delegation path),
+// a small fleet, and one wide enough that parallel execution has
+// something to fan out.
+var fleetSizes = []int{1, 4, 16}
+
+// fleetSpec builds one cluster cell: N instances under open-loop TP load
+// proportional to the fleet, with par worker goroutines (0: serial).
+func fleetSpec(sc experiments.Scale, n, par int) (runner.Spec, error) {
+	wl, err := sc.Workload("TP")
+	if err != nil {
+		return runner.Spec{}, err
+	}
+	wl.Arrivals = &workload.Arrivals{RatePerSec: 100 * float64(n)}
+	sp := sc.Spec(core.RBuddy(5, 1, true), wl, core.Application)
+	sp.Cluster = cluster.Config{Instances: n, Parallelism: par}
+	if par > 0 {
+		sp.Name = fmt.Sprintf("cluster-n%d-par%d/TP/app", n, par)
+	} else {
+		sp.Name = fmt.Sprintf("cluster-n%d/TP/app", n)
+	}
+	return sp, nil
+}
+
+// parallelFleetSpecs returns the parallel counterparts of the grid's
+// cluster cells: the same configurations (same Spec.Key, byte-identical
+// results) with one worker per instance.
+func parallelFleetSpecs(sc experiments.Scale) ([]runner.Spec, error) {
+	var specs []runner.Spec
+	for _, n := range fleetSizes {
+		sp, err := fleetSpec(sc, n, n)
 		if err != nil {
 			return nil, err
 		}
-		for _, n := range []int{1, 4, 16} {
-			w := wl
-			w.Arrivals = &workload.Arrivals{RatePerSec: 100 * float64(n)}
-			sp := sc.Spec(core.RBuddy(5, 1, true), w, core.Application)
-			sp.Cluster = cluster.Config{Instances: n}
-			sp.Name = fmt.Sprintf("cluster-n%d/TP/app", n)
-			specs = append(specs, sp)
-		}
+		specs = append(specs, sp)
 	}
 	return specs, nil
 }
@@ -362,6 +446,8 @@ func measure(sp runner.Spec, reg *metrics.Registry, cancel <-chan struct{}) (cel
 		Policy:      sp.Policy.Name(),
 		Test:        sp.Kind.String(),
 		Instances:   sp.Cluster.Instances,
+		Par:         sp.Cluster.Parallelism,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		Events:      events,
 		SimMS:       out.Stats.SimMS,
 		WallSeconds: wall.Seconds(),

@@ -69,6 +69,23 @@ type Config struct {
 	// FaultInstance selects which member a fault scenario targets
 	// (default 0). The other members run fault-free.
 	FaultInstance int `json:"fault_instance,omitempty"`
+
+	// Parallelism is the number of worker goroutines that advance the
+	// fleet's per-instance engines inside each synchronization window
+	// (0 or 1: serial; capped at the fleet size). It is an execution knob,
+	// not a model knob: the schedule — window boundaries, routing,
+	// admission, merge order — is fixed by the configuration alone, so any
+	// Parallelism value produces byte-identical results. For that reason
+	// it is deliberately excluded from Key: a cached serial result answers
+	// a parallel request and vice versa.
+	Parallelism int `json:"par,omitempty"`
+
+	// SyncMS overrides the conservative-lookahead window for open-loop
+	// fleets whose coupling grid would otherwise default to 100 ms (see
+	// Deployment). It is a model knob — bounded-queue releases and fresh
+	// least-loaded counts are observed at window boundaries — so unlike
+	// Parallelism it participates in Key when set.
+	SyncMS float64 `json:"sync_ms,omitempty"`
 }
 
 // Enabled reports whether the run is a cluster run at all.
@@ -94,6 +111,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("cluster: SnapshotMS %g must be >= 0", c.SnapshotMS)
 	case c.FaultInstance < 0 || c.FaultInstance >= c.Instances:
 		return fmt.Errorf("cluster: FaultInstance %d outside fleet [0, %d)", c.FaultInstance, c.Instances)
+	case c.Parallelism < 0:
+		return fmt.Errorf("cluster: Parallelism %d must be >= 0", c.Parallelism)
+	case c.SyncMS < 0:
+		return fmt.Errorf("cluster: SyncMS %g must be >= 0", c.SyncMS)
 	}
 	switch c.EffectiveRouting() {
 	case RouteRoundRobin, RouteLeastLoaded, RouteAffinity:
@@ -118,14 +139,21 @@ func (c Config) Validate() error {
 
 // Key renders the configuration's canonical identity for runner.Spec
 // cache keys. Disabled configs render empty, so non-cluster Specs keep
-// the key encoding they had before this package existed.
+// the key encoding they had before this package existed; likewise SyncMS
+// appends only when set, so pre-existing fleet keys are stable.
+// Parallelism never appears: the schedule is identical at every worker
+// count, so serial and parallel runs share one cache entry.
 func (c Config) Key() string {
 	if !c.Enabled() {
 		return ""
 	}
-	return fmt.Sprintf("n=%d|route=%s|snap=%g|admit=%s|tokcap=%g|tokrate=%g|qcap=%d|finst=%d",
+	k := fmt.Sprintf("n=%d|route=%s|snap=%g|admit=%s|tokcap=%g|tokrate=%g|qcap=%d|finst=%d",
 		c.Instances, c.EffectiveRouting(), c.SnapshotMS, c.Admission,
 		c.TokenCapacity, c.TokenRefillPerSec, c.QueueCap, c.FaultInstance)
+	if c.SyncMS > 0 {
+		k += fmt.Sprintf("|sync=%g", c.SyncMS)
+	}
+	return k
 }
 
 // String summarizes the configuration for progress lines and reports.

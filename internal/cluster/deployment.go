@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 
 	"rofs/internal/core"
@@ -20,9 +21,12 @@ import (
 //     core.Run, so an N=1 cluster run reproduces the equivalent plain run
 //     byte-identically — report and metrics bundle (the check_cluster.sh
 //     gate).
-//   - a real fleet: N instances in one engine, closed-loop (each member
-//     serves its own user population) or open-loop (a central arrival
-//     process routed through admission and routing policies).
+//   - a real fleet: N instances, each on its own engine, closed-loop (each
+//     member serves its own user population) or open-loop (a central
+//     arrival process routed through admission and routing policies), with
+//     Config.Parallelism worker goroutines advancing the engines (see
+//     parallel.go). The schedule is fixed by the configuration: every
+//     Parallelism value yields byte-identical results.
 func Run(cfg core.Config, cc Config, kind core.TestKind) (core.Outcome, error) {
 	if err := cc.Validate(); err != nil {
 		return core.Outcome{}, err
@@ -40,15 +44,28 @@ func Run(cfg core.Config, cc Config, kind core.TestKind) (core.Outcome, error) {
 	return d.run()
 }
 
-// Deployment is one live fleet: N core.Instances in a shared engine, the
-// router's load view, the admission policy's occupancy, and the
-// fleet-level accounting.
+// completion is one buffered open-loop op completion: an instance records
+// it on its own goroutine during a window; the coordinator applies it at
+// the barrier in global (time, instance) order.
+type completion struct {
+	at  float64 // completion time (simulated ms)
+	lat float64 // operation latency (ms)
+}
+
+// Deployment is one live fleet: N core.Instances on N per-instance
+// engines, a control-plane engine for the arrival source, the router's
+// load view, the admission policy's occupancy, and the fleet-level
+// accounting. Coordinator state (live counts, admission, latency,
+// counters) is touched only between windows; instance state only by the
+// one worker that owns the instance during a window.
 type Deployment struct {
 	cfg core.Config
 	cc  Config
-	eng *sim.Engine
 
-	insts  []*core.Instance
+	insts []*core.Instance
+	engs  []*sim.Engine // engs[i] drives insts[i] and nothing else
+	ctl   *sim.Engine   // control plane: the arrival source (open-loop only)
+
 	live   []int   // true per-instance in-flight counts (router ground truth)
 	routed []int64 // arrivals routed per instance
 
@@ -59,7 +76,20 @@ type Deployment struct {
 	arrivals, admitted, rejected int64
 	latency                      stats.Welford
 	latencyH                     *stats.Histogram
-	stableCount                  int
+
+	// stableAt[i] is the simulated time instance i's throughput
+	// stabilized, NaN until then. Written by the instance's worker inside
+	// a window, read by the coordinator at barriers.
+	stableAt []float64
+
+	par int // resolved worker count (>= 1)
+
+	// Windowed open-loop state: per-instance completion buffers, their
+	// merge cursors, and the pooled dispatch events (see parallel.go).
+	comps     [][]completion
+	heads     []int
+	freeDisp  [][]*dispatchEv
+	spentDisp [][]*dispatchEv
 
 	// Metrics handles (nil when metrics are off).
 	reg              *metrics.Registry
@@ -67,20 +97,28 @@ type Deployment struct {
 }
 
 // newDeployment builds the fleet: each member gets the same configuration
-// with its own RNG stream (Seed + index·stride), metrics and tracing
-// detached (instance 0 keeps the trace writer), and the fault scenario
-// only on the targeted member.
+// with its own engine and RNG stream (Seed + index·stride), metrics and
+// tracing detached (instance 0 keeps the trace writer), and the fault
+// scenario only on the targeted member.
 func newDeployment(cfg core.Config, cc Config) (*Deployment, error) {
 	d := &Deployment{
 		cfg:      cfg,
 		cc:       cc,
-		eng:      &sim.Engine{},
 		live:     make([]int, cc.Instances),
 		routed:   make([]int64, cc.Instances),
+		stableAt: make([]float64, cc.Instances),
 		latencyH: core.NewLatencyHistogram(),
 		reg:      cfg.Metrics,
+		par:      1,
+	}
+	if cc.Parallelism > 1 {
+		d.par = cc.Parallelism
+		if d.par > cc.Instances {
+			d.par = cc.Instances
+		}
 	}
 	for i := 0; i < cc.Instances; i++ {
+		d.stableAt[i] = math.NaN()
 		icfg := cfg
 		// The fleet's registry belongs to the Deployment: per-instance
 		// registries would collide on series names, so members run
@@ -95,10 +133,12 @@ func newDeployment(cfg core.Config, cc Config) (*Deployment, error) {
 			icfg.Degraded = false
 			icfg.Faults = fault.Scenario{}
 		}
-		in, err := core.NewInstance(icfg, core.Application, d.eng, i)
+		eng := &sim.Engine{}
+		in, err := core.NewInstance(icfg, core.Application, eng, i)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: instance %d: %w", i, err)
 		}
+		d.engs = append(d.engs, eng)
 		d.insts = append(d.insts, in)
 	}
 	switch cc.EffectiveRouting() {
@@ -113,47 +153,38 @@ func newDeployment(cfg core.Config, cc Config) (*Deployment, error) {
 	return d, nil
 }
 
-// run primes every member, starts measurement, drives the load, and
-// assembles the fleet outcome.
+// run primes every member, starts measurement, drives the load through
+// the mode-appropriate executor, and assembles the fleet outcome.
 func (d *Deployment) run() (core.Outcome, error) {
 	out := core.Outcome{Kind: core.Application}
 	open := d.cfg.Workload.Arrivals != nil
 
-	// Priming advances no simulated time (allocation-only traffic), so the
-	// sequential loop is deterministic and every member starts at t=0.
-	for i, in := range d.insts {
-		if err := in.PrimeThroughput(); err != nil {
-			return out, fmt.Errorf("cluster: instance %d: %w", i, err)
-		}
+	// Priming advances no simulated time (allocation-only traffic) and is
+	// instance-local, so it fans out across the workers; errors surface in
+	// instance order regardless of completion order.
+	if err := d.prime(); err != nil {
+		return out, err
 	}
 	for _, in := range d.insts {
 		in.StartMeasurement()
-		in.SetOnStable(d.onStable)
 	}
-	if open {
-		// Central open-loop source → admission → routing → member. The
-		// source draws from instance 0's seed stream offset, so a fleet
-		// and a plain open-loop run see the same arrival sequence.
-		src, err := core.NewArrivalSource(d.eng, d.cfg.Seed, &d.cfg.Workload, d.onArrival)
-		if err != nil {
-			return out, err
-		}
-		d.src = src
-		for _, in := range d.insts {
-			in.SetOnOpDone(d.onOpDone)
-		}
-		src.Start(d.eng.Now())
-	} else {
-		// Closed-loop fleet: every member serves its own user population,
-		// N paper-model servers sharing one clock.
-		for _, in := range d.insts {
-			in.ScheduleUsers()
-		}
-	}
-	d.startSnapshotTick()
 	d.wireMetrics()
 
-	end := d.eng.Run(d.eng.Now() + d.insts[0].MaxSimMS())
+	// Two execution tiers (see parallel.go): closed-loop metrics-off
+	// fleets have no cross-instance coupling at all and run each engine to
+	// its own stop; everything else advances in conservative-lookahead
+	// windows, exchanging routed arrivals, completions, load snapshots,
+	// and metrics samples at the barriers.
+	var end float64
+	var err error
+	if !open && d.reg == nil {
+		end, err = d.runIndependent()
+	} else {
+		end, err = d.runWindowed(open)
+	}
+	if err != nil {
+		return out, err
+	}
 
 	perf, report, err := d.results(end)
 	if err != nil {
@@ -161,18 +192,19 @@ func (d *Deployment) run() (core.Outcome, error) {
 	}
 	perf.Cluster = report
 	out.Perf = perf
-	out.Stats = core.RunStats{SimMS: end, Events: d.eng.Fired()}
+	out.Stats = core.RunStats{SimMS: end, Events: d.totalFired()}
 	d.finalizeMetrics(end, report)
 	out.Metrics = d.cfg.Metrics
-	for _, in := range d.insts {
-		if in.Canceled() {
-			return out, core.ErrCanceled
-		}
+	if d.anyCanceled() {
+		return out, core.ErrCanceled
 	}
 	return out, nil
 }
 
-// onArrival is the open-loop sink: admission, routing, dispatch.
+// onArrival is the open-loop sink: admission, routing, dispatch. It runs
+// on the control-plane engine strictly before the window it admits into,
+// so every instance sees its routed arrivals already queued when its
+// worker picks it up.
 func (d *Deployment) onArrival(now float64, a core.Arrival) {
 	d.arrivals++
 	if d.mArr != nil {
@@ -192,29 +224,7 @@ func (d *Deployment) onArrival(now float64, a core.Arrival) {
 	i := d.router.Route(now, a)
 	d.live[i]++
 	d.routed[i]++
-	d.insts[i].Dispatch(now, a)
-}
-
-// onOpDone drains one admitted operation: load accounting, latency, and
-// the trace-exhaustion stop.
-func (d *Deployment) onOpDone(in *core.Instance, now, latencyMS float64) {
-	d.live[in.Index()]--
-	d.admit.Release(now)
-	d.latency.Add(latencyMS)
-	d.latencyH.Add(latencyMS)
-	if d.src.Exhausted() && d.totalLive() == 0 {
-		d.eng.Stop()
-	}
-}
-
-// onStable counts stabilized members; the engine stops when the whole
-// fleet is stable (a plain run stops at its single instance's
-// stabilization — same rule, N=1).
-func (d *Deployment) onStable() {
-	d.stableCount++
-	if d.stableCount == len(d.insts) {
-		d.eng.Stop()
-	}
+	d.dispatch(i, now, a)
 }
 
 func (d *Deployment) totalLive() int {
@@ -225,22 +235,60 @@ func (d *Deployment) totalLive() int {
 	return t
 }
 
-// startSnapshotTick schedules the least-loaded router's snapshot refresh
-// at the configured staleness interval.
-func (d *Deployment) startSnapshotTick() {
-	ll, ok := d.router.(*leastLoaded)
-	if !ok || d.cc.SnapshotMS <= 0 {
-		return
+func (d *Deployment) totalFired() uint64 {
+	var t uint64
+	for _, e := range d.engs {
+		t += e.Fired()
 	}
-	var tick sim.Handler
-	tick = func(now float64) {
-		ll.refresh()
-		d.eng.After(d.cc.SnapshotMS, tick)
+	if d.ctl != nil {
+		t += d.ctl.Fired()
 	}
-	d.eng.After(d.cc.SnapshotMS, tick)
+	return t
 }
 
-// results merges the members into the fleet PerfResult and ClusterReport.
+func (d *Deployment) totalPending() int {
+	t := 0
+	for _, e := range d.engs {
+		t += e.Pending()
+	}
+	if d.ctl != nil {
+		t += d.ctl.Pending()
+	}
+	return t
+}
+
+func (d *Deployment) maxHeap() int {
+	t := 0
+	for _, e := range d.engs {
+		t += e.MaxPending()
+	}
+	if d.ctl != nil {
+		t += d.ctl.MaxPending()
+	}
+	return t
+}
+
+func (d *Deployment) allStable() bool {
+	for i := range d.stableAt {
+		if math.IsNaN(d.stableAt[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (d *Deployment) anyCanceled() bool {
+	for _, in := range d.insts {
+		if in.Canceled() {
+			return true
+		}
+	}
+	return false
+}
+
+// results merges the members into the fleet PerfResult and ClusterReport,
+// always in instance-index order — the merge is the same whatever worker
+// count ran the engines.
 func (d *Deployment) results(end float64) (core.PerfResult, *core.ClusterReport, error) {
 	res := core.PerfResult{Policy: d.cfg.Policy.Name(), Workload: d.cfg.Workload.Name}
 	rep := &core.ClusterReport{
@@ -312,9 +360,12 @@ func (d *Deployment) results(end float64) (core.PerfResult, *core.ClusterReport,
 	return res, rep, nil
 }
 
-// wireMetrics registers the cluster.* series on the run's registry and
-// schedules the sampling tick (the members run metrics-off; the fleet's
-// registry samples them from outside).
+// wireMetrics registers the cluster.* series on the run's registry (the
+// members run metrics-off; the fleet's registry samples them from
+// outside). Sampling happens at window barriers on the registry's
+// interval grid — see runWindowed — never from inside an instance engine,
+// so the sampled values are the same whatever worker count ran the
+// window.
 func (d *Deployment) wireMetrics() {
 	reg := d.reg
 	if reg == nil {
@@ -335,8 +386,8 @@ func (d *Deployment) wireMetrics() {
 	d.mRej = reg.Counter("cluster.rejected")
 
 	reg.TimelineFunc("cluster.inflight", func() float64 { return float64(d.totalLive()) })
-	reg.TimelineFunc("sim.events", func() float64 { return float64(d.eng.Fired()) })
-	reg.TimelineFunc("sim.heap_depth", func() float64 { return float64(d.eng.Pending()) })
+	reg.TimelineFunc("sim.events", func() float64 { return float64(d.totalFired()) })
+	reg.TimelineFunc("sim.heap_depth", func() float64 { return float64(d.totalPending()) })
 	for i, in := range d.insts {
 		i, in := i, in
 		p := "cluster.inst." + strconv.Itoa(i) + "."
@@ -344,25 +395,20 @@ func (d *Deployment) wireMetrics() {
 		reg.TimelineFunc(p+"utilization", in.Utilization)
 		reg.TimelineFunc(p+"ops", func() float64 { return float64(in.Ops()) })
 	}
-
-	interval := reg.IntervalMS()
-	var tick sim.Handler
-	tick = func(now float64) {
-		reg.Sample(now)
-		d.eng.After(interval, tick)
-	}
-	d.eng.After(interval, tick)
 }
 
 // finalizeMetrics records the end-of-run fleet gauges and closes the
-// timelines.
+// timelines. sim.events_fired sums every engine (instances plus control
+// plane); sim.heap_max sums the per-engine high-water marks — an upper
+// bound on the fleet's instantaneous total, reported in place of the
+// single shared heap the fleet no longer has.
 func (d *Deployment) finalizeMetrics(end float64, rep *core.ClusterReport) {
 	reg := d.reg
 	if reg == nil {
 		return
 	}
-	reg.Gauge("sim.events_fired").Set(float64(d.eng.Fired()))
-	reg.Gauge("sim.heap_max").Set(float64(d.eng.MaxPending()))
+	reg.Gauge("sim.events_fired").Set(float64(d.totalFired()))
+	reg.Gauge("sim.heap_max").Set(float64(d.maxHeap()))
 	reg.Gauge("sim.end_ms").Set(end)
 	reg.Gauge("cluster.instances").Set(float64(rep.Instances))
 	reg.Gauge("cluster.reject_pct").Set(rep.RejectPct)

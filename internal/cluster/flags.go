@@ -18,6 +18,8 @@ type Flags struct {
 	tokenRate  *float64
 	queueCap   *int
 	faultInst  *int
+	par        *int
+	syncMS     *float64
 
 	rate    *float64
 	clients *int
@@ -34,6 +36,8 @@ func AddFlags(fs *flag.FlagSet) *Flags {
 		tokenRate:  fs.Float64("token-refill", 0, "cluster: token-bucket refill rate (tokens/s)"),
 		queueCap:   fs.Int("queue-cap", 0, "cluster: bounded-queue in-flight capacity"),
 		faultInst:  fs.Int("fault-instance", 0, "cluster: instance the fault scenario targets"),
+		par:        fs.Int("par", 0, "cluster: worker goroutines advancing instance engines (0/1: serial; results are byte-identical at any value)"),
+		syncMS:     fs.Float64("sync-ms", 0, "cluster: open-loop lookahead window override (ms, 0: snapshot/metrics grid or 100)"),
 		rate:       fs.Float64("rate", 0, "open-loop Poisson arrival rate (ops/s, 0: closed-loop)"),
 		clients:    fs.Int("arrival-clients", 0, "open-loop client-key population (0: default 256)"),
 	}
@@ -51,6 +55,8 @@ func (f *Flags) Config() Config {
 		TokenRefillPerSec: *f.tokenRate,
 		QueueCap:          *f.queueCap,
 		FaultInstance:     *f.faultInst,
+		Parallelism:       *f.par,
+		SyncMS:            *f.syncMS,
 	}
 }
 

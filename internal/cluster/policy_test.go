@@ -136,6 +136,7 @@ func TestConfigValidate(t *testing.T) {
 		{Instances: 4, Routing: RouteLeastLoaded, SnapshotMS: 500},
 		{Instances: 2, Admission: AdmitTokenBucket, TokenCapacity: 5, TokenRefillPerSec: 10},
 		{Instances: 2, Admission: AdmitQueue, QueueCap: 8, FaultInstance: 1},
+		{Instances: 4, Parallelism: 8, SyncMS: 50},
 	}
 	for i, c := range good {
 		if err := c.Validate(); err != nil {
@@ -149,6 +150,8 @@ func TestConfigValidate(t *testing.T) {
 		{Instances: 2, Admission: AdmitQueue},
 		{Instances: 2, FaultInstance: 2},
 		{Instances: 2, SnapshotMS: -1},
+		{Instances: 2, Parallelism: -1},
+		{Instances: 2, SyncMS: -1},
 	}
 	for i, c := range bad {
 		if err := c.Validate(); err == nil {
@@ -169,5 +172,19 @@ func TestConfigKeyStability(t *testing.T) {
 	b.SnapshotMS = 500
 	if a.Key() == b.Key() {
 		t.Fatal("distinct configs share a key")
+	}
+	// Parallelism is an execution knob producing byte-identical results,
+	// so serial and parallel runs must share one cache entry.
+	p := a
+	p.Parallelism = 8
+	if p.Key() != a.Key() {
+		t.Fatalf("Parallelism leaked into the key: %q vs %q", p.Key(), a.Key())
+	}
+	// SyncMS pins the coupling observation grid (a model knob) — it must
+	// key, but only when set, so pre-existing fleet keys are stable.
+	s := a
+	s.SyncMS = 50
+	if s.Key() == a.Key() {
+		t.Fatal("SyncMS must participate in the key when set")
 	}
 }

@@ -39,10 +39,24 @@ func (r *roundRobin) Route(_ float64, _ core.Arrival) int {
 // leastLoaded routes to the instance with the fewest in-flight operations
 // in its load snapshot, breaking ties by lowest index. With SnapshotMS of
 // zero the snapshot is the live count (an ideal, instantly-consistent
-// balancer); with a positive interval the Deployment refreshes the
-// snapshot on an engine tick, so between refreshes the router herds
-// arrivals toward a member whose queue may already have filled — the
-// stale-snapshot pathology real balancers exhibit.
+// balancer, observed at window-boundary freshness — see below); with a
+// positive interval the router herds arrivals between refreshes toward a
+// member whose queue may already have filled — the stale-snapshot
+// pathology real balancers exhibit.
+//
+// Staleness clock semantics: the snapshot's staleness is defined in
+// simulated time, at multiples of SnapshotMS from the start of
+// measurement. The Deployment refreshes the snapshot at exactly those
+// grid points, which are always window barriers of the conservative-
+// lookahead executor (parallel.go), and a refresh copies the live counts
+// as of that same simulated instant: dispatches at or before the grid
+// point minus completions applied through it. Serial and parallel
+// schedules therefore observe identical snapshots — the refresh times and
+// the copied values are functions of the configuration and the simulated
+// clock, never of worker count or wall-clock interleaving
+// (TestSnapshotGridIndependentOfWindowing pins this). In fresh mode the
+// live counts themselves carry window-boundary freshness: completions
+// decrement them at the barrier that applies them.
 type leastLoaded struct {
 	live []int // deployment-maintained true in-flight counts
 	snap []int // the router's view

@@ -184,8 +184,17 @@ func (s *Instance) Dispatch(now float64, a Arrival) {
 
 // --- Exported fleet surface -------------------------------------------------
 //
-// A cluster Deployment assembles N instances in one engine and drives them
-// through the methods below; a plain Run never needs them.
+// A cluster Deployment assembles N instances — each on its own engine —
+// and drives them through the methods below; a plain Run never needs
+// them.
+//
+// Concurrency contract: an Instance is single-goroutine state. The
+// Deployment's executor confines each instance (and its engine) to one
+// worker goroutine per window, with barriers between windows handing
+// ownership back to the coordinator; callbacks installed via SetOnStable
+// and SetOnOpDone run on the instance's worker and must only touch the
+// instance's own slot in coordinator-preallocated per-index storage.
+// Nothing in this package locks, and nothing needs to.
 
 // NewInstance builds one fleet member in the shared engine: fleet slot idx,
 // RNG stream Seed + idx·stride (slot 0 draws identically to a plain run).

@@ -5,11 +5,15 @@ package runner_test
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"testing"
 
+	"rofs/internal/cluster"
+	"rofs/internal/core"
 	"rofs/internal/experiments"
 	"rofs/internal/runner"
+	"rofs/internal/workload"
 )
 
 // TestPoolParallelismIsDeterministic is the pool's core contract: because
@@ -82,5 +86,60 @@ func TestTable3AssemblesFromPooledResults(t *testing.T) {
 	}
 	if rows[0].SeqPct != res[2].Outcome.Perf.Percent {
 		t.Error("row 0 sequential throughput does not match its pooled outcome")
+	}
+}
+
+// TestFleetParallelismComposesWithPool extends the determinism contract
+// to intra-run parallelism: a fleet Spec with Cluster.Parallelism set
+// runs its instance engines on worker goroutines *inside* one pool job,
+// and the outcome must be byte-identical across every combination of
+// pool jobs and fleet workers. Because Parallelism is excluded from
+// Spec.Key, the serial and parallel Specs must also share one cache
+// identity.
+func TestFleetParallelismComposesWithPool(t *testing.T) {
+	sc := experiments.BenchScale()
+	wl, err := sc.Workload("TP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl.Arrivals = &workload.Arrivals{RatePerSec: 300}
+	base := sc.Spec(core.Buddy(), wl, core.Application)
+	base.MaxSimMS = 10_000
+	base.Cluster = cluster.Config{Instances: 4, Routing: cluster.RouteLeastLoaded, SnapshotMS: 250}
+
+	par := base
+	par.Cluster.Parallelism = 4
+	if par.Key() != base.Key() {
+		t.Fatalf("Parallelism changed the Spec key:\n%s\n%s", par.Key(), base.Key())
+	}
+
+	// Fresh pools per run: equal keys would otherwise serve the second
+	// run from the first run's cache and prove nothing.
+	serial, err := runner.New(1).Run(context.Background(), []runner.Spec{base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := runner.New(8).Run(context.Background(), []runner.Spec{par})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// JSON rather than %#v: the fleet outcome carries a *ClusterReport,
+	// which a verb dump renders as a pointer address.
+	s, err := json.Marshal(struct {
+		Perf  core.PerfResult
+		Stats core.RunStats
+	}{serial[0].Outcome.Perf, serial[0].Outcome.Stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := json.Marshal(struct {
+		Perf  core.PerfResult
+		Stats core.RunStats
+	}{parallel[0].Outcome.Perf, parallel[0].Outcome.Stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(s) != string(p) {
+		t.Errorf("jobs=8 + par=4 fleet outcome diverged from jobs=1 serial:\nserial:   %s\nparallel: %s", s, p)
 	}
 }

@@ -46,6 +46,12 @@ type Spec struct {
 	Faults fault.Scenario
 	// Cluster, when enabled, runs the Spec as an N-instance fleet through
 	// the cluster Deployment (zero: plain single-instance run).
+	// Cluster.Parallelism additionally fans the fleet's per-instance
+	// engines across worker goroutines *inside* the one runner job — it
+	// composes with the Pool's own jobs-level parallelism, and because a
+	// fleet's schedule is fixed by the configuration alone, the result
+	// (and the cache entry under Key, which excludes Parallelism) is
+	// byte-identical at every combination of jobs and Parallelism.
 	Cluster cluster.Config
 }
 

@@ -75,7 +75,11 @@ type RunRequest struct {
 
 	// Cluster runs the request as an N-instance fleet through the cluster
 	// Deployment (see internal/cluster); nil or a zero config runs a plain
-	// single-instance simulation. Application test only.
+	// single-instance simulation. Application test only. The embedded
+	// "par" (worker goroutines) and "sync_ms" (lookahead window override)
+	// fields flow through with the rest of the config and are validated
+	// here; "par" is an execution knob — any value returns byte-identical
+	// results and shares one cache entry with the serial run.
 	Cluster *cluster.Config `json:"cluster,omitempty"`
 
 	// MaxSimMS overrides the scale's simulated-time cap.

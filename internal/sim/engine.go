@@ -167,6 +167,40 @@ func (e *Engine) Run(untilMS float64) float64 {
 	return e.now
 }
 
+// RunUntil fires events in time order through untilMS inclusive and then
+// advances the clock to exactly untilMS, even if the queue drained earlier
+// or never held an event in the window. It is the windowed-run entry point
+// for conservative-lookahead parallel execution: a coordinator advances a
+// set of engines window by window, and every engine must land on the same
+// boundary so cross-engine exchanges (routed arrivals, load snapshots,
+// metrics samples) happen at one well-defined simulated time. Stop still
+// exits immediately, leaving the clock at the stopping event (the caller
+// observes the early exit via the return value). Like Run, a NaN horizon
+// panics; so does a horizon before now — a coordinator must only move
+// time forward.
+func (e *Engine) RunUntil(untilMS float64) float64 {
+	if math.IsNaN(untilMS) {
+		panic("sim: RunUntil horizon is NaN")
+	}
+	if untilMS < e.now {
+		panic(fmt.Sprintf("sim: RunUntil horizon %.3f before now %.3f", untilMS, e.now))
+	}
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		if e.queue[0].at > untilMS {
+			break
+		}
+		ev := e.pop()
+		e.now = ev.at
+		e.fired++
+		ev.fn(e.now)
+	}
+	if !e.stopped {
+		e.now = untilMS
+	}
+	return e.now
+}
+
 // Drain discards all pending events (used between experiment phases). The
 // backing array is zeroed before truncation so it does not keep the
 // discarded events' handlers — and whatever state they captured —

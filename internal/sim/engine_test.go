@@ -172,3 +172,100 @@ func TestRunRejectsNaNHorizon(t *testing.T) {
 	// would silently drain the whole queue.
 	e.Run(math.NaN())
 }
+
+func TestRunUntilAdvancesClockOnDrain(t *testing.T) {
+	var e Engine
+	fired := 0
+	e.At(10, func(float64) { fired++ })
+	// Run leaves the clock at the last event when the queue drains;
+	// RunUntil must land exactly on the boundary regardless.
+	end := e.RunUntil(50)
+	if fired != 1 {
+		t.Fatalf("fired %d events, want 1", fired)
+	}
+	if end != 50 || e.Now() != 50 {
+		t.Fatalf("clock at %g, want boundary 50", e.Now())
+	}
+	// An empty window still moves the clock.
+	if end = e.RunUntil(75); end != 75 {
+		t.Fatalf("empty window: clock at %g, want 75", end)
+	}
+}
+
+func TestRunUntilInclusiveBoundary(t *testing.T) {
+	var e Engine
+	fired := 0
+	e.At(50, func(float64) { fired++ })
+	e.At(50.5, func(float64) { fired++ })
+	if end := e.RunUntil(50); end != 50 || fired != 1 {
+		t.Fatalf("boundary event: fired=%d end=%g, want 1 at 50", fired, end)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want the post-boundary event queued", e.Pending())
+	}
+	if end := e.RunUntil(60); end != 60 || fired != 2 {
+		t.Fatalf("next window: fired=%d end=%g", fired, end)
+	}
+}
+
+func TestRunUntilStopExitsEarly(t *testing.T) {
+	var e Engine
+	fired := 0
+	e.At(10, func(float64) { fired++; e.Stop() })
+	e.At(20, func(float64) { fired++ })
+	if end := e.RunUntil(100); end != 10 || fired != 1 {
+		t.Fatalf("Stop: fired=%d end=%g, want 1 at 10", fired, end)
+	}
+	// A later RunUntil resumes past the stop.
+	if end := e.RunUntil(100); end != 100 || fired != 2 {
+		t.Fatalf("resume: fired=%d end=%g", fired, end)
+	}
+}
+
+func TestRunUntilMatchesRunSchedule(t *testing.T) {
+	// The same workload driven in one Run call and in fixed windows must
+	// fire the identical event sequence — windowing is invisible to
+	// handlers.
+	drive := func(windowed bool) []float64 {
+		var e Engine
+		var log []float64
+		var chain Handler
+		n := 0
+		chain = func(now float64) {
+			log = append(log, now)
+			if n++; n < 40 {
+				e.After(7.3, chain)
+			}
+		}
+		e.At(1, chain)
+		if windowed {
+			for b := 25.0; e.Pending() > 0; b += 25 {
+				e.RunUntil(b)
+			}
+		} else {
+			e.Run(1e9)
+		}
+		return log
+	}
+	one, win := drive(false), drive(true)
+	if len(one) != len(win) {
+		t.Fatalf("fired %d vs %d events", len(one), len(win))
+	}
+	for i := range one {
+		if one[i] != win[i] {
+			t.Fatalf("event %d at %g (windowed) vs %g (single run)", i, win[i], one[i])
+		}
+	}
+}
+
+func TestRunUntilRejectsBackwardHorizon(t *testing.T) {
+	var e Engine
+	e.At(10, func(float64) {})
+	e.RunUntil(50)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunUntil into the past did not panic")
+		}
+	}()
+	e.RunUntil(25)
+}

@@ -30,4 +30,16 @@ while read -r name max; do
 		echo "check_allocs: ok   $name: $got allocs/op (budget $max)"
 	fi
 done <"$budget"
+
+# The parallel fleet executor's budget is differential rather than a
+# benchmark line: a par=4 run must not allocate per event over the
+# byte-identical serial schedule (the model's own allocations cancel).
+# The test carries the threshold; see internal/cluster/alloc_test.go.
+echo "check_allocs: parallel fleet executor overhead"
+if go test -run '^TestParallelPathAllocOverhead$' ./internal/cluster; then
+	echo "check_allocs: ok   parallel executor adds ~0 allocs/event"
+else
+	echo "check_allocs: FAIL parallel executor allocates over serial" >&2
+	fail=1
+fi
 exit $fail
