@@ -1,0 +1,244 @@
+// Command rofs-benchdiff compares two rofs-bench JSON artifacts cell by
+// cell and renders the deltas, so performance movement between a tracked
+// BENCH_*.json and a fresh run is reviewable at a glance and enforceable
+// in CI.
+//
+// Cells are matched by identity (workload, policy, test, instances,
+// par); engine microbenchmarks by name. Only cells present in both
+// files are compared — a CI -short run diffs cleanly against a tracked
+// full-grid artifact — and the unmatched remainder is listed so silent
+// coverage loss is visible.
+//
+// Three checks per matched cell:
+//
+//   - ns/event (wall-clock): regression past -threshold fails
+//   - allocs/event: regression past -alloc-threshold (with a small
+//     absolute floor, so 0.00 -> 0.01 noise does not trip) fails
+//   - metric (simulated result): any drift beyond float tolerance fails —
+//     the simulation itself changed, which a performance PR must not do
+//
+// With -report-only the table still prints and regressions are flagged,
+// but the exit status stays zero — the CI mode while wall-clock noise
+// on shared runners is being characterized.
+//
+// Usage:
+//
+//	rofs-benchdiff BENCH_PR8.json fresh.json
+//	rofs-benchdiff -threshold 0.25 -report-only old.json new.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"rofs/internal/report"
+)
+
+// benchCell mirrors the rofs-bench cell fields the diff consumes.
+type benchCell struct {
+	Workload       string  `json:"workload"`
+	Policy         string  `json:"policy"`
+	Test           string  `json:"test"`
+	Instances      int     `json:"instances,omitempty"`
+	Par            int     `json:"par,omitempty"`
+	Events         uint64  `json:"events"`
+	NsPerEvent     float64 `json:"ns_per_event"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	BytesPerEvent  float64 `json:"bytes_per_event"`
+	Metric         float64 `json:"metric"`
+}
+
+func (c benchCell) key() string {
+	k := fmt.Sprintf("%s/%s/%s", c.Policy, c.Workload, c.Test)
+	if c.Instances > 0 {
+		k += fmt.Sprintf("[n=%d,par=%d]", c.Instances, c.Par)
+	}
+	return k
+}
+
+type benchEngine struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type benchReport struct {
+	Schema string        `json:"schema"`
+	Short  bool          `json:"short"`
+	Engine []benchEngine `json:"engine"`
+	Cells  []benchCell   `json:"cells"`
+}
+
+func main() {
+	fs := flag.NewFlagSet("rofs-benchdiff", flag.ExitOnError)
+	var (
+		threshold  = fs.Float64("threshold", 0.15, "ns/event regression ratio that fails (0.15 = +15%)")
+		allocThr   = fs.Float64("alloc-threshold", 0.02, "allocs/event regression ratio that fails")
+		allocFloor = fs.Float64("alloc-floor", 0.05, "absolute allocs/event change below which the ratio check is skipped")
+		reportOnly = fs.Bool("report-only", false, "print the diff but always exit zero")
+	)
+	fs.Parse(os.Args[1:])
+	if fs.NArg() != 2 {
+		fatal("usage: rofs-benchdiff [flags] OLD.json NEW.json")
+	}
+	oldRep, err := load(fs.Arg(0))
+	if err != nil {
+		fatal("%v", err)
+	}
+	newRep, err := load(fs.Arg(1))
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	var regressions []string
+
+	// Engine microbenchmarks, by name.
+	oldEng := make(map[string]benchEngine, len(oldRep.Engine))
+	for _, e := range oldRep.Engine {
+		oldEng[e.Name] = e
+	}
+	et := report.NewTable("Engine microbenchmarks",
+		"Name", "Old ns/op", "New ns/op", "Delta", "Old allocs", "New allocs", "Verdict")
+	for _, ne := range newRep.Engine {
+		oe, ok := oldEng[ne.Name]
+		if !ok {
+			continue
+		}
+		d := ratio(oe.NsPerOp, ne.NsPerOp)
+		verdict := verdictFor(d, *threshold)
+		if ne.AllocsPerOp > oe.AllocsPerOp {
+			verdict = "ALLOC-REGRESS"
+		}
+		if strings.HasSuffix(verdict, "REGRESS") {
+			regressions = append(regressions,
+				fmt.Sprintf("engine %s: %.2f -> %.2f ns/op (%+.1f%%), %d -> %d allocs/op",
+					ne.Name, oe.NsPerOp, ne.NsPerOp, 100*d, oe.AllocsPerOp, ne.AllocsPerOp))
+		}
+		et.AddRow(ne.Name, fmt.Sprintf("%.2f", oe.NsPerOp), fmt.Sprintf("%.2f", ne.NsPerOp),
+			fmt.Sprintf("%+.1f%%", 100*d), oe.AllocsPerOp, ne.AllocsPerOp, verdict)
+	}
+	et.Render(os.Stdout)
+
+	// Simulation cells, by identity.
+	oldCells := make(map[string]benchCell, len(oldRep.Cells))
+	for _, c := range oldRep.Cells {
+		oldCells[c.key()] = c
+	}
+	ct := report.NewTable("Simulation cells",
+		"Cell", "Old ns/ev", "New ns/ev", "Delta", "Old all/ev", "New all/ev", "Verdict")
+	matched := 0
+	for _, nc := range newRep.Cells {
+		oc, ok := oldCells[nc.key()]
+		if !ok {
+			continue
+		}
+		matched++
+		delete(oldCells, nc.key())
+		d := ratio(oc.NsPerEvent, nc.NsPerEvent)
+		verdict := verdictFor(d, *threshold)
+		switch {
+		case math.Abs(nc.Metric-oc.Metric) > 1e-9:
+			verdict = "METRIC-DRIFT"
+			regressions = append(regressions,
+				fmt.Sprintf("cell %s: simulated metric moved %.9f -> %.9f (the simulation changed)",
+					nc.key(), oc.Metric, nc.Metric))
+		case nc.Events != oc.Events:
+			verdict = "EVENTS-DRIFT"
+			regressions = append(regressions,
+				fmt.Sprintf("cell %s: event count moved %d -> %d (the simulation changed)",
+					nc.key(), oc.Events, nc.Events))
+		case allocRegressed(oc.AllocsPerEvent, nc.AllocsPerEvent, *allocThr, *allocFloor):
+			verdict = "ALLOC-REGRESS"
+			regressions = append(regressions,
+				fmt.Sprintf("cell %s: %.3f -> %.3f allocs/event", nc.key(),
+					oc.AllocsPerEvent, nc.AllocsPerEvent))
+		case verdict == "REGRESS":
+			regressions = append(regressions,
+				fmt.Sprintf("cell %s: %.1f -> %.1f ns/event (%+.1f%%)",
+					nc.key(), oc.NsPerEvent, nc.NsPerEvent, 100*d))
+		}
+		ct.AddRow(nc.key(), fmt.Sprintf("%.1f", oc.NsPerEvent), fmt.Sprintf("%.1f", nc.NsPerEvent),
+			fmt.Sprintf("%+.1f%%", 100*d),
+			fmt.Sprintf("%.3f", oc.AllocsPerEvent), fmt.Sprintf("%.3f", nc.AllocsPerEvent), verdict)
+	}
+	ct.Render(os.Stdout)
+
+	if matched == 0 {
+		fatal("no cells in common between %s and %s", fs.Arg(0), fs.Arg(1))
+	}
+	if len(oldCells) > 0 {
+		var missing []string
+		for k := range oldCells {
+			missing = append(missing, k)
+		}
+		fmt.Printf("not re-measured (%d old cells without a new counterpart): %s\n",
+			len(missing), strings.Join(missing, ", "))
+	}
+
+	if len(regressions) > 0 {
+		fmt.Printf("\n%d regression(s) past thresholds (ns/event +%.0f%%, allocs/event +%.0f%%):\n",
+			len(regressions), *threshold*100, *allocThr*100)
+		for _, r := range regressions {
+			fmt.Println("  " + r)
+		}
+		if *reportOnly {
+			fmt.Println("report-only mode: exiting zero anyway")
+			return
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("\nno regressions past thresholds across %d matched cell(s)\n", matched)
+}
+
+// ratio returns (new-old)/old, guarding zero baselines.
+func ratio(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old
+}
+
+func verdictFor(d, threshold float64) string {
+	switch {
+	case d > threshold:
+		return "REGRESS"
+	case d < -threshold:
+		return "improved"
+	default:
+		return "ok"
+	}
+}
+
+// allocRegressed applies the ratio threshold only to changes above the
+// absolute floor: allocation counts near zero flip between 0.00 and
+// 0.01 from GC timing alone, which is not a regression.
+func allocRegressed(old, new, thr, floor float64) bool {
+	if new-old <= floor {
+		return false
+	}
+	return ratio(old, new) > thr
+}
+
+func load(path string) (*benchReport, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if !strings.HasPrefix(rep.Schema, "rofs-bench/") {
+		return nil, fmt.Errorf("%s: schema %q is not a rofs-bench artifact", path, rep.Schema)
+	}
+	return &rep, nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rofs-benchdiff: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -24,7 +24,9 @@
 //	rofs-client wait -id run-000001 -metrics bundle.json
 //
 // The server address comes from -server or the ROFS_SERVER environment
-// variable (default http://127.0.0.1:8080).
+// variable (default http://127.0.0.1:8080). Error messages carry the
+// response's X-Rofs-Trace-Id, the key into the server's access log;
+// -retries N resubmits 503-rejected runs, honoring Retry-After.
 package main
 
 import (
@@ -54,10 +56,11 @@ func main() {
 
 	fs := flag.NewFlagSet("rofs-client "+cmd, flag.ExitOnError)
 	var (
-		serverFlag = fs.String("server", envOr("ROFS_SERVER", "http://127.0.0.1:8080"), "rofs-server base URL")
-		idFlag     = fs.String("id", "", "run id (wait, stream, status, cancel)")
-		jsonFlag   = fs.Bool("json", false, "print raw JSON instead of tables")
-		metricsOut = fs.String("metrics", "", "write the run's rofs-metrics/v1 bundle to this file (- for stdout)")
+		serverFlag  = fs.String("server", envOr("ROFS_SERVER", "http://127.0.0.1:8080"), "rofs-server base URL")
+		idFlag      = fs.String("id", "", "run id (wait, stream, status, cancel)")
+		jsonFlag    = fs.Bool("json", false, "print raw JSON instead of tables")
+		metricsOut  = fs.String("metrics", "", "write the run's rofs-metrics/v1 bundle to this file (- for stdout)")
+		retriesFlag = fs.Int("retries", 0, "run/submit: resubmit up to N times on 503, honoring Retry-After")
 
 		policyFlag   = fs.String("policy", "rbuddy", "buddy | rbuddy | extent | fixed")
 		workloadFlag = fs.String("workload", "TS", "TS | TP | SC")
@@ -151,7 +154,7 @@ func main() {
 
 	switch cmd {
 	case "run":
-		sub, err := client.Submit(ctx, req)
+		sub, err := client.SubmitRetry(ctx, req, *retriesFlag)
 		if err != nil {
 			fatal("%v", err)
 		}
@@ -162,7 +165,7 @@ func main() {
 		}
 		finish(st, *jsonFlag, *metricsOut)
 	case "submit":
-		sub, err := client.Submit(ctx, req)
+		sub, err := client.SubmitRetry(ctx, req, *retriesFlag)
 		if err != nil {
 			fatal("%v", err)
 		}

@@ -7,6 +7,7 @@
 //
 //	rofs-server -addr :8080 -jobs 8 -queue 32
 //	rofs-server -addr 127.0.0.1:0 -addr-file /tmp/rofs.addr   # scripts
+//	rofs-server -access-log access.jsonl -pprof-addr 127.0.0.1:6060
 //
 // SIGTERM (or SIGINT) drains gracefully: admission stops (readyz goes
 // 503), in-flight runs get -drain to finish, stragglers are canceled,
@@ -18,8 +19,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // -pprof-addr registers these handlers on DefaultServeMux
 	"os"
 	"os/signal"
 	"runtime"
@@ -43,6 +46,11 @@ func main() {
 		metricsIntFlag = flag.Float64("metrics-interval", metrics.DefaultIntervalMS,
 			"per-run timeline sampling interval (simulated ms; negative disables run bundles)")
 
+		accessLogFlag = flag.String("access-log", "",
+			"write one JSON access record per request to this file (- for stderr; empty disables)")
+		pprofFlag = flag.String("pprof-addr", "",
+			"serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty disables)")
+
 		cpuProfFlag  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfFlag  = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 		execTraceFlg = flag.String("exectrace", "", "write a runtime execution trace to this file")
@@ -59,11 +67,44 @@ func main() {
 		}
 	}()
 
+	var accessLog io.Writer
+	var accessFile *os.File
+	switch *accessLogFlag {
+	case "":
+	case "-":
+		accessLog = os.Stderr
+	default:
+		accessFile, err = os.OpenFile(*accessLogFlag, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer accessFile.Close()
+		accessLog = accessFile
+	}
+
+	// The pprof endpoint binds its own listener (usually loopback-only),
+	// so profiling exposure is independent of the serving address and off
+	// unless asked for. DefaultServeMux carries the net/http/pprof
+	// handlers via its package init.
+	if *pprofFlag != "" {
+		pln, err := net.Listen("tcp", *pprofFlag)
+		if err != nil {
+			fatal("pprof listener: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "rofs-server: pprof on http://%s/debug/pprof/\n", pln.Addr())
+		go func() {
+			if err := http.Serve(pln, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "rofs-server: pprof server: %v\n", err)
+			}
+		}()
+	}
+
 	svc := service.New(service.Options{
 		Jobs:              *jobsFlag,
 		QueueDepth:        *queueFlag,
 		RunTimeout:        *runTimeout,
 		MetricsIntervalMS: *metricsIntFlag,
+		AccessLog:         accessLog,
 	})
 
 	ln, err := net.Listen("tcp", *addrFlag)

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTraceIDValidity(t *testing.T) {
+	for _, id := range []string{"0123456789abcdef", "ffffffffffffffff", TraceIDFromUint64(42)} {
+		if !ValidTraceID(id) {
+			t.Errorf("ValidTraceID(%q) = false, want true", id)
+		}
+	}
+	for _, id := range []string{
+		"", "short", "0123456789ABCDEF", // uppercase is rejected
+		"0123456789abcdeg", "0123456789abcdef0", "xxxxxxxxxxxxxxxx",
+	} {
+		if ValidTraceID(id) {
+			t.Errorf("ValidTraceID(%q) = true, want false", id)
+		}
+	}
+}
+
+func TestRandomTraceIDWellFormedAndDistinct(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 64; i++ {
+		id := RandomTraceID()
+		if !ValidTraceID(id) {
+			t.Fatalf("RandomTraceID() = %q, not well-formed", id)
+		}
+		if seen[id] {
+			t.Fatalf("RandomTraceID repeated %q within 64 draws", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTraceIDFromUint64Deterministic(t *testing.T) {
+	if got, want := TraceIDFromUint64(0xdeadbeef), "00000000deadbeef"; got != want {
+		t.Errorf("TraceIDFromUint64 = %q, want %q", got, want)
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if got := TraceIDFrom(ctx); got != "" {
+		t.Errorf("empty context trace = %q, want \"\"", got)
+	}
+	ctx = WithTraceID(ctx, "0123456789abcdef")
+	if got := TraceIDFrom(ctx); got != "0123456789abcdef" {
+		t.Errorf("trace round trip = %q", got)
+	}
+}
+
+func TestAccessLoggerEmitsOneJSONRecord(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewAccessLogger(&buf)
+	l.Log(AccessRecord{
+		TraceID: "0123456789abcdef", Client: "127.0.0.1:1", Method: "POST",
+		Path: "/v1/runs", Route: "submit", Status: 200, DurMS: 12.3456,
+		RunID: "run-000001", Spec: "buddy/TS/app", SpecKey: "k",
+		QueueMS: 1, RunMS: 10, Cached: true, Outcome: "done",
+	})
+	line := strings.TrimSpace(buf.String())
+	if strings.Count(line, "\n") != 0 {
+		t.Fatalf("expected exactly one line, got %q", buf.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("record is not JSON: %v\n%s", err, line)
+	}
+	for key, want := range map[string]any{
+		"msg": "access", "trace": "0123456789abcdef", "route": "submit",
+		"run": "run-000001", "outcome": "done", "cached": true,
+	} {
+		if rec[key] != want {
+			t.Errorf("record[%q] = %v, want %v", key, rec[key], want)
+		}
+	}
+	if rec["dur_ms"].(float64) != 12.346 {
+		t.Errorf("dur_ms = %v, want rounded 12.346", rec["dur_ms"])
+	}
+}
+
+func TestNilAccessLoggerDrops(t *testing.T) {
+	var l *AccessLogger
+	l.Log(AccessRecord{TraceID: "x"}) // must not panic
+	if NewAccessLogger(nil) != nil {
+		t.Error("NewAccessLogger(nil) should return a nil (dropping) logger")
+	}
+}

@@ -1,0 +1,112 @@
+package runner
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// TestCoalescedFollowerAccounting pins the Coalesced/Followers contract:
+// a submission that waits on an in-flight duplicate is marked Coalesced,
+// a submission served from a completed entry is Cached but not
+// Coalesced, and the populating run reports how many followers its
+// simulation also served.
+func TestCoalescedFollowerAccounting(t *testing.T) {
+	p := New(2)
+	sp := testSpec(t, 31)
+
+	var wg sync.WaitGroup
+	results := make([]Result, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := p.Run(context.Background(), []Spec{sp})
+			if err != nil {
+				t.Errorf("run %d: %v", i, err)
+				return
+			}
+			results[i] = res[0]
+		}(i)
+	}
+	wg.Wait()
+
+	var leader, follower *Result
+	for i := range results {
+		if results[i].Cached {
+			follower = &results[i]
+		} else {
+			leader = &results[i]
+		}
+	}
+	// The two goroutines may serialize entirely (leader finishes before
+	// the follower looks up the cache): then the follower is Cached but
+	// not Coalesced and Stats.Coalesced may be 0. When they did overlap,
+	// the accounting must agree on both sides.
+	if leader == nil || follower == nil {
+		t.Fatalf("want one simulated and one cached result, got %+v", results)
+	}
+	if leader.Coalesced {
+		t.Error("the simulating run must not be marked Coalesced")
+	}
+	st := p.Stats()
+	if follower.Coalesced {
+		if st.Coalesced != 1 {
+			t.Errorf("Stats.Coalesced = %d, want 1", st.Coalesced)
+		}
+		if leader.Followers != 1 && follower.Followers != 1 {
+			t.Errorf("neither side reports the follower: leader %d, follower %d",
+				leader.Followers, follower.Followers)
+		}
+	} else if st.Coalesced != 0 {
+		t.Errorf("Stats.Coalesced = %d with no coalesced result", st.Coalesced)
+	}
+
+	// A fresh submission after completion is a plain cache hit.
+	res, err := p.Run(context.Background(), []Spec{sp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res[0].Cached || res[0].Coalesced {
+		t.Errorf("post-completion duplicate: cached=%t coalesced=%t, want cached only",
+			res[0].Cached, res[0].Coalesced)
+	}
+}
+
+// TestTraceIDExcludedFromKey: trace correlation must never split the
+// cache — Specs differing only in TraceID share one key and one result.
+func TestTraceIDExcludedFromKey(t *testing.T) {
+	a := testSpec(t, 7)
+	b := a
+	b.TraceID = "0123456789abcdef"
+	if a.Key() != b.Key() {
+		t.Errorf("TraceID changed the spec key:\n%s\n%s", a.Key(), b.Key())
+	}
+
+	p := New(1)
+	if _, err := p.Run(context.Background(), []Spec{a}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(context.Background(), []Spec{b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res[0].Cached {
+		t.Error("traced duplicate of an untraced run was re-simulated")
+	}
+	if res[0].Spec.TraceID != b.TraceID {
+		t.Errorf("result lost its submission's TraceID: %q", res[0].Spec.TraceID)
+	}
+}
+
+// TestStatsRuntimeSnapshot: Stats() carries a live runtime snapshot.
+func TestStatsRuntimeSnapshot(t *testing.T) {
+	p := New(1)
+	st := p.Stats()
+	if st.Runtime.Goroutines < 1 {
+		t.Errorf("Runtime.Goroutines = %d, want >= 1", st.Runtime.Goroutines)
+	}
+	if st.Runtime.HeapAllocBytes == 0 || st.Runtime.HeapSysBytes == 0 {
+		t.Errorf("Runtime heap stats empty: %+v", st.Runtime)
+	}
+}

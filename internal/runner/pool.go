@@ -27,6 +27,14 @@ type Result struct {
 	// Cached reports that the result was served from the pool's cache
 	// rather than simulated by this submission.
 	Cached bool
+	// Coalesced refines Cached: the submission arrived while an equal
+	// Spec was still simulating and waited for that run's result
+	// (single-flight duplicate) rather than finding a completed entry.
+	Coalesced bool
+	// Followers counts the submissions that coalesced onto this result's
+	// cache entry up to the moment the result was produced — for the run
+	// that populated the entry, the duplicates its simulation also served.
+	Followers int64
 }
 
 // Pool executes Specs on a bounded set of workers. The zero value is
@@ -74,6 +82,7 @@ type Metrics struct {
 	InFlight   *metrics.Gauge
 	Submitted  *metrics.Counter
 	Cached     *metrics.Counter
+	Coalesced  *metrics.Counter
 	Failed     *metrics.Counter
 }
 
@@ -81,12 +90,39 @@ type Metrics struct {
 type Stats struct {
 	// Submitted counts every Spec handed to Run; Simulated the ones that
 	// actually ran a simulation; Cached the ones served from the pool's
-	// result cache; Failed the ones whose Result carried an error.
-	Submitted, Simulated, Cached, Failed int64
+	// result cache; Coalesced the subset of Cached that waited on an
+	// in-flight duplicate; Failed the ones whose Result carried an error.
+	Submitted, Simulated, Cached, Coalesced, Failed int64
 	// QueueDepth and InFlight are the instantaneous values; the Peak
 	// variants their lifetime maxima — the saturation signal.
 	QueueDepth, InFlight         int64
 	PeakQueueDepth, PeakInFlight int64
+	// Runtime is a Go-runtime snapshot taken at Stats() time — the
+	// process-level saturation companion to the pool's own gauges.
+	Runtime RuntimeStats
+}
+
+// RuntimeStats captures the Go runtime signals served alongside pool
+// saturation: goroutine count, heap occupancy, and cumulative GC work.
+type RuntimeStats struct {
+	Goroutines     int
+	HeapAllocBytes uint64
+	HeapSysBytes   uint64
+	NumGC          uint32
+	GCPauseTotalMS float64
+}
+
+// readRuntime snapshots the live runtime.
+func readRuntime() RuntimeStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return RuntimeStats{
+		Goroutines:     runtime.NumGoroutine(),
+		HeapAllocBytes: ms.HeapAlloc,
+		HeapSysBytes:   ms.HeapSys,
+		NumGC:          ms.NumGC,
+		GCPauseTotalMS: float64(ms.PauseTotalNs) / 1e6,
+	}
 }
 
 // Instrument registers the pool's gauges and counters (pool.queue_depth,
@@ -98,15 +134,19 @@ func (p *Pool) Instrument(reg *metrics.Registry) {
 		InFlight:   reg.Gauge("pool.in_flight"),
 		Submitted:  reg.Counter("pool.runs_submitted"),
 		Cached:     reg.Counter("pool.runs_cached"),
+		Coalesced:  reg.Counter("pool.runs_coalesced"),
 		Failed:     reg.Counter("pool.runs_failed"),
 	}
 }
 
-// Stats returns a snapshot of the pool's counters and gauges.
+// Stats returns a snapshot of the pool's counters and gauges, with the
+// Go runtime read at call time.
 func (p *Pool) Stats() Stats {
 	p.statsMu.Lock()
-	defer p.statsMu.Unlock()
-	return p.stats
+	st := p.stats
+	p.statsMu.Unlock()
+	st.Runtime = readRuntime()
+	return st
 }
 
 // enqueue records n Specs accepted by Run.
@@ -146,6 +186,10 @@ func (p *Pool) finish(r Result, simulated bool) {
 		p.stats.Cached++
 		p.Metrics.Cached.Inc()
 	}
+	if r.Coalesced {
+		p.stats.Coalesced++
+		p.Metrics.Coalesced.Inc()
+	}
 	if r.Err != nil {
 		p.stats.Failed++
 		p.Metrics.Failed.Inc()
@@ -154,12 +198,15 @@ func (p *Pool) finish(r Result, simulated bool) {
 	p.statsMu.Unlock()
 }
 
-// cacheEntry is one key's slot: done closes when the owning run finishes.
+// cacheEntry is one key's slot: done closes when the owning run
+// finishes. followers counts submissions that coalesced while the run
+// was still in flight (guarded by the pool's mu).
 type cacheEntry struct {
-	done    chan struct{}
-	outcome core.Outcome
-	err     error
-	wall    time.Duration
+	done      chan struct{}
+	outcome   core.Outcome
+	err       error
+	wall      time.Duration
+	followers int64
 }
 
 // New returns a Pool running at most jobs simulations at once (0: one per
@@ -235,10 +282,21 @@ func (p *Pool) one(ctx context.Context, sp Spec) (res Result) {
 		p.cache = make(map[string]*cacheEntry)
 	}
 	if e, ok := p.cache[key]; ok {
+		// A completed entry is a plain cache hit; an in-flight one makes
+		// this submission a coalesced follower of the running simulation.
+		select {
+		case <-e.done:
+		default:
+			res.Coalesced = true
+			e.followers++
+		}
 		p.mu.Unlock()
 		select {
 		case <-e.done:
 			res.Outcome, res.Err, res.Wall, res.Cached = e.outcome, e.err, e.wall, true
+			p.mu.Lock()
+			res.Followers = e.followers
+			p.mu.Unlock()
 		case <-ctx.Done():
 			res.Err = ctx.Err()
 		}
@@ -251,7 +309,10 @@ func (p *Pool) one(ctx context.Context, sp Spec) (res Result) {
 	simulated = true
 	start := time.Now()
 	out, err := p.simulate(ctx, sp)
+	p.mu.Lock()
 	e.outcome, e.err, e.wall = out, err, time.Since(start)
+	res.Followers = e.followers
+	p.mu.Unlock()
 	close(e.done)
 	if err != nil && (errors.Is(err, core.ErrCanceled) || errors.Is(err, context.Canceled) ||
 		errors.Is(err, context.DeadlineExceeded)) {

@@ -28,6 +28,13 @@ type Spec struct {
 	// is not part of the canonical key.
 	Name string
 
+	// TraceID carries the request trace that submitted this Spec (see
+	// internal/obs) so the serving layer can correlate a run with its
+	// access-log record. Like Name it is presentation-only: excluded from
+	// the canonical key, so traced and untraced submissions of the same
+	// simulation share one cache entry.
+	TraceID string
+
 	Disk     disk.Config
 	Policy   core.PolicySpec
 	Workload workload.Workload

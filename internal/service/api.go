@@ -258,6 +258,10 @@ type RunStatus struct {
 	ID    string `json:"id"`
 	Label string `json:"label"`
 	State string `json:"state"`
+	// TraceID is the request trace that submitted the run — the handle
+	// that links this document to the server's access-log record and the
+	// X-Rofs-Trace-Id response header.
+	TraceID string `json:"trace_id,omitempty"`
 	// Error carries the failure or cancellation message in terminal
 	// states.
 	Error string `json:"error,omitempty"`
@@ -285,6 +289,13 @@ type RunResult struct {
 
 	WallSeconds float64 `json:"wall_seconds"`
 	Cached      bool    `json:"cached"`
+	// Coalesced refines Cached: this submission arrived while an equal
+	// Spec was still simulating and shared that run's result.
+	Coalesced bool `json:"coalesced,omitempty"`
+	// Followers counts duplicate submissions this run's result also
+	// served (single-flight coalescing), as of when the result was
+	// produced.
+	Followers int64 `json:"followers,omitempty"`
 }
 
 // SubmitResponse is the POST /v1/runs (async) body.

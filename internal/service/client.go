@@ -4,11 +4,15 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
+
+	"rofs/internal/obs"
 )
 
 // Client is the Go view of a rofs-server: cmd/rofs-client is a thin shell
@@ -20,12 +24,14 @@ type Client struct {
 	HTTP *http.Client
 }
 
-// APIError is a non-2xx response, carrying the decoded error body and —
-// for 503s — the server's Retry-After hint.
+// APIError is a non-2xx response, carrying the decoded error body, the
+// response's trace ID (the key into the server's access log), and — for
+// 503s — the server's Retry-After hint.
 type APIError struct {
 	Code       int
 	Message    string
 	RetryAfter string
+	TraceID    string
 }
 
 func (e *APIError) Error() string {
@@ -33,8 +39,26 @@ func (e *APIError) Error() string {
 	if e.RetryAfter != "" {
 		msg += " (Retry-After: " + e.RetryAfter + "s)"
 	}
+	if e.TraceID != "" {
+		msg += " [trace " + e.TraceID + "]"
+	}
 	return msg
 }
+
+// RetryDelay converts the Retry-After hint to a wait, falling back to
+// fallback when the header is absent or malformed. Only delay-seconds
+// form is produced by rofs-server; HTTP-date hints fall back too.
+func (e *APIError) RetryDelay(fallback time.Duration) time.Duration {
+	if secs, err := strconv.Atoi(strings.TrimSpace(e.RetryAfter)); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	return fallback
+}
+
+// Retryable reports whether the error is a 503 — the one status the
+// server uses for transient overload, and therefore the only one worth
+// retrying.
+func (e *APIError) Retryable() bool { return e.Code == http.StatusServiceUnavailable }
 
 func (c *Client) httpClient() *http.Client {
 	if c.HTTP != nil {
@@ -61,6 +85,11 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// Propagate a caller-chosen trace ID so client and server logs share
+	// one handle; without one the server mints its own.
+	if id := obs.TraceIDFrom(ctx); id != "" {
+		req.Header.Set(obs.TraceHeader, id)
+	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return err
@@ -72,7 +101,9 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		if e.Error == "" {
 			e.Error = resp.Status
 		}
-		return &APIError{Code: resp.StatusCode, Message: e.Error, RetryAfter: resp.Header.Get("Retry-After")}
+		return &APIError{Code: resp.StatusCode, Message: e.Error,
+			RetryAfter: resp.Header.Get("Retry-After"),
+			TraceID:    resp.Header.Get(obs.TraceHeader)}
 	}
 	if out == nil {
 		return nil
@@ -94,6 +125,50 @@ func (c *Client) SubmitWait(ctx context.Context, req RunRequest) (RunStatus, err
 	var out RunStatus
 	err := c.do(ctx, http.MethodPost, "/v1/runs?wait=1", &req, &out)
 	return out, err
+}
+
+// SubmitRetry is Submit with 503 backoff: overload rejections wait out
+// the server's Retry-After hint (fallback one second) and resubmit, up
+// to retries additional attempts. Other errors return immediately.
+func (c *Client) SubmitRetry(ctx context.Context, req RunRequest, retries int) (SubmitResponse, error) {
+	var out SubmitResponse
+	err := c.retry(ctx, retries, func() error {
+		var err error
+		out, err = c.Submit(ctx, req)
+		return err
+	})
+	return out, err
+}
+
+// SubmitWaitRetry is SubmitWait with the same 503 backoff as
+// SubmitRetry.
+func (c *Client) SubmitWaitRetry(ctx context.Context, req RunRequest, retries int) (RunStatus, error) {
+	var out RunStatus
+	err := c.retry(ctx, retries, func() error {
+		var err error
+		out, err = c.SubmitWait(ctx, req)
+		return err
+	})
+	return out, err
+}
+
+// retry runs attempt up to 1+retries times, sleeping the server's
+// Retry-After between 503s; ctx cancellation cuts the wait short.
+func (c *Client) retry(ctx context.Context, retries int, attempt func() error) error {
+	for try := 0; ; try++ {
+		err := attempt()
+		var apiErr *APIError
+		if err == nil || try >= retries || !errors.As(err, &apiErr) || !apiErr.Retryable() {
+			return err
+		}
+		t := time.NewTimer(apiErr.RetryDelay(time.Second))
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return err
+		}
+	}
 }
 
 // Status fetches one run's document.

@@ -2,6 +2,7 @@ package service
 
 import (
 	"io"
+	"runtime"
 	"sync"
 	"time"
 
@@ -31,9 +32,11 @@ type serverMetrics struct {
 	admitted, rejected *metrics.Counter
 	done, failed       *metrics.Counter
 	canceled, cached   *metrics.Counter
+	coalesced          *metrics.Counter
 
 	queueWaitMS *metrics.Hist
 	runWallMS   *metrics.Hist
+	phases      map[string]*metrics.Hist
 
 	requests  map[string]*metrics.Counter
 	latencies map[string]*metrics.Hist
@@ -44,16 +47,43 @@ type serverMetrics struct {
 	poolQueue, poolInFlight               *metrics.Gauge
 	poolPeakQueue, poolPeakInFlight       *metrics.Gauge
 	poolSubmitted, poolCached, poolFailed *metrics.Counter
+	poolCoalesced                         *metrics.Counter
 	lastPool                              runner.Stats
+
+	// Go runtime health, refreshed at scrape time from runner.Stats'
+	// runtime snapshot plus a local ReadMemStats for the GC pause ring.
+	goroutines *metrics.Gauge
+	heapAlloc  *metrics.Gauge
+	heapSys    *metrics.Gauge
+	gcRuns     *metrics.Counter
+	gcPauseMS  *metrics.Hist
+	lastNumGC  uint32
 
 	started time.Time
 	uptime  *metrics.Gauge
 }
 
+// Server-side request phases, in lifecycle order: validate+admit, wait
+// for a worker slot, simulate, encode the result. Each gets a latency
+// histogram service.phase_ms.<phase>.
+const (
+	phaseAdmit  = "admit"
+	phaseQueue  = "queue"
+	phaseRun    = "run"
+	phaseEncode = "encode"
+)
+
+// gcPauseBoundsMS are the GC pause histogram buckets (log-spaced, ms);
+// pauses are far shorter than request latencies, so they get their own
+// sub-millisecond scale.
+var gcPauseBoundsMS = []float64{
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100,
+}
+
 func newServerMetrics() *serverMetrics {
 	reg := metrics.New(metrics.DefaultIntervalMS)
 	reg.SetLabel("component", "rofs-server")
-	return &serverMetrics{
+	m := &serverMetrics{
 		reg:              reg,
 		queueDepth:       reg.Gauge("service.queue_depth"),
 		inFlight:         reg.Gauge("service.in_flight"),
@@ -63,8 +93,10 @@ func newServerMetrics() *serverMetrics {
 		failed:           reg.Counter("service.runs_failed"),
 		canceled:         reg.Counter("service.runs_canceled"),
 		cached:           reg.Counter("service.runs_cached"),
+		coalesced:        reg.Counter("service.runs_coalesced"),
 		queueWaitMS:      reg.Histogram("service.queue_wait_ms", latencyBoundsMS),
 		runWallMS:        reg.Histogram("service.run_wall_ms", latencyBoundsMS),
+		phases:           make(map[string]*metrics.Hist),
 		requests:         make(map[string]*metrics.Counter),
 		latencies:        make(map[string]*metrics.Hist),
 		poolQueue:        reg.Gauge("pool.queue_depth"),
@@ -74,9 +106,35 @@ func newServerMetrics() *serverMetrics {
 		poolSubmitted:    reg.Counter("pool.runs_submitted"),
 		poolCached:       reg.Counter("pool.runs_cached"),
 		poolFailed:       reg.Counter("pool.runs_failed"),
+		poolCoalesced:    reg.Counter("pool.runs_coalesced"),
+		goroutines:       reg.Gauge("go.goroutines"),
+		heapAlloc:        reg.Gauge("go.heap_alloc_bytes"),
+		heapSys:          reg.Gauge("go.heap_sys_bytes"),
+		gcRuns:           reg.Counter("go.gc_runs"),
+		gcPauseMS:        reg.Histogram("go.gc_pause_ms", gcPauseBoundsMS),
 		started:          time.Now(),
 		uptime:           reg.Gauge("service.uptime_seconds"),
 	}
+	// Register the phase histograms eagerly so every scrape exposes all
+	// four series (with zero counts) from the first request on.
+	for _, ph := range []string{phaseAdmit, phaseQueue, phaseRun, phaseEncode} {
+		m.phases[ph] = reg.Histogram("service.phase_ms."+ph, latencyBoundsMS)
+	}
+	// Seed lastNumGC so GCs that happened before the server existed are
+	// not replayed into the pause histogram on the first scrape.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m.lastNumGC = ms.NumGC
+	return m
+}
+
+// observePhase records one server-side phase latency (milliseconds).
+func (m *serverMetrics) observePhase(phase string, ms float64) {
+	m.mu.Lock()
+	if h, ok := m.phases[phase]; ok {
+		h.Observe(ms)
+	}
+	m.mu.Unlock()
 }
 
 // observeRequest records one finished HTTP request on the route's
@@ -144,6 +202,9 @@ func (m *serverMetrics) countFinished(state string, res runner.Result) {
 	if res.Cached {
 		m.cached.Inc()
 	}
+	if res.Coalesced {
+		m.coalesced.Inc()
+	}
 	if res.Err == nil {
 		m.runWallMS.Observe(res.Wall.Seconds() * 1000)
 	}
@@ -161,7 +222,33 @@ func (m *serverMetrics) write(w io.Writer, ps runner.Stats) {
 	m.poolSubmitted.Add(ps.Submitted - m.lastPool.Submitted)
 	m.poolCached.Add(ps.Cached - m.lastPool.Cached)
 	m.poolFailed.Add(ps.Failed - m.lastPool.Failed)
+	m.poolCoalesced.Add(ps.Coalesced - m.lastPool.Coalesced)
 	m.lastPool = ps
+	m.goroutines.Set(float64(ps.Runtime.Goroutines))
+	m.heapAlloc.Set(float64(ps.Runtime.HeapAllocBytes))
+	m.heapSys.Set(float64(ps.Runtime.HeapSysBytes))
+	m.syncGCPauses()
 	m.uptime.Set(time.Since(m.started).Seconds())
 	m.reg.Write(w, metrics.Prometheus)
+}
+
+// syncGCPauses advances the GC counter and pause histogram from the
+// runtime's 256-entry pause ring. Cycles that fell off the ring between
+// scrapes (never at realistic scrape intervals) are counted but their
+// pauses skipped. Caller holds m.mu.
+func (m *serverMetrics) syncGCPauses() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.NumGC <= m.lastNumGC {
+		return
+	}
+	m.gcRuns.Add(int64(ms.NumGC - m.lastNumGC))
+	for n := m.lastNumGC + 1; n <= ms.NumGC; n++ {
+		if ms.NumGC-n >= uint32(len(ms.PauseNs)) {
+			continue
+		}
+		pause := ms.PauseNs[(n+uint32(len(ms.PauseNs))-1)%uint32(len(ms.PauseNs))]
+		m.gcPauseMS.Observe(float64(pause) / 1e6)
+	}
+	m.lastNumGC = ms.NumGC
 }

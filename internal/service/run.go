@@ -25,6 +25,15 @@ type run struct {
 	seq     int // admission order, for queue positions
 	started time.Time
 
+	// Lifecycle spans and dispositions, filled as the run progresses and
+	// read by the access-log record of the request that submitted it.
+	queueWait time.Duration // admission queue → worker slot
+	runWall   time.Duration // worker slot → terminal state
+	encodeMS  float64       // result encoding
+	cached    bool
+	coalesced bool
+	followers int64
+
 	// cancel aborts the run's context: queued runs fail admission,
 	// in-flight simulations stop at the next Config.Cancel poll.
 	cancel context.CancelFunc
@@ -33,7 +42,8 @@ type run struct {
 
 // status renders the run's public document. Caller holds s.mu.
 func (r *run) status(queuePos int) RunStatus {
-	st := RunStatus{ID: r.id, Label: r.spec.Label(), State: r.state, Error: r.err}
+	st := RunStatus{ID: r.id, Label: r.spec.Label(), State: r.state,
+		TraceID: r.spec.TraceID, Error: r.err}
 	if r.state == StateQueued {
 		st.Position = queuePos
 	}
@@ -53,6 +63,8 @@ func newRunResult(res runner.Result) (*RunResult, error) {
 		Stats:       res.Outcome.Stats,
 		WallSeconds: res.Wall.Seconds(),
 		Cached:      res.Cached,
+		Coalesced:   res.Coalesced,
+		Followers:   res.Followers,
 	}
 	switch res.Spec.Kind {
 	case core.Allocation, core.AllocationRealloc:

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -13,6 +14,7 @@ import (
 
 	"rofs/internal/core"
 	"rofs/internal/metrics"
+	"rofs/internal/obs"
 	"rofs/internal/runner"
 )
 
@@ -41,6 +43,10 @@ type Options struct {
 	// RetryAfter is the hint returned with 503 responses. Zero means one
 	// second.
 	RetryAfter time.Duration
+	// AccessLog receives one structured JSON record per finished HTTP
+	// request (see obs.AccessRecord). Nil disables access logging; trace
+	// IDs are still minted and echoed either way.
+	AccessLog io.Writer
 }
 
 func (o Options) withDefaults() Options {
@@ -72,9 +78,10 @@ func (o Options) withDefaults() Options {
 // executes simulations. Create with New, mount Handler on an
 // http.Server, and Drain on shutdown.
 type Server struct {
-	opts Options
-	pool *runner.Pool
-	obs  *serverMetrics
+	opts   Options
+	pool   *runner.Pool
+	obs    *serverMetrics
+	access *obs.AccessLogger
 
 	// slots is the worker-slot semaphore: holding a token is the right
 	// to occupy one pool worker.
@@ -104,6 +111,7 @@ func New(opts Options) *Server {
 		opts:       opts,
 		pool:       runner.New(opts.Jobs),
 		obs:        newServerMetrics(),
+		access:     obs.NewAccessLogger(opts.AccessLog),
 		slots:      make(chan struct{}, opts.Jobs),
 		baseCtx:    ctx,
 		baseCancel: cancel,
@@ -113,7 +121,9 @@ func New(opts Options) *Server {
 	return s
 }
 
-// Handler returns the server's routing table.
+// Handler returns the server's routing table, wrapped in the trace
+// middleware (trace-ID minting, X-Rofs-Trace-Id echo, one access record
+// per request).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/runs", s.instrument("submit", s.handleSubmit))
@@ -121,16 +131,17 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/runs/{id}", s.instrument("status", s.handleGet))
 	mux.HandleFunc("DELETE /v1/runs/{id}", s.instrument("cancel", s.handleCancel))
 	mux.HandleFunc("POST /v1/runs/{id}/cancel", s.instrument("cancel", s.handleCancel))
-	mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents) // long-lived: not latency-instrumented
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /readyz", s.handleReadyz)
-	return mux
+	mux.HandleFunc("GET /v1/runs/{id}/events", s.route("events", s.handleEvents)) // long-lived: not latency-instrumented
+	mux.HandleFunc("GET /metrics", s.route("metrics", s.handleMetrics))
+	mux.HandleFunc("GET /healthz", s.route("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /readyz", s.route("readyz", s.handleReadyz))
+	return s.trace(mux)
 }
 
 // instrument wraps a handler with a per-route request counter and
-// latency histogram.
+// latency histogram, and tags the access record with the route name.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	h = s.route(route, h)
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		h(w, r)
@@ -142,18 +153,23 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 // return the run's handle immediately or — with ?wait=1 — block until
 // the result, canceling the simulation if the waiting client disconnects.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	arrived := time.Now()
+	ri := infoFrom(r.Context())
 	var req RunRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		ri.Update(func(rec *obs.AccessRecord) { rec.Outcome = "invalid" })
 		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
 	sp, err := req.Spec()
 	if err != nil {
+		ri.Update(func(rec *obs.AccessRecord) { rec.Outcome = "invalid" })
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	sp.TraceID = obs.TraceIDFrom(r.Context())
 
 	timeout := s.opts.RunTimeout
 	if req.TimeoutMS > 0 {
@@ -161,12 +177,27 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	rn, err := s.admit(sp, timeout)
+	admitMS := obs.Since(arrived)
+	s.obs.observePhase(phaseAdmit, admitMS)
 	if err != nil {
+		ri.Update(func(rec *obs.AccessRecord) {
+			rec.Spec = sp.Label()
+			rec.SpecKey = sp.Key()
+			rec.AdmitMS = admitMS
+			rec.Outcome = "rejected"
+		})
 		w.Header().Set("Retry-After", strconv.Itoa(int((s.opts.RetryAfter+time.Second-1)/time.Second)))
 		s.writeError(w, http.StatusServiceUnavailable, err)
 		s.obs.countRejected()
 		return
 	}
+	ri.Update(func(rec *obs.AccessRecord) {
+		rec.RunID = rn.id
+		rec.Spec = sp.Label()
+		rec.SpecKey = sp.Key()
+		rec.AdmitMS = admitMS
+		rec.Outcome = "accepted"
+	})
 
 	if r.URL.Query().Get("wait") == "1" {
 		s.waitAndRespond(w, r, rn)
@@ -242,14 +273,23 @@ func (s *Server) execute(rn *run, ctx context.Context) {
 		<-s.slots
 	}()
 	s.leaveQueue(rn)
-	s.obs.observeQueueWait(time.Since(queuedAt))
+	queueWait := time.Since(queuedAt)
+	s.obs.observeQueueWait(queueWait)
+	s.obs.observePhase(phaseQueue, float64(queueWait)/float64(time.Millisecond))
 
 	s.mu.Lock()
 	rn.state = StateRunning
 	rn.started = time.Now()
+	rn.queueWait = queueWait
 	s.mu.Unlock()
 
+	runStart := time.Now()
 	results, _ := s.pool.Run(ctx, []runner.Spec{rn.spec})
+	runWall := time.Since(runStart)
+	s.obs.observePhase(phaseRun, float64(runWall)/float64(time.Millisecond))
+	s.mu.Lock()
+	rn.runWall = runWall
+	s.mu.Unlock()
 	s.finalize(rn, results[0])
 }
 
@@ -268,6 +308,7 @@ func (s *Server) finalize(rn *run, res runner.Result) {
 	state := StateDone
 	var result *RunResult
 	var errMsg string
+	var encodeMS float64
 	switch {
 	case res.Err != nil && isCancellation(res.Err):
 		state, errMsg = StateCanceled, res.Err.Error()
@@ -275,12 +316,17 @@ func (s *Server) finalize(rn *run, res runner.Result) {
 		state, errMsg = StateFailed, res.Err.Error()
 	default:
 		var err error
+		encStart := time.Now()
 		if result, err = newRunResult(res); err != nil {
 			state, errMsg = StateFailed, err.Error()
 		}
+		encodeMS = obs.Since(encStart)
+		s.obs.observePhase(phaseEncode, encodeMS)
 	}
 	s.mu.Lock()
 	rn.state, rn.err, rn.result = state, errMsg, result
+	rn.encodeMS = encodeMS
+	rn.cached, rn.coalesced, rn.followers = res.Cached, res.Coalesced, res.Followers
 	s.mu.Unlock()
 	s.obs.countFinished(state, res)
 	close(rn.done)
@@ -303,6 +349,20 @@ func (s *Server) waitAndRespond(w http.ResponseWriter, r *http.Request, rn *run)
 		rn.cancel()
 		<-rn.done
 	}
+	s.mu.Lock()
+	queueMS := float64(rn.queueWait) / float64(time.Millisecond)
+	runMS := float64(rn.runWall) / float64(time.Millisecond)
+	encodeMS := rn.encodeMS
+	cached, coalesced, followers := rn.cached, rn.coalesced, rn.followers
+	state := rn.state
+	s.mu.Unlock()
+	infoFrom(r.Context()).Update(func(rec *obs.AccessRecord) {
+		rec.QueueMS = queueMS
+		rec.RunMS = runMS
+		rec.EncodeMS = encodeMS
+		rec.Cached, rec.Coalesced, rec.Followers = cached, coalesced, followers
+		rec.Outcome = state
+	})
 	s.writeJSON(w, http.StatusOK, s.snapshot(rn))
 }
 

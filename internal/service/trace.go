@@ -1,0 +1,102 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"rofs/internal/obs"
+)
+
+// reqInfoKey carries the request's *obs.ReqInfo through the context so
+// handlers (and the executor paths they block on) can enrich the access
+// record the trace middleware emits when the request finishes.
+type reqInfoKey struct{}
+
+// infoFrom returns the request's access-record accumulator, or nil when
+// the handler runs outside the trace middleware (obs.ReqInfo methods
+// drop updates on a nil receiver, so callers never need to check).
+func infoFrom(ctx context.Context) *obs.ReqInfo {
+	ri, _ := ctx.Value(reqInfoKey{}).(*obs.ReqInfo)
+	return ri
+}
+
+// statusWriter captures the response status code for the access record.
+// It forwards Flush so SSE streaming through the middleware keeps
+// working.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// trace wraps the routing table with per-request tracing: every request
+// gets a trace ID — adopted from a well-formed X-Rofs-Trace-Id request
+// header so clients can correlate, minted otherwise — echoed on the
+// response header and stored in the context, and when the handler
+// returns, exactly one structured access record goes to the configured
+// access log. With no access log the middleware still assigns IDs (the
+// response header and RunStatus.TraceID remain useful) and skips only
+// the record.
+func (s *Server) trace(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := r.Header.Get(obs.TraceHeader)
+		if !obs.ValidTraceID(id) {
+			id = obs.RandomTraceID()
+		}
+		w.Header().Set(obs.TraceHeader, id)
+
+		ri := obs.NewReqInfo(obs.AccessRecord{
+			TraceID: id,
+			Client:  r.RemoteAddr,
+			Method:  r.Method,
+			Path:    r.URL.Path,
+		})
+		ctx := obs.WithTraceID(r.Context(), id)
+		ctx = context.WithValue(ctx, reqInfoKey{}, ri)
+		sw := &statusWriter{ResponseWriter: w}
+		h.ServeHTTP(sw, r.WithContext(ctx))
+
+		rec := ri.Snapshot()
+		rec.Status = sw.status
+		if rec.Status == 0 {
+			// Handler wrote nothing (e.g. an SSE stream torn down before
+			// headers); net/http would have sent 200.
+			rec.Status = http.StatusOK
+		}
+		rec.DurMS = obs.Since(start)
+		s.access.Log(rec)
+	})
+}
+
+// route tags the request's access record with the route name. instrument
+// composes it with latency accounting; long-lived or scrape routes use
+// it directly.
+func (s *Server) route(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		infoFrom(r.Context()).Update(func(rec *obs.AccessRecord) {
+			rec.Route = name
+		})
+		h(w, r)
+	}
+}

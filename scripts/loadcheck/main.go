@@ -1,0 +1,175 @@
+// Command loadcheck validates a rofs-load/v1 report and cross-checks it
+// against the server's JSON access log: the schema tag, internal count
+// consistency, client/server accounting agreement, trace-ID uniqueness,
+// and — the tracing contract end to end — that every request the load
+// generator issued appears in exactly one access-log record under its
+// trace ID. CI runs it from scripts/check_load.sh.
+//
+//	loadcheck report.json                 # report-only checks
+//	loadcheck report.json access.jsonl    # plus the access-log cross-check
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"rofs/internal/obs"
+)
+
+// loadReport mirrors the rofs-load/v1 fields the checks consume.
+type loadReport struct {
+	Schema  string `json:"schema"`
+	Mode    string `json:"mode"`
+	Classes map[string]struct {
+		Count int64 `json:"count"`
+	} `json:"classes"`
+	Total struct {
+		Count    int64 `json:"count"`
+		Done     int64 `json:"done"`
+		Rejected int64 `json:"rejected"`
+		Failed   int64 `json:"failed"`
+		Canceled int64 `json:"canceled"`
+		Errors   int64 `json:"errors"`
+	} `json:"total"`
+	Agreement struct {
+		ClientCompleted      int64   `json:"client_completed"`
+		ClientRejected       int64   `json:"client_rejected"`
+		ClientErrors         int64   `json:"client_errors"`
+		ServerCompletedDelta float64 `json:"server_completed_delta"`
+		ServerRejectedDelta  float64 `json:"server_rejected_delta"`
+		OK                   bool    `json:"ok"`
+	} `json:"agreement"`
+	Requests []struct {
+		Trace  string `json:"trace"`
+		Status string `json:"status"`
+	} `json:"requests"`
+}
+
+func main() {
+	if len(os.Args) < 2 || len(os.Args) > 3 {
+		fail(fmt.Errorf("usage: loadcheck REPORT.json [ACCESS.jsonl]"))
+	}
+	rep, err := loadRep(os.Args[1])
+	if err != nil {
+		fail(err)
+	}
+
+	if rep.Schema != "rofs-load/v1" {
+		fail(fmt.Errorf("schema = %q, want rofs-load/v1", rep.Schema))
+	}
+	if !rep.Agreement.OK {
+		fail(fmt.Errorf("accounting disagrees: client %d completed + %d rejected (%d errors) vs server deltas %+.0f/%+.0f",
+			rep.Agreement.ClientCompleted, rep.Agreement.ClientRejected, rep.Agreement.ClientErrors,
+			rep.Agreement.ServerCompletedDelta, rep.Agreement.ServerRejectedDelta))
+	}
+	if rep.Total.Count == 0 {
+		fail(fmt.Errorf("report has zero requests"))
+	}
+	if got := int64(len(rep.Requests)); got != rep.Total.Count {
+		fail(fmt.Errorf("requests array has %d entries, total.count says %d", got, rep.Total.Count))
+	}
+	var classSum int64
+	for _, cs := range rep.Classes {
+		classSum += cs.Count
+	}
+	if classSum != rep.Total.Count {
+		fail(fmt.Errorf("class counts sum to %d, total.count says %d", classSum, rep.Total.Count))
+	}
+	if sum := rep.Total.Done + rep.Total.Rejected + rep.Total.Failed +
+		rep.Total.Canceled + rep.Total.Errors; sum != rep.Total.Count {
+		fail(fmt.Errorf("dispositions sum to %d, total.count says %d", sum, rep.Total.Count))
+	}
+
+	// Every request carries a well-formed trace, no trace twice.
+	traces := make(map[string]bool, len(rep.Requests))
+	for i, req := range rep.Requests {
+		if !obs.ValidTraceID(req.Trace) {
+			fail(fmt.Errorf("request %d: trace %q is not a valid trace ID", i, req.Trace))
+		}
+		if traces[req.Trace] {
+			fail(fmt.Errorf("trace %s issued twice", req.Trace))
+		}
+		traces[req.Trace] = true
+	}
+
+	if len(os.Args) == 3 {
+		if err := checkAccessLog(os.Args[2], traces); err != nil {
+			fail(err)
+		}
+		fmt.Printf("loadcheck: %s ok (%d requests, accounting agrees, every trace logged exactly once)\n",
+			os.Args[1], rep.Total.Count)
+		return
+	}
+	fmt.Printf("loadcheck: %s ok (%d requests, accounting agrees, traces unique)\n",
+		os.Args[1], rep.Total.Count)
+}
+
+// checkAccessLog asserts each issued trace appears in exactly one access
+// record. The log may hold more records than the report (health checks,
+// metrics scrapes, status polls) — those are ignored.
+func checkAccessLog(path string, traces map[string]bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	seen := make(map[string]int, len(traces))
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec struct {
+			Msg   string `json:"msg"`
+			Trace string `json:"trace"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return fmt.Errorf("%s:%d: not a JSON access record: %w", path, line, err)
+		}
+		if rec.Msg != "access" {
+			return fmt.Errorf("%s:%d: msg = %q, want access", path, line, rec.Msg)
+		}
+		if !obs.ValidTraceID(rec.Trace) {
+			return fmt.Errorf("%s:%d: trace %q is not a valid trace ID", path, line, rec.Trace)
+		}
+		if traces[rec.Trace] {
+			seen[rec.Trace]++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for trace := range traces {
+		switch n := seen[trace]; n {
+		case 1:
+		case 0:
+			return fmt.Errorf("trace %s has no access-log record", trace)
+		default:
+			return fmt.Errorf("trace %s has %d access-log records, want exactly 1", trace, n)
+		}
+	}
+	return nil
+}
+
+func loadRep(path string) (*loadReport, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep loadReport
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "loadcheck: FAIL: %v\n", err)
+	os.Exit(1)
+}
