@@ -87,6 +87,9 @@ func main() {
 		maxSimFlag  = fs.Float64("max-sim", 0, "override simulated-time cap (ms)")
 		timeoutFlag = fs.Duration("timeout", 0, "server-side wall-time cap for the run (e.g. 2m)")
 
+		ckptEveryFlag = fs.Float64("ckpt-every", 0,
+			"arm server-side checkpoint/resume at this boundary interval (simulated ms; needs a server with -ckpt-dir)")
+
 		// fault-scenario knobs, forwarded as the request's faults object
 		faultFlags = fault.AddFlags(fs)
 
@@ -119,7 +122,8 @@ func main() {
 		Layout:    *layoutFlag,
 		MaxSimMS:  *maxSimFlag,
 
-		StableWindows: *stableFlag,
+		StableWindows:     *stableFlag,
+		CheckpointEveryMS: *ckptEveryFlag,
 	}
 	if *policyFlag == "fixed" {
 		n, err := parseSize(*blockFlag)
@@ -308,9 +312,16 @@ func note(st service.RunStatus) string {
 	if st.Result == nil {
 		return st.State
 	}
-	how := "simulated"
-	if st.Result.Cached {
-		how = "cached"
+	how := st.Result.Disposition
+	if how == "" {
+		// Older servers send no disposition; reconstruct the coarse view.
+		how = "simulated"
+		if st.Result.Cached {
+			how = "cached"
+		}
+		if st.Result.DiskHit {
+			how = "disk-hit"
+		}
 	}
 	return fmt.Sprintf("%s in %.2fs, %s", how, st.Result.WallSeconds, st.State)
 }

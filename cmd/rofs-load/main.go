@@ -340,6 +340,7 @@ func submitOne(ctx context.Context, client *service.Client, it item, timeout tim
 		if st.Result != nil {
 			oc.Cached = st.Result.Cached
 			oc.Coalesced = st.Result.Coalesced
+			oc.DiskHit = st.Result.DiskHit
 		}
 	case errors.As(err, &apiErr) && apiErr.Code == http.StatusServiceUnavailable:
 		oc.Status = statusRejected

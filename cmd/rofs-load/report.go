@@ -36,6 +36,7 @@ type outcome struct {
 	RunID     string  `json:"run,omitempty"`
 	Cached    bool    `json:"cached,omitempty"`
 	Coalesced bool    `json:"coalesced,omitempty"`
+	DiskHit   bool    `json:"disk_hit,omitempty"`
 	Error     string  `json:"error,omitempty"`
 }
 
@@ -58,6 +59,7 @@ type classStats struct {
 	Done      int64 `json:"done"`
 	Cached    int64 `json:"cached"`
 	Coalesced int64 `json:"coalesced"`
+	DiskHits  int64 `json:"disk_hits"`
 	Rejected  int64 `json:"rejected"`
 	Failed    int64 `json:"failed"`
 	Canceled  int64 `json:"canceled"`
@@ -193,6 +195,9 @@ func (c *classStats) observe(oc outcome) {
 		}
 		if oc.Coalesced {
 			c.Coalesced++
+		}
+		if oc.DiskHit {
+			c.DiskHits++
 		}
 		if !oc.Ramp {
 			c.steadyDoneMS = append(c.steadyDoneMS, oc.DurMS)
@@ -346,7 +351,7 @@ func printSummary(w io.Writer, rep *loadReport) {
 	title := fmt.Sprintf("rofs-load %s  %s  %.0fs (ramp %.0fs, seed %d)",
 		rep.Mode, rep.Server, rep.DurationSec, rep.RampSec, rep.Seed)
 	t := report.NewTable(title,
-		"Class", "Count", "Done", "Cached", "Coal", "503", "Fail", "Err",
+		"Class", "Count", "Done", "Cached", "Disk", "Coal", "503", "Fail", "Err",
 		"p50ms", "p95ms", "p99ms", "p999ms", "RPS")
 	rows := []string{classFresh, classRepeat, classHeavy}
 	for _, name := range rows {
@@ -376,7 +381,7 @@ func statRow(name string, cs *classStats) []any {
 	if cs.Latency != nil {
 		lat = *cs.Latency
 	}
-	return []any{name, cs.Count, cs.Done, cs.Cached, cs.Coalesced,
+	return []any{name, cs.Count, cs.Done, cs.Cached, cs.DiskHits, cs.Coalesced,
 		cs.Rejected, cs.Failed, cs.Errors,
 		fmt.Sprintf("%.1f", lat.P50MS), fmt.Sprintf("%.1f", lat.P95MS),
 		fmt.Sprintf("%.1f", lat.P99MS), fmt.Sprintf("%.1f", lat.P999MS),

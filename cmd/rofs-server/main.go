@@ -26,12 +26,16 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"rofs/internal/ckpt"
 	"rofs/internal/metrics"
 	"rofs/internal/prof"
 	"rofs/internal/service"
+	"rofs/internal/store"
+	"rofs/internal/units"
 )
 
 func main() {
@@ -45,6 +49,15 @@ func main() {
 
 		metricsIntFlag = flag.Float64("metrics-interval", metrics.DefaultIntervalMS,
 			"per-run timeline sampling interval (simulated ms; negative disables run bundles)")
+
+		storeDirFlag = flag.String("store-dir", "",
+			"persist results to this directory; identical submissions after a restart are served from it (empty disables)")
+		storeMaxFlag = flag.String("store-max-bytes", "256M",
+			"result-store byte budget; least recently used records beyond it are evicted (K/M/G suffixes)")
+		cacheEntriesFlag = flag.Int("cache-entries", 0,
+			"bound the in-memory result cache to this many entries, LRU-evicted (0: unbounded)")
+		ckptDirFlag = flag.String("ckpt-dir", "",
+			"persist run checkpoints to this directory; armed runs resume across restarts (empty disables)")
 
 		accessLogFlag = flag.String("access-log", "",
 			"write one JSON access record per request to this file (- for stderr; empty disables)")
@@ -99,12 +112,37 @@ func main() {
 		}()
 	}
 
+	var resultStore *store.Store
+	if *storeDirFlag != "" {
+		maxBytes, err := parseSize(*storeMaxFlag)
+		if err != nil {
+			fatal("-store-max-bytes: %v", err)
+		}
+		if resultStore, err = store.Open(*storeDirFlag, store.Options{MaxBytes: maxBytes}); err != nil {
+			fatal("%v", err)
+		}
+		defer resultStore.Close()
+		st := resultStore.Stats()
+		fmt.Fprintf(os.Stderr, "rofs-server: result store %s: %d records, %d live bytes (budget %d)\n",
+			*storeDirFlag, st.Records, st.LiveBytes, maxBytes)
+	}
+	var ckptMgr *ckpt.Manager
+	if *ckptDirFlag != "" {
+		var err error
+		if ckptMgr, err = ckpt.NewManager(*ckptDirFlag); err != nil {
+			fatal("%v", err)
+		}
+	}
+
 	svc := service.New(service.Options{
 		Jobs:              *jobsFlag,
 		QueueDepth:        *queueFlag,
 		RunTimeout:        *runTimeout,
 		MetricsIntervalMS: *metricsIntFlag,
 		AccessLog:         accessLog,
+		Store:             resultStore,
+		CacheEntries:      *cacheEntriesFlag,
+		Ckpt:              ckptMgr,
 	})
 
 	ln, err := net.Listen("tcp", *addrFlag)
@@ -147,8 +185,13 @@ func main() {
 
 	st := svc.Pool().Stats()
 	fmt.Fprintf(os.Stderr,
-		"rofs-server: served %d runs (%d simulated, %d cached, %d failed), peak in-flight %d, peak queue %d\n",
-		st.Submitted, st.Simulated, st.Cached, st.Failed, st.PeakInFlight, st.PeakQueueDepth)
+		"rofs-server: served %d runs (%d simulated, %d cached, %d disk hits, %d failed), peak in-flight %d, peak queue %d\n",
+		st.Submitted, st.Simulated, st.Cached, st.DiskHits, st.Failed, st.PeakInFlight, st.PeakQueueDepth)
+	if resultStore != nil {
+		ss := resultStore.Stats()
+		fmt.Fprintf(os.Stderr, "rofs-server: store: %d records, %d live bytes, %d puts, %d evictions, %d compactions\n",
+			ss.Records, ss.LiveBytes, ss.Puts, ss.Evictions, ss.Compactions)
+	}
 }
 
 // svcJobs mirrors the service's default for the startup log line.
@@ -157,6 +200,25 @@ func svcJobs(jobs int) int {
 		return jobs
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// parseSize reads "256M"-style byte sizes (K/M/G suffixes).
+func parseSize(s string) (int64, error) {
+	s = strings.ToUpper(strings.TrimSpace(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "K"):
+		mult, s = units.KB, strings.TrimSuffix(s, "K")
+	case strings.HasSuffix(s, "M"):
+		mult, s = units.MB, strings.TrimSuffix(s, "M")
+	case strings.HasSuffix(s, "G"):
+		mult, s = units.GB, strings.TrimSuffix(s, "G")
+	}
+	var n int64
+	if _, err := fmt.Sscanf(s, "%d", &n); err != nil {
+		return 0, fmt.Errorf("cannot parse size %q", s)
+	}
+	return n * mult, nil
 }
 
 func fatal(format string, args ...any) {

@@ -1,0 +1,193 @@
+// Package ckpt provides deterministic checkpoint/resume for long
+// simulations.
+//
+// A checkpoint is not a byte image of the engine: the event heap holds
+// live closures and math/rand sources are not serializable, so a dumped
+// heap could never be restored without perturbing the very determinism
+// the simulator guarantees. Instead the package leans on that
+// determinism directly — verified replay. At every quantized boundary
+// (k × EveryMS of simulated time, reusing the sync-window grid of the
+// cluster runtime) the run records a compact fingerprint of its state:
+// simulated time, events fired, per-instance RNG stream positions
+// (draw counts), operation counts, allocation failures, file-system
+// occupancy, and admission-coordinator counters, sealed with a digest.
+// Resuming replays the run from t=0 with the identical configuration
+// and, on reaching the recorded boundary, verifies the replayed
+// fingerprint field-by-field against the saved one before continuing to
+// completion. The final result is byte-identical to an uninterrupted
+// run by construction, and any configuration drift (different seed,
+// workload, policy, binary behavior) is caught at the boundary instead
+// of silently producing different numbers.
+//
+// The simulated prefix is re-executed, so resume does not save the
+// prefix's wall time; what it buys is that a drained or killed long run
+// completes with verified-identical results instead of being lost, and
+// that the verification itself is a strong regression check on the
+// engine's determinism.
+package ckpt
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+)
+
+// Schema identifies the checkpoint format.
+const Schema = "rofs-ckpt/v1"
+
+// InstanceState fingerprints one simulated file server at a boundary.
+type InstanceState struct {
+	Index int   `json:"index"`
+	Seed  int64 `json:"seed"`
+	// Draws is the RNG stream position (primitive draws made so far).
+	Draws uint64 `json:"draws"`
+	// Ops and AllocFails are the instance's operation counters.
+	Ops        int64 `json:"ops"`
+	AllocFails int64 `json:"alloc_fails"`
+	// Utilization and Files fingerprint the file-system state.
+	Utilization float64 `json:"utilization"`
+	Files       int64   `json:"files"`
+}
+
+// CoordState fingerprints a fleet's admission coordinator.
+type CoordState struct {
+	Arrivals int64 `json:"arrivals"`
+	Admitted int64 `json:"admitted"`
+	Rejected int64 `json:"rejected"`
+}
+
+// State is one checkpoint: the run's identity, the boundary it was
+// taken at, and the deterministic fingerprint of everything that has
+// happened up to it.
+type State struct {
+	Schema  string `json:"schema"`
+	SpecKey string `json:"spec_key"`
+	Label   string `json:"label,omitempty"`
+	// Seq is the boundary ordinal (1 at SimMS = EveryMS).
+	Seq int64 `json:"seq"`
+	// SimMS is the quantized boundary's simulated time.
+	SimMS float64 `json:"sim_ms"`
+	// Events is the total events fired across all engines.
+	Events    uint64          `json:"events"`
+	Instances []InstanceState `json:"instances"`
+	Coord     *CoordState     `json:"coord,omitempty"`
+	// Digest seals the fields above (FNV-64a of the canonical
+	// rendering); Load recomputes and rejects mismatches.
+	Digest string `json:"digest"`
+	// WallMS accumulates wall-clock time spent across the original run
+	// and every resume — operational bookkeeping, excluded from the
+	// digest.
+	WallMS float64 `json:"wall_ms,omitempty"`
+}
+
+// canonical renders the digest-covered fields deterministically.
+func (st *State) canonical() string {
+	b := make([]byte, 0, 256)
+	b = append(b, st.Schema...)
+	b = append(b, '|')
+	b = append(b, st.SpecKey...)
+	b = append(b, '|')
+	b = append(b, st.Label...)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, st.Seq, 10)
+	b = append(b, '|')
+	b = strconv.AppendFloat(b, st.SimMS, 'g', -1, 64)
+	b = append(b, '|')
+	b = strconv.AppendUint(b, st.Events, 10)
+	for _, in := range st.Instances {
+		b = append(b, "|i:"...)
+		b = strconv.AppendInt(b, int64(in.Index), 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, in.Seed, 10)
+		b = append(b, ',')
+		b = strconv.AppendUint(b, in.Draws, 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, in.Ops, 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, in.AllocFails, 10)
+		b = append(b, ',')
+		b = strconv.AppendFloat(b, in.Utilization, 'g', -1, 64)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, in.Files, 10)
+	}
+	if c := st.Coord; c != nil {
+		b = append(b, "|c:"...)
+		b = strconv.AppendInt(b, c.Arrivals, 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, c.Admitted, 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, c.Rejected, 10)
+	}
+	return string(b)
+}
+
+// Seal computes and stores the digest. Call after filling every
+// fingerprint field.
+func (st *State) Seal() {
+	h := fnv.New64a()
+	h.Write([]byte(st.canonical()))
+	st.Digest = fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Verify compares a replayed boundary state against a saved checkpoint
+// field by field, returning a descriptive error on the first
+// divergence. A divergence means the replay did not reproduce the
+// original run — wrong seed, drifted configuration, or changed
+// simulator behavior — and the resume must be abandoned.
+func Verify(replay, saved State) error {
+	if replay.SpecKey != saved.SpecKey {
+		return fmt.Errorf("ckpt: spec key mismatch: replay %q, checkpoint %q", replay.SpecKey, saved.SpecKey)
+	}
+	if replay.Seq != saved.Seq {
+		return fmt.Errorf("ckpt: boundary seq mismatch: replay %d, checkpoint %d", replay.Seq, saved.Seq)
+	}
+	if replay.SimMS != saved.SimMS {
+		return fmt.Errorf("ckpt: boundary time mismatch: replay %g ms, checkpoint %g ms", replay.SimMS, saved.SimMS)
+	}
+	if replay.Events != saved.Events {
+		return fmt.Errorf("ckpt: events fired mismatch at %g ms: replay %d, checkpoint %d", saved.SimMS, replay.Events, saved.Events)
+	}
+	if len(replay.Instances) != len(saved.Instances) {
+		return fmt.Errorf("ckpt: instance count mismatch: replay %d, checkpoint %d", len(replay.Instances), len(saved.Instances))
+	}
+	for i := range saved.Instances {
+		r, s := replay.Instances[i], saved.Instances[i]
+		if r != s {
+			return fmt.Errorf("ckpt: instance %d state mismatch at %g ms: replay %+v, checkpoint %+v", s.Index, saved.SimMS, r, s)
+		}
+	}
+	switch {
+	case (replay.Coord == nil) != (saved.Coord == nil):
+		return fmt.Errorf("ckpt: coordinator presence mismatch")
+	case replay.Coord != nil && *replay.Coord != *saved.Coord:
+		return fmt.Errorf("ckpt: coordinator state mismatch at %g ms: replay %+v, checkpoint %+v", saved.SimMS, *replay.Coord, *saved.Coord)
+	}
+	if replay.Digest != saved.Digest {
+		return fmt.Errorf("ckpt: digest mismatch at %g ms: replay %s, checkpoint %s", saved.SimMS, replay.Digest, saved.Digest)
+	}
+	return nil
+}
+
+// Hook arms checkpointing on a run. The core schedules a boundary event
+// every EveryMS of simulated time; at each boundary it builds the
+// State, verifies it against Resume when the boundary matches, and
+// hands it to Sink.
+//
+// Arming the hook schedules engine events, so an armed run's event
+// sequence differs from an unarmed one's (exactly like enabling
+// metrics); the runner folds EveryMS into the cache key for that
+// reason. A hook with a Sink but no Resume checkpoints; with Resume it
+// verifies and then keeps checkpointing past the boundary.
+type Hook struct {
+	// EveryMS is the boundary grid in simulated milliseconds.
+	EveryMS float64
+	// Key and Label identify the run in saved states (the runner uses
+	// Spec.Key() and Spec.Label()).
+	Key   string
+	Label string
+	// Sink receives each sealed boundary state. Nil: boundaries still
+	// fire (the event-sequence contract) but nothing is persisted.
+	Sink func(State) error
+	// Resume is the checkpoint this run must reproduce, or nil.
+	Resume *State
+}

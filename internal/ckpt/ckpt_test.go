@@ -1,0 +1,129 @@
+package ckpt
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func sample() State {
+	st := State{
+		Schema:  Schema,
+		SpecKey: "app|{Kind:ext}|seed=42",
+		Label:   "test-run",
+		Seq:     3,
+		SimMS:   30000,
+		Events:  123456,
+		Instances: []InstanceState{
+			{Index: 0, Seed: 42, Draws: 999, Ops: 500, AllocFails: 2, Utilization: 0.9123, Files: 70},
+		},
+	}
+	st.Seal()
+	return st
+}
+
+func TestSealDeterministic(t *testing.T) {
+	a, b := sample(), sample()
+	if a.Digest == "" || a.Digest != b.Digest {
+		t.Fatalf("digests %q vs %q", a.Digest, b.Digest)
+	}
+	b.Instances[0].Draws++
+	b.Seal()
+	if a.Digest == b.Digest {
+		t.Fatalf("digest ignored a fingerprint field")
+	}
+}
+
+func TestVerify(t *testing.T) {
+	a, b := sample(), sample()
+	if err := Verify(a, b); err != nil {
+		t.Fatalf("identical states failed verification: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*State)
+		want   string
+	}{
+		{"spec key", func(s *State) { s.SpecKey = "other" }, "spec key"},
+		{"seq", func(s *State) { s.Seq = 4 }, "seq"},
+		{"sim time", func(s *State) { s.SimMS = 40000 }, "time"},
+		{"events", func(s *State) { s.Events++ }, "events"},
+		{"draws", func(s *State) { s.Instances[0].Draws++ }, "instance 0"},
+		{"ops", func(s *State) { s.Instances[0].Ops++ }, "instance 0"},
+		{"coord", func(s *State) { s.Coord = &CoordState{Arrivals: 1} }, "coordinator"},
+	}
+	for _, tc := range cases {
+		bad := sample()
+		tc.mutate(&bad)
+		bad.Seal()
+		err := Verify(bad, a)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Verify = %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestManagerRoundTrip(t *testing.T) {
+	m, err := NewManager(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	m.OnEvent = func(e Event) { events = append(events, e) }
+	st := sample()
+	if err := m.Save(st); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	h, err := m.Arm(10000, st.SpecKey, st.Label)
+	if err != nil {
+		t.Fatalf("Arm: %v", err)
+	}
+	if h.Resume == nil || h.Resume.Digest != st.Digest || h.Resume.Seq != st.Seq {
+		t.Fatalf("Arm did not load the saved checkpoint: %+v", h.Resume)
+	}
+	if h.Sink == nil || h.EveryMS != 10000 {
+		t.Fatalf("hook misconfigured: %+v", h)
+	}
+	if len(events) != 2 || events[0].Kind != "checkpoint" || events[1].Kind != "restore" {
+		t.Fatalf("events = %+v", events)
+	}
+	if err := m.Clear(st.SpecKey); err != nil {
+		t.Fatalf("Clear: %v", err)
+	}
+	if h, err := m.Arm(10000, st.SpecKey, st.Label); err != nil || h.Resume != nil {
+		t.Fatalf("after Clear: hook %+v, err %v", h, err)
+	}
+	if err := m.Clear(st.SpecKey); err != nil {
+		t.Fatalf("Clear of missing checkpoint: %v", err)
+	}
+}
+
+func TestLoadRejectsTampering(t *testing.T) {
+	m, _ := NewManager(t.TempDir())
+	st := sample()
+	if err := m.Save(st); err != nil {
+		t.Fatal(err)
+	}
+	path := m.Path(st.SpecKey)
+	data, _ := os.ReadFile(path)
+	tampered := strings.Replace(string(data), `"seq": 3`, `"seq": 4`, 1)
+	if tampered == string(data) {
+		t.Fatalf("seq field not found in %s", data)
+	}
+	os.WriteFile(path, []byte(tampered), 0o644)
+	if _, err := Load(path); err == nil {
+		t.Fatalf("Load accepted a tampered checkpoint")
+	}
+	if _, err := m.Arm(10000, st.SpecKey, st.Label); err == nil {
+		t.Fatalf("Arm accepted a tampered checkpoint")
+	}
+}
+
+func TestLoadRejectsWrongSchema(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/x.ckpt.json"
+	os.WriteFile(path, []byte(`{"schema":"rofs-ckpt/v999"}`), 0o644)
+	if _, err := Load(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("Load = %v, want schema error", err)
+	}
+}

@@ -1,0 +1,163 @@
+package ckpt
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Event reports one manager operation for observability (the service
+// feeds these into its duration histograms).
+type Event struct {
+	// Kind is "checkpoint" (a boundary state written) or "restore" (a
+	// saved state loaded and armed for resume).
+	Kind  string
+	DurMS float64
+	Err   error
+}
+
+// Manager persists checkpoints as one JSON file per run key under a
+// directory. Writes are atomic (temp file + rename + directory sync) so
+// a kill mid-checkpoint leaves the previous boundary intact, never a
+// torn file.
+type Manager struct {
+	dir string
+	// OnEvent, when set, observes every save/load. Must be safe for
+	// concurrent use; called synchronously.
+	OnEvent func(Event)
+}
+
+// NewManager creates dir if needed and returns a manager over it.
+func NewManager(dir string) (*Manager, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	return &Manager{dir: dir}, nil
+}
+
+// Dir returns the manager's directory.
+func (m *Manager) Dir() string { return m.dir }
+
+// Path maps a run key to its checkpoint file. Keys are arbitrary
+// strings (spec keys contain '|' and '{'), so the file name is the
+// key's FNV-64a hash.
+func (m *Manager) Path(key string) string {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return filepath.Join(m.dir, fmt.Sprintf("%016x.ckpt.json", h.Sum64()))
+}
+
+// emit reports an event to the observer, if any.
+func (m *Manager) emit(kind string, start time.Time, err error) {
+	if m.OnEvent != nil {
+		m.OnEvent(Event{Kind: kind, DurMS: float64(time.Since(start)) / 1e6, Err: err})
+	}
+}
+
+// Save atomically writes st to the file for its spec key.
+func (m *Manager) Save(st State) error {
+	start := time.Now()
+	err := m.save(st)
+	m.emit("checkpoint", start, err)
+	return err
+}
+
+func (m *Manager) save(st State) error {
+	data, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return fmt.Errorf("ckpt: encode: %w", err)
+	}
+	path := m.Path(st.SpecKey)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("ckpt: write %s: %w", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("ckpt: sync %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("ckpt: close %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("ckpt: rename: %w", err)
+	}
+	if d, err := os.Open(m.dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// Load reads and validates a checkpoint file: schema check, digest
+// recomputation. Any mismatch is an error — a checkpoint that cannot be
+// trusted must not seed a resume.
+func Load(path string) (*State, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	var st State
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("ckpt: decode %s: %w", path, err)
+	}
+	if st.Schema != Schema {
+		return nil, fmt.Errorf("ckpt: %s: unknown schema %q (want %q)", path, st.Schema, Schema)
+	}
+	saved := st.Digest
+	st.Seal()
+	if st.Digest != saved {
+		return nil, fmt.Errorf("ckpt: %s: digest mismatch (file corrupt or hand-edited)", path)
+	}
+	return &st, nil
+}
+
+// Arm builds the Hook for a run: Sink saves every boundary under key,
+// and if a valid checkpoint for key already exists it becomes the
+// Resume target (the prior run was drained or killed; this one replays
+// and verifies). An unreadable or mismatched existing file is an error
+// — the caller decides whether to clear it.
+func (m *Manager) Arm(everyMS float64, key, label string) (*Hook, error) {
+	h := &Hook{EveryMS: everyMS, Key: key, Label: label, Sink: m.Save}
+	path := m.Path(key)
+	if _, err := os.Stat(path); err != nil {
+		if os.IsNotExist(err) {
+			return h, nil
+		}
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	start := time.Now()
+	st, err := Load(path)
+	if err == nil && st.SpecKey != key {
+		err = fmt.Errorf("ckpt: %s holds checkpoint for %q, not %q (hash collision?)", path, st.SpecKey, key)
+	}
+	m.emit("restore", start, err)
+	if err != nil {
+		return nil, err
+	}
+	h.Resume = st
+	return h, nil
+}
+
+// Clear removes the checkpoint for key (called when its run completes:
+// the result is now in the store or the response, and a later identical
+// submission must not replay a stale boundary).
+func (m *Manager) Clear(key string) error {
+	err := os.Remove(m.Path(key))
+	if err != nil && os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"fmt"
+
+	"rofs/internal/ckpt"
+)
+
+// Fleet checkpointing rides the conservative-lookahead window machinery:
+// the checkpoint grid joins the boundary union in runWindowed, and at
+// each of its boundaries the coordinator — which owns every instance and
+// the admission state at a barrier — fingerprints the whole fleet in one
+// State: total events fired across all engines, per-instance RNG
+// positions and counters in index order, and the coordinator's
+// admission counters for open-loop fleets. Verification and persistence
+// then follow exactly the plain-run semantics in core/ckpt.go.
+
+// ckptHook returns the fleet's armed checkpoint hook, or nil.
+func (d *Deployment) ckptHook() *ckpt.Hook {
+	if h := d.cfg.Checkpoint; h != nil && h.EveryMS > 0 {
+		return h
+	}
+	return nil
+}
+
+// ckptBoundary fingerprints the fleet at boundary time t1, verifies
+// against the resume target when this is its boundary, and persists the
+// state. A failed verification is fatal: the replay diverged from the
+// original run and continuing would fabricate results.
+func (d *Deployment) ckptBoundary(t1 float64, open bool) error {
+	h := d.ckptHook()
+	d.ckptSeq++
+	st := ckpt.State{
+		Schema:  ckpt.Schema,
+		SpecKey: h.Key,
+		Label:   h.Label,
+		Seq:     d.ckptSeq,
+		SimMS:   t1,
+		Events:  d.totalFired(),
+	}
+	for _, in := range d.insts {
+		st.Instances = append(st.Instances, in.CheckpointState())
+	}
+	if open {
+		st.Coord = &ckpt.CoordState{Arrivals: d.arrivals, Admitted: d.admitted, Rejected: d.rejected}
+	}
+	st.Seal()
+	if r := h.Resume; r != nil && st.Seq == r.Seq {
+		if err := ckpt.Verify(st, *r); err != nil {
+			return fmt.Errorf("cluster: resume verification failed: %w", err)
+		}
+		d.ckptVerified = true
+	}
+	if h.Sink != nil {
+		if err := h.Sink(st); err != nil && d.ckptErr == nil {
+			// Lost persistence does not invalidate the simulation; note it
+			// so the caller knows resume coverage stopped here.
+			d.ckptErr = fmt.Errorf("cluster: checkpoint at %g ms not persisted: %w", t1, err)
+		}
+	}
+	return nil
+}
+
+// ckptFinish folds checkpoint-layer failures into the finished run, the
+// fleet counterpart of Instance.ckptFinish.
+func (d *Deployment) ckptFinish(end float64) error {
+	if d.ckptErr != nil {
+		return d.ckptErr
+	}
+	h := d.ckptHook()
+	if h != nil && h.Resume != nil && !d.ckptVerified && !d.anyCanceled() {
+		return fmt.Errorf("cluster: run ended at %g ms without reaching the resume checkpoint (seq %d at %g ms) — checkpoint grid or config drifted",
+			end, h.Resume.Seq, h.Resume.SimMS)
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package cluster_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"rofs/internal/ckpt"
+	"rofs/internal/cluster"
+	"rofs/internal/core"
+)
+
+// armed attaches a 5-second checkpoint grid to cfg, collecting boundary
+// states into *states and resuming from resume.
+func armed(cfg core.Config, states *[]ckpt.State, resume *ckpt.State) core.Config {
+	cfg.Checkpoint = &ckpt.Hook{
+		EveryMS: 5_000,
+		Key:     "cluster-ckpt-test",
+		Sink: func(st ckpt.State) error {
+			if states != nil {
+				*states = append(*states, st)
+			}
+			return nil
+		},
+		Resume: resume,
+	}
+	return cfg
+}
+
+// TestFleetResumeEqualsUninterrupted is the fleet acceptance property:
+// an N=4 closed-loop fleet resumed from a window boundary finishes
+// byte-identical to the uninterrupted armed fleet run.
+func TestFleetResumeEqualsUninterrupted(t *testing.T) {
+	cc := cluster.Config{Instances: 4}
+	var states []ckpt.State
+	base, err := cluster.Run(armed(benchCfg(t), &states, nil), cc, core.Application)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) < 2 {
+		t.Fatalf("fleet produced %d checkpoints (ended at %g ms)", len(states), base.Stats.SimMS)
+	}
+	for _, st := range states {
+		if st.SimMS != float64(st.Seq)*5_000 {
+			t.Fatalf("boundary off the grid: seq %d at %g ms", st.Seq, st.SimMS)
+		}
+		if len(st.Instances) != 4 {
+			t.Fatalf("checkpoint holds %d instances, want 4", len(st.Instances))
+		}
+	}
+
+	resume := states[len(states)/2]
+	resumed, err := cluster.Run(armed(benchCfg(t), nil, &resume), cc, core.Application)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base.Perf, resumed.Perf) {
+		t.Errorf("resumed fleet PerfResult differs:\nbase:    %+v\nresumed: %+v", base.Perf, resumed.Perf)
+	}
+	if base.Stats != resumed.Stats {
+		t.Errorf("fleet run stats differ: base %+v resumed %+v", base.Stats, resumed.Stats)
+	}
+
+	// A different fleet shape must fail verification, not fabricate
+	// results.
+	_, err = cluster.Run(armed(benchCfg(t), nil, &resume), cluster.Config{Instances: 2}, core.Application)
+	if err == nil || !strings.Contains(err.Error(), "verification failed") {
+		t.Fatalf("fleet-shape drift: err = %v, want verification failure", err)
+	}
+}
+
+// TestFleetOpenLoopCheckpoint: open-loop fleets fold the admission
+// coordinator's counters into the fingerprint and resume identically.
+func TestFleetOpenLoopCheckpoint(t *testing.T) {
+	cc := cluster.Config{Instances: 2, Admission: cluster.AdmitTokenBucket, TokenCapacity: 50, TokenRefillPerSec: 200}
+	cfg := openLoop(benchCfg(t), 100)
+	var states []ckpt.State
+	base, err := cluster.Run(armed(cfg, &states, nil), cc, core.Application)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) == 0 {
+		t.Fatalf("no checkpoints (ended at %g ms)", base.Stats.SimMS)
+	}
+	last := states[len(states)-1]
+	if last.Coord == nil || last.Coord.Arrivals == 0 {
+		t.Fatalf("open-loop checkpoint missing coordinator state: %+v", last.Coord)
+	}
+	resume := states[len(states)/2]
+	resumed, err := cluster.Run(armed(openLoop(benchCfg(t), 100), nil, &resume), cc, core.Application)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base.Perf, resumed.Perf) || base.Stats != resumed.Stats {
+		t.Fatalf("open-loop resume differs:\nbase:    %+v %+v\nresumed: %+v %+v",
+			base.Perf, base.Stats, resumed.Perf, resumed.Stats)
+	}
+}

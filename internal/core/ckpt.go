@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+
+	"rofs/internal/ckpt"
+	"rofs/internal/sim"
+)
+
+// startCkptTick schedules the self-rescheduling boundary event that
+// drives verified checkpoint/resume on a plain run (a fleet's
+// Deployment owns the grid instead and nils the members' hooks, the
+// same ownership split as Metrics). Like the metrics tick, the boundary
+// event is part of the armed run's event sequence: an armed run is its
+// own deterministic variant of the spec, keyed separately by the
+// runner.
+func (s *Instance) startCkptTick() {
+	h := s.cfg.Checkpoint
+	if h == nil || h.EveryMS <= 0 {
+		return
+	}
+	var tick sim.Handler
+	tick = func(now float64) {
+		s.ckptSeq++
+		st := s.checkpointState(now)
+		if !s.ckptBoundary(st) {
+			return
+		}
+		s.eng.After(h.EveryMS, tick)
+	}
+	s.eng.After(h.EveryMS, tick)
+}
+
+// ckptBoundary processes one sealed boundary state: verify against the
+// resume target when this is its boundary, then hand it to the sink.
+// It reports whether the run should keep checkpointing (false after a
+// failed verification, which also stops the engine — continuing a
+// replay that diverged would fabricate results).
+func (s *Instance) ckptBoundary(st ckpt.State) bool {
+	h := s.cfg.Checkpoint
+	if r := h.Resume; r != nil && st.Seq == r.Seq {
+		if err := ckpt.Verify(st, *r); err != nil {
+			s.ckptErr = fmt.Errorf("core: resume verification failed: %w", err)
+			s.eng.Stop()
+			return false
+		}
+		s.ckptVerified = true
+	}
+	if h.Sink != nil {
+		if err := h.Sink(st); err != nil && s.ckptErr == nil {
+			// Persistence failure does not invalidate the simulation;
+			// record it so the caller knows resume coverage was lost.
+			s.ckptErr = fmt.Errorf("core: checkpoint at %g ms not persisted: %w", st.SimMS, err)
+		}
+	}
+	return true
+}
+
+// checkpointState fingerprints a plain (single-instance) run at the
+// boundary time now.
+func (s *Instance) checkpointState(now float64) ckpt.State {
+	h := s.cfg.Checkpoint
+	st := ckpt.State{
+		Schema:    ckpt.Schema,
+		SpecKey:   h.Key,
+		Label:     h.Label,
+		Seq:       s.ckptSeq,
+		SimMS:     now,
+		Events:    s.eng.Fired(),
+		Instances: []ckpt.InstanceState{s.CheckpointState()},
+	}
+	st.Seal()
+	return st
+}
+
+// CheckpointState fingerprints this instance alone — the building block
+// a fleet Deployment folds into its boundary state.
+func (s *Instance) CheckpointState() ckpt.InstanceState {
+	return ckpt.InstanceState{
+		Index:       s.idx,
+		Seed:        s.seed,
+		Draws:       s.rng.Draws(),
+		Ops:         s.ops,
+		AllocFails:  s.allocFails,
+		Utilization: s.fsys.Utilization(),
+		Files:       int64(s.fsys.Files()),
+	}
+}
+
+// ckptFinish folds checkpoint-layer failures into a finished run's
+// error: a boundary error (failed verification, lost persistence)
+// surfaces directly; a run that ended without ever reaching its resume
+// boundary means the configuration drifted (e.g. a different
+// -checkpoint-every grid) and the "resumed" result would be
+// unverified.
+func (s *Instance) ckptFinish(err error) error {
+	if err != nil {
+		return err
+	}
+	if s.ckptErr != nil {
+		return s.ckptErr
+	}
+	h := s.cfg.Checkpoint
+	if h != nil && h.Resume != nil && !s.ckptVerified && !s.canceled {
+		return fmt.Errorf("core: run ended at %g ms without reaching the resume checkpoint (seq %d at %g ms) — checkpoint grid or config drifted",
+			s.eng.Now(), h.Resume.Seq, h.Resume.SimMS)
+	}
+	return err
+}

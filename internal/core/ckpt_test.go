@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"rofs/internal/ckpt"
+)
+
+// armedCfg returns a small closed-loop application config with verified
+// checkpointing on a 10-second grid, collecting every boundary state
+// into *states.
+func armedCfg(states *[]ckpt.State, resume *ckpt.State) Config {
+	return Config{
+		Disk:     smallDisk(),
+		Policy:   RBuddy(3, 1, true),
+		Workload: scaledTS(),
+		Seed:     3,
+		MaxSimMS: 120_000,
+		Checkpoint: &ckpt.Hook{
+			EveryMS: 10_000,
+			Key:     "core-ckpt-test",
+			Sink: func(st ckpt.State) error {
+				if states != nil {
+					*states = append(*states, st)
+				}
+				return nil
+			},
+			Resume: resume,
+		},
+	}
+}
+
+// TestResumeEqualsUninterrupted is the core acceptance property: a run
+// resumed from any quantized boundary finishes byte-identical to the
+// uninterrupted armed run, and the boundary fingerprint verifies.
+func TestResumeEqualsUninterrupted(t *testing.T) {
+	var states []ckpt.State
+	base, err := Run(armedCfg(&states, nil), Application)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) < 2 {
+		t.Fatalf("run produced %d checkpoints, want >= 2 (ended at %g ms)", len(states), base.Stats.SimMS)
+	}
+	for _, st := range states {
+		if st.SimMS != float64(st.Seq)*10_000 {
+			t.Fatalf("boundary off the quantized grid: seq %d at %g ms", st.Seq, st.SimMS)
+		}
+	}
+
+	// Resume from every recorded boundary — first, middle, last.
+	for _, pick := range []int{0, len(states) / 2, len(states) - 1} {
+		resume := states[pick]
+		t.Run(fmt.Sprintf("seq%d", resume.Seq), func(t *testing.T) {
+			resumed, err := Run(armedCfg(nil, &resume), Application)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(base.Perf, resumed.Perf) {
+				t.Errorf("resumed PerfResult differs:\nbase:    %+v\nresumed: %+v", base.Perf, resumed.Perf)
+			}
+			if base.Stats != resumed.Stats {
+				t.Errorf("run stats differ: base %+v resumed %+v", base.Stats, resumed.Stats)
+			}
+		})
+	}
+}
+
+// TestResumeDetectsDrift: a checkpoint whose fingerprint does not match
+// the replay (here: taken under a different seed) must fail verification
+// instead of silently producing different numbers.
+func TestResumeDetectsDrift(t *testing.T) {
+	var states []ckpt.State
+	cfg := armedCfg(&states, nil)
+	cfg.Seed = 99 // checkpoint under one seed...
+	if _, err := Run(cfg, Application); err != nil {
+		t.Fatal(err)
+	}
+	resume := states[0]
+	_, err := Run(armedCfg(nil, &resume), Application) // ...replay under another
+	if err == nil || !strings.Contains(err.Error(), "verification failed") {
+		t.Fatalf("drifted resume: err = %v, want verification failure", err)
+	}
+}
+
+// TestResumeGridDrift: resuming with a checkpoint from a different
+// EveryMS grid must error (the boundary is never reached) rather than
+// complete unverified.
+func TestResumeGridDrift(t *testing.T) {
+	var states []ckpt.State
+	if _, err := Run(armedCfg(&states, nil), Application); err != nil {
+		t.Fatal(err)
+	}
+	resume := states[len(states)-1]
+	resume.Seq += 100 // a boundary this run will never reach
+	_, err := Run(armedCfg(nil, &resume), Application)
+	if err == nil || !strings.Contains(err.Error(), "without reaching") {
+		t.Fatalf("unreached resume boundary: err = %v, want unreached-boundary failure", err)
+	}
+}
+
+// TestCkptSequential covers the two-phase sequential test: the tick
+// chain spans both phases on one engine, so boundaries stay on the
+// quantized grid throughout.
+func TestCkptSequential(t *testing.T) {
+	cfgOf := func(states *[]ckpt.State, resume *ckpt.State) Config {
+		cfg := armedCfg(states, resume)
+		cfg.Workload = scaledSC()
+		cfg.Seed = 5
+		cfg.MaxSimMS = 60_000
+		cfg.Checkpoint.EveryMS = 5_000
+		return cfg
+	}
+	var states []ckpt.State
+	base, err := Run(cfgOf(&states, nil), Sequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) == 0 {
+		t.Fatalf("no checkpoints (ended at %g ms)", base.Stats.SimMS)
+	}
+	resume := states[len(states)/2]
+	resumed, err := Run(cfgOf(nil, &resume), Sequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base.Perf, resumed.Perf) || base.Stats != resumed.Stats {
+		t.Fatalf("sequential resume differs:\nbase:    %+v %+v\nresumed: %+v %+v",
+			base.Perf, base.Stats, resumed.Perf, resumed.Stats)
+	}
+}

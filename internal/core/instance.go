@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 
+	"rofs/internal/ckpt"
 	"rofs/internal/disk"
 	"rofs/internal/fault"
 	"rofs/internal/fs"
@@ -75,6 +76,14 @@ type Config struct {
 	// runner's pool propagates context cancellation and timeouts into a
 	// simulation without threading a context through the hot path.
 	Cancel <-chan struct{}
+
+	// Checkpoint, when non-nil with a positive EveryMS, arms verified
+	// checkpoint/resume: a boundary event fires every EveryMS of
+	// simulated time, fingerprints the run, and feeds the hook (see
+	// internal/ckpt). Like Metrics, arming schedules engine events, so
+	// an armed run's event sequence differs from an unarmed one's — the
+	// runner folds the grid into the cache key.
+	Checkpoint *ckpt.Hook
 }
 
 func (c *Config) setDefaults() error {
@@ -154,7 +163,8 @@ const (
 type Instance struct {
 	cfg  Config
 	kind testKind
-	idx  int // instance index within a fleet (0 for plain runs)
+	idx  int   // instance index within a fleet (0 for plain runs)
+	seed int64 // effective seed (Config.Seed + idx stride)
 
 	eng  *sim.Engine
 	rng  *sim.RNG
@@ -197,6 +207,12 @@ type Instance struct {
 
 	// canceled records that Config.Cancel fired mid-run.
 	canceled bool
+
+	// Checkpoint state (see ckpt.go): boundary ordinal, first boundary
+	// error, and whether the resume target verified.
+	ckptSeq      int64
+	ckptErr      error
+	ckptVerified bool
 }
 
 // checkCancel polls Config.Cancel every strideth call (counted by *n); on
@@ -261,7 +277,7 @@ func newInstance(cfg Config, kind testKind, eng *sim.Engine, idx int) (*Instance
 		eng = &sim.Engine{}
 	}
 	seed := cfg.Seed + int64(idx)*instanceSeedStride
-	s := &Instance{cfg: cfg, kind: kind, idx: idx, eng: eng, rng: sim.NewRNG(seed)}
+	s := &Instance{cfg: cfg, kind: kind, idx: idx, seed: seed, eng: eng, rng: sim.NewRNG(seed)}
 	if kind != allocationTest {
 		s.latencyH = stats.NewHistogram(latencyBounds)
 	}
@@ -315,6 +331,7 @@ func newInstance(cfg Config, kind testKind, eng *sim.Engine, idx int) (*Instance
 	}
 	s.wireMetrics(kind)
 	s.startMetricsTick()
+	s.startCkptTick()
 	return s, nil
 }
 

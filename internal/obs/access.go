@@ -31,8 +31,12 @@ type AccessRecord struct {
 	EncodeMS  float64
 	Cached    bool
 	Coalesced bool
+	DiskHit   bool  // served from the disk result store, not simulated
 	Followers int64 // duplicate submissions this run's result also served
-	Outcome   string
+	// Disposition names how the result was produced: "simulated",
+	// "memory-hit", "coalesced", or "disk-hit".
+	Disposition string
+	Outcome     string
 }
 
 // AccessLogger writes one slog JSON record per AccessRecord. A nil
@@ -80,8 +84,12 @@ func (l *AccessLogger) Log(rec AccessRecord) {
 			slog.Float64("encode_ms", round3(rec.EncodeMS)),
 			slog.Bool("cached", rec.Cached),
 			slog.Bool("coalesced", rec.Coalesced),
+			slog.Bool("disk_hit", rec.DiskHit),
 			slog.Int64("followers", rec.Followers),
 		)
+		if rec.Disposition != "" {
+			attrs = append(attrs, slog.String("disposition", rec.Disposition))
+		}
 	}
 	if rec.Outcome != "" {
 		attrs = append(attrs, slog.String("outcome", rec.Outcome))

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"container/list"
 	"context"
 	"errors"
 	"fmt"
@@ -9,9 +10,11 @@ import (
 	"sync"
 	"time"
 
+	"rofs/internal/ckpt"
 	"rofs/internal/cluster"
 	"rofs/internal/core"
 	"rofs/internal/metrics"
+	"rofs/internal/store"
 )
 
 // Result is the outcome of one submitted Spec.
@@ -35,6 +38,15 @@ type Result struct {
 	// cache entry up to the moment the result was produced — for the run
 	// that populated the entry, the duplicates its simulation also served.
 	Followers int64
+	// DiskHit reports that the result was read from the pool's disk
+	// store (a prior process computed it) rather than simulated or found
+	// in memory.
+	DiskHit bool
+	// MetricsJSON is the run's canonical rofs-metrics/v1 bundle bytes
+	// when the result came through the disk store (the live registry
+	// belongs to the process that simulated). Nil for freshly simulated
+	// results, whose bundle lives on Outcome.Metrics.
+	MetricsJSON []byte
 }
 
 // Pool executes Specs on a bounded set of workers. The zero value is
@@ -63,8 +75,32 @@ type Pool struct {
 	// Instrument) before the first Run.
 	Metrics Metrics
 
-	mu    sync.Mutex
-	cache map[string]*cacheEntry
+	// Store, when set, is the disk tier beneath the in-memory cache:
+	// misses read through to it, simulated results write through, so a
+	// restarted process serves previously computed Specs byte-identically
+	// without recomputation. The store key folds in MetricsIntervalMS
+	// (the interval shapes the run's event sequence and bundle) but not
+	// the store's own path or budget — those are operational, not part of
+	// the Spec's identity.
+	Store *store.Store
+
+	// CacheEntries bounds the in-memory result cache: beyond this many
+	// completed entries the least recently used are dropped (in-flight
+	// entries are never evicted). Zero or negative means unbounded — the
+	// pre-bound behavior.
+	CacheEntries int
+
+	// Ckpt, when set, persists checkpoint states for Specs that arm
+	// CheckpointEveryMS, and resumes from an existing state on
+	// resubmission after a drain or crash (see internal/ckpt). Nil: armed
+	// Specs still run their boundary events (the key contract) but
+	// nothing is persisted.
+	Ckpt *ckpt.Manager
+
+	mu         sync.Mutex
+	cache      map[string]*cacheEntry
+	lru        *list.List // completed entries, front = most recently used
+	cacheBytes int64      // sum of completed entries' envelope sizes
 
 	// statsMu guards stats and the Metrics handles (registry handles are
 	// not safe for concurrent update on their own).
@@ -84,6 +120,11 @@ type Metrics struct {
 	Cached     *metrics.Counter
 	Coalesced  *metrics.Counter
 	Failed     *metrics.Counter
+	// Disk-tier and cache-bound instrumentation.
+	DiskHits       *metrics.Counter
+	CacheEvictions *metrics.Counter
+	CacheEntries   *metrics.Gauge
+	CacheBytes     *metrics.Gauge
 }
 
 // Stats is a point-in-time snapshot of the pool's lifetime activity.
@@ -93,6 +134,15 @@ type Stats struct {
 	// result cache; Coalesced the subset of Cached that waited on an
 	// in-flight duplicate; Failed the ones whose Result carried an error.
 	Submitted, Simulated, Cached, Coalesced, Failed int64
+	// DiskHits counts submissions served from the disk store;
+	// StoreErrors the stored payloads that failed to decode (the run
+	// re-simulated). CacheEvictions counts completed entries dropped by
+	// the CacheEntries bound; CacheEntries and CacheBytes are the
+	// instantaneous in-memory cache footprint (completed entries and
+	// their envelope sizes).
+	DiskHits, StoreErrors    int64
+	CacheEvictions           int64
+	CacheEntries, CacheBytes int64
 	// QueueDepth and InFlight are the instantaneous values; the Peak
 	// variants their lifetime maxima — the saturation signal.
 	QueueDepth, InFlight         int64
@@ -130,12 +180,16 @@ func readRuntime() RuntimeStats {
 // on reg. A nil registry installs nil (dropping) handles.
 func (p *Pool) Instrument(reg *metrics.Registry) {
 	p.Metrics = Metrics{
-		QueueDepth: reg.Gauge("pool.queue_depth"),
-		InFlight:   reg.Gauge("pool.in_flight"),
-		Submitted:  reg.Counter("pool.runs_submitted"),
-		Cached:     reg.Counter("pool.runs_cached"),
-		Coalesced:  reg.Counter("pool.runs_coalesced"),
-		Failed:     reg.Counter("pool.runs_failed"),
+		QueueDepth:     reg.Gauge("pool.queue_depth"),
+		InFlight:       reg.Gauge("pool.in_flight"),
+		Submitted:      reg.Counter("pool.runs_submitted"),
+		Cached:         reg.Counter("pool.runs_cached"),
+		Coalesced:      reg.Counter("pool.runs_coalesced"),
+		Failed:         reg.Counter("pool.runs_failed"),
+		DiskHits:       reg.Counter("pool.runs_disk_hit"),
+		CacheEvictions: reg.Counter("pool.cache_evictions"),
+		CacheEntries:   reg.Gauge("pool.cache_entries"),
+		CacheBytes:     reg.Gauge("pool.cache_bytes"),
 	}
 }
 
@@ -147,6 +201,22 @@ func (p *Pool) Stats() Stats {
 	p.statsMu.Unlock()
 	st.Runtime = readRuntime()
 	return st
+}
+
+// noteCacheLocked refreshes the cache-footprint stats and gauges from
+// the live structures. Caller holds p.mu (the canonical lock order is
+// mu before statsMu; nothing takes them the other way).
+func (p *Pool) noteCacheLocked() {
+	entries := int64(0)
+	if p.lru != nil {
+		entries = int64(p.lru.Len())
+	}
+	p.statsMu.Lock()
+	p.stats.CacheEntries = entries
+	p.stats.CacheBytes = p.cacheBytes
+	p.Metrics.CacheEntries.Set(float64(entries))
+	p.Metrics.CacheBytes.Set(float64(p.cacheBytes))
+	p.statsMu.Unlock()
 }
 
 // enqueue records n Specs accepted by Run.
@@ -190,6 +260,10 @@ func (p *Pool) finish(r Result, simulated bool) {
 		p.stats.Coalesced++
 		p.Metrics.Coalesced.Inc()
 	}
+	if r.DiskHit {
+		p.stats.DiskHits++
+		p.Metrics.DiskHits.Inc()
+	}
 	if r.Err != nil {
 		p.stats.Failed++
 		p.Metrics.Failed.Inc()
@@ -200,13 +274,20 @@ func (p *Pool) finish(r Result, simulated bool) {
 
 // cacheEntry is one key's slot: done closes when the owning run
 // finishes. followers counts submissions that coalesced while the run
-// was still in flight (guarded by the pool's mu).
+// was still in flight (guarded by the pool's mu). Completed entries
+// join the LRU list (elem non-nil) and become evictable under the
+// CacheEntries bound; in-flight entries are not listed and never evict.
 type cacheEntry struct {
+	key       string
 	done      chan struct{}
 	outcome   core.Outcome
 	err       error
 	wall      time.Duration
 	followers int64
+	diskHit   bool   // populated from the disk store, not a simulation
+	metrics   []byte // raw bundle bytes for disk-populated entries
+	bytes     int64  // envelope size, the entry's CacheBytes share
+	elem      *list.Element
 }
 
 // New returns a Pool running at most jobs simulations at once (0: one per
@@ -264,9 +345,50 @@ func (p *Pool) Run(ctx context.Context, specs []Spec) ([]Result, error) {
 	return results, nil
 }
 
-// one resolves a single Spec: from the cache when an equal Spec already
-// ran (or is running) in this process, otherwise by simulating. It owns
-// the Spec's queue→in-flight→finished stats transitions.
+// storeKey maps a Spec key to its disk-store key. The pool-wide metrics
+// interval joins it because the interval shapes the run's event
+// sequence and its bundle: two processes serving different intervals
+// must not share stored results.
+func (p *Pool) storeKey(key string) string {
+	if p.MetricsIntervalMS > 0 {
+		return key + fmt.Sprintf("|mi=%g", p.MetricsIntervalMS)
+	}
+	return key
+}
+
+// completeLocked adds a finished entry to the LRU list and enforces the
+// CacheEntries bound. Caller holds p.mu.
+func (p *Pool) completeLocked(e *cacheEntry) {
+	e.elem = p.lru.PushFront(e)
+	p.cacheBytes += e.bytes
+	if p.CacheEntries > 0 {
+		for p.lru.Len() > p.CacheEntries {
+			v := p.lru.Back().Value.(*cacheEntry)
+			if v == e {
+				break // a bound of 1 keeps at least the newest entry
+			}
+			p.dropEntryLocked(v)
+			p.statsMu.Lock()
+			p.stats.CacheEvictions++
+			p.Metrics.CacheEvictions.Inc()
+			p.statsMu.Unlock()
+		}
+	}
+	p.noteCacheLocked()
+}
+
+// dropEntryLocked removes a completed entry from the cache and the LRU
+// list. Caller holds p.mu.
+func (p *Pool) dropEntryLocked(e *cacheEntry) {
+	delete(p.cache, e.key)
+	p.lru.Remove(e.elem)
+	p.cacheBytes -= e.bytes
+}
+
+// one resolves a single Spec: from the in-memory cache when an equal
+// Spec already ran (or is running) in this process, from the disk store
+// when a prior process computed it, otherwise by simulating. It owns the
+// Spec's queue→in-flight→finished stats transitions.
 func (p *Pool) one(ctx context.Context, sp Spec) (res Result) {
 	p.dequeue()
 	simulated := false
@@ -280,12 +402,14 @@ func (p *Pool) one(ctx context.Context, sp Spec) (res Result) {
 	p.mu.Lock()
 	if p.cache == nil {
 		p.cache = make(map[string]*cacheEntry)
+		p.lru = list.New()
 	}
 	if e, ok := p.cache[key]; ok {
 		// A completed entry is a plain cache hit; an in-flight one makes
 		// this submission a coalesced follower of the running simulation.
 		select {
 		case <-e.done:
+			p.lru.MoveToFront(e.elem)
 		default:
 			res.Coalesced = true
 			e.followers++
@@ -294,6 +418,7 @@ func (p *Pool) one(ctx context.Context, sp Spec) (res Result) {
 		select {
 		case <-e.done:
 			res.Outcome, res.Err, res.Wall, res.Cached = e.outcome, e.err, e.wall, true
+			res.MetricsJSON = e.metrics
 			p.mu.Lock()
 			res.Followers = e.followers
 			p.mu.Unlock()
@@ -302,27 +427,78 @@ func (p *Pool) one(ctx context.Context, sp Spec) (res Result) {
 		}
 		return res
 	}
-	e := &cacheEntry{done: make(chan struct{})}
+	e := &cacheEntry{key: key, done: make(chan struct{})}
 	p.cache[key] = e
 	p.mu.Unlock()
+
+	// Disk read-through. The in-flight entry is already in the map, so
+	// concurrent duplicates coalesce onto the disk read as they would
+	// onto a simulation.
+	if p.Store != nil {
+		if payload, ok := p.Store.Get(p.storeKey(key)); ok {
+			out, wall, mjson, derr := decodeStored(sp, payload)
+			if derr == nil {
+				p.mu.Lock()
+				e.outcome, e.wall = out, wall
+				e.diskHit, e.metrics = true, mjson
+				e.bytes = int64(len(payload))
+				res.Followers = e.followers
+				p.completeLocked(e)
+				p.mu.Unlock()
+				close(e.done)
+				res.Outcome, res.Wall = out, wall
+				res.DiskHit, res.MetricsJSON = true, mjson
+				return res
+			}
+			// Undecodable payload (schema drift, kind collision): note it
+			// and re-simulate; the write-through refreshes the record.
+			p.statsMu.Lock()
+			p.stats.StoreErrors++
+			p.statsMu.Unlock()
+		}
+	}
 
 	simulated = true
 	start := time.Now()
 	out, err := p.simulate(ctx, sp)
+	wall := time.Since(start)
+	canceled := err != nil && (errors.Is(err, core.ErrCanceled) || errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded))
+
+	// Encode the envelope once: it is both the write-through payload and
+	// the entry's byte footprint. Encoding failures degrade to a served
+	// but unstored result.
+	var envelope []byte
+	if err == nil {
+		var eerr error
+		if envelope, eerr = encodeStored(out, wall); eerr != nil {
+			p.statsMu.Lock()
+			p.stats.StoreErrors++
+			p.statsMu.Unlock()
+		}
+	}
+	if p.Store != nil && envelope != nil && !canceled {
+		if perr := p.Store.Put(p.storeKey(key), envelope); perr != nil {
+			p.statsMu.Lock()
+			p.stats.StoreErrors++
+			p.statsMu.Unlock()
+		}
+	}
+
 	p.mu.Lock()
-	e.outcome, e.err, e.wall = out, err, time.Since(start)
+	e.outcome, e.err, e.wall = out, err, wall
+	e.bytes = int64(len(envelope))
 	res.Followers = e.followers
-	p.mu.Unlock()
-	close(e.done)
-	if err != nil && (errors.Is(err, core.ErrCanceled) || errors.Is(err, context.Canceled) ||
-		errors.Is(err, context.DeadlineExceeded)) {
+	if canceled {
 		// A canceled run is not a result: drop it so a later batch with a
 		// live context simulates afresh.
-		p.mu.Lock()
 		delete(p.cache, key)
-		p.mu.Unlock()
+	} else {
+		p.completeLocked(e)
 	}
-	res.Outcome, res.Err, res.Wall = out, err, e.wall
+	p.mu.Unlock()
+	close(e.done)
+	res.Outcome, res.Err, res.Wall = out, err, wall
 	return res
 }
 
@@ -339,10 +515,39 @@ func (p *Pool) simulate(ctx context.Context, sp Spec) (out core.Outcome, err err
 	if p.MetricsIntervalMS > 0 {
 		cfg.Metrics = metrics.New(p.MetricsIntervalMS)
 	}
-	if sp.Cluster.Enabled() {
-		return cluster.Run(cfg, sp.Cluster, sp.Kind)
+	if sp.CheckpointEveryMS > 0 {
+		cfg.Checkpoint = p.armCkpt(sp)
 	}
-	return core.Run(cfg, sp.Kind)
+	if sp.Cluster.Enabled() {
+		out, err = cluster.Run(cfg, sp.Cluster, sp.Kind)
+	} else {
+		out, err = core.Run(cfg, sp.Kind)
+	}
+	if err == nil && p.Ckpt != nil && sp.CheckpointEveryMS > 0 {
+		// The run completed: its checkpoint is spent. Clearing keeps the
+		// directory from accumulating states for finished Specs.
+		p.Ckpt.Clear(sp.Key())
+	}
+	return out, err
+}
+
+// armCkpt builds the checkpoint hook for an armed Spec. With a manager
+// it persists boundary states and resumes from any existing state; with
+// no manager the boundary events still fire (the armed key names the
+// armed event sequence) but nothing is written.
+func (p *Pool) armCkpt(sp Spec) *ckpt.Hook {
+	key, label := sp.Key(), sp.Label()
+	if p.Ckpt == nil {
+		return &ckpt.Hook{EveryMS: sp.CheckpointEveryMS, Key: key, Label: label}
+	}
+	h, err := p.Ckpt.Arm(sp.CheckpointEveryMS, key, label)
+	if err != nil {
+		// An unreadable prior checkpoint cannot seed a resume: clear it
+		// and run (and re-checkpoint) from scratch.
+		p.Ckpt.Clear(key)
+		return &ckpt.Hook{EveryMS: sp.CheckpointEveryMS, Key: key, Label: label, Sink: p.Ckpt.Save}
+	}
+	return h
 }
 
 // Do runs fn(i) for every i in [0, n) on at most Jobs workers and returns

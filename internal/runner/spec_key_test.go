@@ -24,6 +24,7 @@ func TestSpecKeyGolden(t *testing.T) {
 		testSpec(t, 42),
 		testSpec(t, 42),
 		testSpec(t, 42),
+		testSpec(t, 42),
 	}
 	specs[1].Policy = core.Buddy()
 	specs[1].Kind = core.Application
@@ -31,6 +32,10 @@ func TestSpecKeyGolden(t *testing.T) {
 	specs[3].Policy = core.Fixed(4096)
 	specs[3].Kind = core.Sequential
 	specs[3].MaxSimMS = 30_000
+	// An armed run is a distinct deterministic variant: the checkpoint
+	// grid appends a |ckpt= term (and only then).
+	specs[4].Kind = core.Application
+	specs[4].CheckpointEveryMS = 10_000
 
 	var b strings.Builder
 	for _, sp := range specs {

@@ -93,6 +93,15 @@ type RunRequest struct {
 	// TimeoutMS bounds the run's wall time; past it the simulation is
 	// canceled and the run fails. Zero means the server's default.
 	TimeoutMS float64 `json:"timeout_ms,omitempty"`
+
+	// CheckpointEveryMS arms verified checkpoint/resume on the run (see
+	// internal/ckpt): boundary states are persisted every so many
+	// simulated milliseconds, and an identical resubmission after a drain
+	// or crash resumes from the last saved boundary. The grid joins the
+	// Spec's canonical key, so an armed run is a distinct deterministic
+	// variant. App and seq tests only; requires a server started with a
+	// checkpoint directory (400 otherwise).
+	CheckpointEveryMS float64 `json:"checkpoint_every_ms,omitempty"`
 }
 
 // Spec validates the request and assembles the runner.Spec it declares,
@@ -235,12 +244,19 @@ func (req *RunRequest) Spec() (runner.Spec, error) {
 	if req.StableWindows < 0 {
 		return zero, fmt.Errorf("stable_windows must be non-negative, got %d", req.StableWindows)
 	}
+	if req.CheckpointEveryMS < 0 {
+		return zero, fmt.Errorf("checkpoint_every_ms must be non-negative, got %g", req.CheckpointEveryMS)
+	}
+	if req.CheckpointEveryMS > 0 && kind != core.Application && kind != core.Sequential {
+		return zero, fmt.Errorf("checkpointing requires the app or seq test, not %q", req.Test)
+	}
 	sp := sc.Spec(policy, wl, kind)
 	sp.Name = req.Name
 	sp.StableWindows = req.StableWindows
 	sp.Degraded = req.Degraded
 	sp.Faults = faults
 	sp.Cluster = cl
+	sp.CheckpointEveryMS = req.CheckpointEveryMS
 	return sp, nil
 }
 
@@ -292,6 +308,13 @@ type RunResult struct {
 	// Coalesced refines Cached: this submission arrived while an equal
 	// Spec was still simulating and shared that run's result.
 	Coalesced bool `json:"coalesced,omitempty"`
+	// DiskHit reports the result came from the server's disk result store
+	// — computed by a prior process, served without simulating.
+	DiskHit bool `json:"disk_hit,omitempty"`
+	// Disposition names how this submission was served: "simulated",
+	// "memory-hit", "coalesced", or "disk-hit". Serving metadata, like
+	// WallSeconds — not part of the deterministic payload.
+	Disposition string `json:"disposition,omitempty"`
 	// Followers counts duplicate submissions this run's result also
 	// served (single-flight coalescing), as of when the result was
 	// produced.

@@ -6,8 +6,10 @@ import (
 	"sync"
 	"time"
 
+	"rofs/internal/ckpt"
 	"rofs/internal/metrics"
 	"rofs/internal/runner"
+	"rofs/internal/store"
 )
 
 // latencyBoundsMS are the wall-time histogram buckets (log-spaced, ms).
@@ -48,7 +50,26 @@ type serverMetrics struct {
 	poolPeakQueue, poolPeakInFlight       *metrics.Gauge
 	poolSubmitted, poolCached, poolFailed *metrics.Counter
 	poolCoalesced                         *metrics.Counter
+	poolDiskHits, poolStoreErrors         *metrics.Counter
+	poolCacheEvictions                    *metrics.Counter
+	poolCacheEntries, poolCacheBytes      *metrics.Gauge
 	lastPool                              runner.Stats
+
+	// Disk-store mirror, same delta pattern over store.Stats.
+	storeHits, storeMisses    *metrics.Counter
+	storePuts, storeEvictions *metrics.Counter
+	storeCompactions          *metrics.Counter
+	storeQuarantined          *metrics.Counter
+	storeErrors               *metrics.Counter
+	storeRecords, storeLive   *metrics.Gauge
+	storeDead, storeSegs      *metrics.Gauge
+	lastStore                 store.Stats
+
+	// Checkpoint activity: per-operation duration histograms and error
+	// counter, fed by the manager's OnEvent callback.
+	ckptSaveMS, ckptRestoreMS *metrics.Hist
+	ckptSaves, ckptRestores   *metrics.Counter
+	ckptErrors                *metrics.Counter
 
 	// Go runtime health, refreshed at scrape time from runner.Stats'
 	// runtime snapshot plus a local ReadMemStats for the GC pause ring.
@@ -84,36 +105,57 @@ func newServerMetrics() *serverMetrics {
 	reg := metrics.New(metrics.DefaultIntervalMS)
 	reg.SetLabel("component", "rofs-server")
 	m := &serverMetrics{
-		reg:              reg,
-		queueDepth:       reg.Gauge("service.queue_depth"),
-		inFlight:         reg.Gauge("service.in_flight"),
-		admitted:         reg.Counter("service.runs_admitted"),
-		rejected:         reg.Counter("service.runs_rejected"),
-		done:             reg.Counter("service.runs_done"),
-		failed:           reg.Counter("service.runs_failed"),
-		canceled:         reg.Counter("service.runs_canceled"),
-		cached:           reg.Counter("service.runs_cached"),
-		coalesced:        reg.Counter("service.runs_coalesced"),
-		queueWaitMS:      reg.Histogram("service.queue_wait_ms", latencyBoundsMS),
-		runWallMS:        reg.Histogram("service.run_wall_ms", latencyBoundsMS),
-		phases:           make(map[string]*metrics.Hist),
-		requests:         make(map[string]*metrics.Counter),
-		latencies:        make(map[string]*metrics.Hist),
-		poolQueue:        reg.Gauge("pool.queue_depth"),
-		poolInFlight:     reg.Gauge("pool.in_flight"),
-		poolPeakQueue:    reg.Gauge("pool.peak_queue_depth"),
-		poolPeakInFlight: reg.Gauge("pool.peak_in_flight"),
-		poolSubmitted:    reg.Counter("pool.runs_submitted"),
-		poolCached:       reg.Counter("pool.runs_cached"),
-		poolFailed:       reg.Counter("pool.runs_failed"),
-		poolCoalesced:    reg.Counter("pool.runs_coalesced"),
-		goroutines:       reg.Gauge("go.goroutines"),
-		heapAlloc:        reg.Gauge("go.heap_alloc_bytes"),
-		heapSys:          reg.Gauge("go.heap_sys_bytes"),
-		gcRuns:           reg.Counter("go.gc_runs"),
-		gcPauseMS:        reg.Histogram("go.gc_pause_ms", gcPauseBoundsMS),
-		started:          time.Now(),
-		uptime:           reg.Gauge("service.uptime_seconds"),
+		reg:                reg,
+		queueDepth:         reg.Gauge("service.queue_depth"),
+		inFlight:           reg.Gauge("service.in_flight"),
+		admitted:           reg.Counter("service.runs_admitted"),
+		rejected:           reg.Counter("service.runs_rejected"),
+		done:               reg.Counter("service.runs_done"),
+		failed:             reg.Counter("service.runs_failed"),
+		canceled:           reg.Counter("service.runs_canceled"),
+		cached:             reg.Counter("service.runs_cached"),
+		coalesced:          reg.Counter("service.runs_coalesced"),
+		queueWaitMS:        reg.Histogram("service.queue_wait_ms", latencyBoundsMS),
+		runWallMS:          reg.Histogram("service.run_wall_ms", latencyBoundsMS),
+		phases:             make(map[string]*metrics.Hist),
+		requests:           make(map[string]*metrics.Counter),
+		latencies:          make(map[string]*metrics.Hist),
+		poolQueue:          reg.Gauge("pool.queue_depth"),
+		poolInFlight:       reg.Gauge("pool.in_flight"),
+		poolPeakQueue:      reg.Gauge("pool.peak_queue_depth"),
+		poolPeakInFlight:   reg.Gauge("pool.peak_in_flight"),
+		poolSubmitted:      reg.Counter("pool.runs_submitted"),
+		poolCached:         reg.Counter("pool.runs_cached"),
+		poolFailed:         reg.Counter("pool.runs_failed"),
+		poolCoalesced:      reg.Counter("pool.runs_coalesced"),
+		poolDiskHits:       reg.Counter("pool.runs_disk_hit"),
+		poolStoreErrors:    reg.Counter("pool.store_errors"),
+		poolCacheEvictions: reg.Counter("pool.cache_evictions"),
+		poolCacheEntries:   reg.Gauge("pool.cache_entries"),
+		poolCacheBytes:     reg.Gauge("pool.cache_bytes"),
+		storeHits:          reg.Counter("store.hits"),
+		storeMisses:        reg.Counter("store.misses"),
+		storePuts:          reg.Counter("store.puts"),
+		storeEvictions:     reg.Counter("store.evictions"),
+		storeCompactions:   reg.Counter("store.compactions"),
+		storeQuarantined:   reg.Counter("store.quarantined"),
+		storeErrors:        reg.Counter("store.errors"),
+		storeRecords:       reg.Gauge("store.records"),
+		storeLive:          reg.Gauge("store.live_bytes"),
+		storeDead:          reg.Gauge("store.dead_bytes"),
+		storeSegs:          reg.Gauge("store.segments"),
+		ckptSaveMS:         reg.Histogram("service.checkpoint_ms", latencyBoundsMS),
+		ckptRestoreMS:      reg.Histogram("service.restore_ms", latencyBoundsMS),
+		ckptSaves:          reg.Counter("service.checkpoints"),
+		ckptRestores:       reg.Counter("service.restores"),
+		ckptErrors:         reg.Counter("service.checkpoint_errors"),
+		goroutines:         reg.Gauge("go.goroutines"),
+		heapAlloc:          reg.Gauge("go.heap_alloc_bytes"),
+		heapSys:            reg.Gauge("go.heap_sys_bytes"),
+		gcRuns:             reg.Counter("go.gc_runs"),
+		gcPauseMS:          reg.Histogram("go.gc_pause_ms", gcPauseBoundsMS),
+		started:            time.Now(),
+		uptime:             reg.Gauge("service.uptime_seconds"),
 	}
 	// Register the phase histograms eagerly so every scrape exposes all
 	// four series (with zero counts) from the first request on.
@@ -210,20 +252,58 @@ func (m *serverMetrics) countFinished(state string, res runner.Result) {
 	}
 }
 
-// write syncs the pool mirror and uptime, then renders the registry in
-// Prometheus text exposition format.
-func (m *serverMetrics) write(w io.Writer, ps runner.Stats) {
+// observeCkpt records one checkpoint-manager operation (the manager's
+// OnEvent callback).
+func (m *serverMetrics) observeCkpt(ev ckpt.Event) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch ev.Kind {
+	case "checkpoint":
+		m.ckptSaves.Inc()
+		m.ckptSaveMS.Observe(ev.DurMS)
+	case "restore":
+		m.ckptRestores.Inc()
+		m.ckptRestoreMS.Observe(ev.DurMS)
+	}
+	if ev.Err != nil {
+		m.ckptErrors.Inc()
+	}
+}
+
+// write syncs the pool and store mirrors and uptime, then renders the
+// registry in Prometheus text exposition format. ss is nil when the
+// server runs without a disk store.
+func (m *serverMetrics) write(w io.Writer, ps runner.Stats, ss *store.Stats) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.poolQueue.Set(float64(ps.QueueDepth))
 	m.poolInFlight.Set(float64(ps.InFlight))
 	m.poolPeakQueue.Set(float64(ps.PeakQueueDepth))
 	m.poolPeakInFlight.Set(float64(ps.PeakInFlight))
+	m.poolCacheEntries.Set(float64(ps.CacheEntries))
+	m.poolCacheBytes.Set(float64(ps.CacheBytes))
 	m.poolSubmitted.Add(ps.Submitted - m.lastPool.Submitted)
 	m.poolCached.Add(ps.Cached - m.lastPool.Cached)
 	m.poolFailed.Add(ps.Failed - m.lastPool.Failed)
 	m.poolCoalesced.Add(ps.Coalesced - m.lastPool.Coalesced)
+	m.poolDiskHits.Add(ps.DiskHits - m.lastPool.DiskHits)
+	m.poolStoreErrors.Add(ps.StoreErrors - m.lastPool.StoreErrors)
+	m.poolCacheEvictions.Add(ps.CacheEvictions - m.lastPool.CacheEvictions)
 	m.lastPool = ps
+	if ss != nil {
+		m.storeRecords.Set(float64(ss.Records))
+		m.storeLive.Set(float64(ss.LiveBytes))
+		m.storeDead.Set(float64(ss.DeadBytes))
+		m.storeSegs.Set(float64(ss.Segments))
+		m.storeHits.Add(ss.Hits - m.lastStore.Hits)
+		m.storeMisses.Add(ss.Misses - m.lastStore.Misses)
+		m.storePuts.Add(ss.Puts - m.lastStore.Puts)
+		m.storeEvictions.Add(ss.Evictions - m.lastStore.Evictions)
+		m.storeCompactions.Add(ss.Compactions - m.lastStore.Compactions)
+		m.storeQuarantined.Add(ss.Quarantined - m.lastStore.Quarantined)
+		m.storeErrors.Add((ss.GetErrors + ss.PutErrors) - (m.lastStore.GetErrors + m.lastStore.PutErrors))
+		m.lastStore = *ss
+	}
 	m.goroutines.Set(float64(ps.Runtime.Goroutines))
 	m.heapAlloc.Set(float64(ps.Runtime.HeapAllocBytes))
 	m.heapSys.Set(float64(ps.Runtime.HeapSysBytes))

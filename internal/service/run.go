@@ -27,12 +27,14 @@ type run struct {
 
 	// Lifecycle spans and dispositions, filled as the run progresses and
 	// read by the access-log record of the request that submitted it.
-	queueWait time.Duration // admission queue → worker slot
-	runWall   time.Duration // worker slot → terminal state
-	encodeMS  float64       // result encoding
-	cached    bool
-	coalesced bool
-	followers int64
+	queueWait   time.Duration // admission queue → worker slot
+	runWall     time.Duration // worker slot → terminal state
+	encodeMS    float64       // result encoding
+	cached      bool
+	coalesced   bool
+	diskHit     bool
+	disposition string
+	followers   int64
 
 	// cancel aborts the run's context: queued runs fail admission,
 	// in-flight simulations stop at the next Config.Cancel poll.
@@ -53,10 +55,27 @@ func (r *run) status(queuePos int) RunStatus {
 	return st
 }
 
+// disposition names how a pool Result was served, for the access log
+// and the result's serving metadata.
+func disposition(res runner.Result) string {
+	switch {
+	case res.DiskHit:
+		return "disk-hit"
+	case res.Coalesced:
+		return "coalesced"
+	case res.Cached:
+		return "memory-hit"
+	default:
+		return "simulated"
+	}
+}
+
 // newRunResult converts a pool Result into the wire payload, rendering
 // the metrics registry (if any) as its canonical JSON bundle. It is the
 // single encoding path for HTTP responses, SSE events, and the
-// byte-identical end-to-end test.
+// byte-identical end-to-end test. Disk-served results carry the original
+// run's bundle bytes verbatim on MetricsJSON — the registry belongs to
+// the process that simulated — so live and disk paths encode identically.
 func newRunResult(res runner.Result) (*RunResult, error) {
 	out := &RunResult{
 		Test:        res.Spec.Kind.String(),
@@ -64,6 +83,8 @@ func newRunResult(res runner.Result) (*RunResult, error) {
 		WallSeconds: res.Wall.Seconds(),
 		Cached:      res.Cached,
 		Coalesced:   res.Coalesced,
+		DiskHit:     res.DiskHit,
+		Disposition: disposition(res),
 		Followers:   res.Followers,
 	}
 	switch res.Spec.Kind {
@@ -74,9 +95,12 @@ func newRunResult(res runner.Result) (*RunResult, error) {
 		perf := res.Outcome.Perf
 		out.Perf = &perf
 	}
-	if reg := res.Outcome.Metrics; reg != nil {
+	switch {
+	case len(res.MetricsJSON) > 0:
+		out.Metrics = res.MetricsJSON
+	case res.Outcome.Metrics != nil:
 		var buf bytes.Buffer
-		if err := reg.Write(&buf, metrics.JSON); err != nil {
+		if err := res.Outcome.Metrics.Write(&buf, metrics.JSON); err != nil {
 			return nil, fmt.Errorf("encode metrics bundle: %w", err)
 		}
 		out.Metrics = buf.Bytes()

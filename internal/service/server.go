@@ -12,10 +12,12 @@ import (
 	"sync"
 	"time"
 
+	"rofs/internal/ckpt"
 	"rofs/internal/core"
 	"rofs/internal/metrics"
 	"rofs/internal/obs"
 	"rofs/internal/runner"
+	"rofs/internal/store"
 )
 
 // Options configures a Server. The zero value serves with sensible
@@ -47,6 +49,19 @@ type Options struct {
 	// request (see obs.AccessRecord). Nil disables access logging; trace
 	// IDs are still minted and echoed either way.
 	AccessLog io.Writer
+	// Store is the disk result tier handed to the pool: previously
+	// computed Specs are served from it across server restarts (the
+	// warm-restart byte-identity contract). Nil disables the tier. The
+	// server does not close the store; the owner that opened it does.
+	Store *store.Store
+	// CacheEntries bounds the pool's in-memory result cache (see
+	// runner.Pool.CacheEntries). Zero means unbounded.
+	CacheEntries int
+	// Ckpt persists checkpoint states for runs that arm
+	// checkpoint_every_ms, and resumes them on resubmission after a drain
+	// or crash. Nil rejects such requests with 400 — a client asking for
+	// durability the server cannot provide should hear about it.
+	Ckpt *ckpt.Manager
 }
 
 func (o Options) withDefaults() Options {
@@ -118,6 +133,12 @@ func New(opts Options) *Server {
 		runs:       make(map[string]*run),
 	}
 	s.pool.MetricsIntervalMS = opts.MetricsIntervalMS
+	s.pool.Store = opts.Store
+	s.pool.CacheEntries = opts.CacheEntries
+	s.pool.Ckpt = opts.Ckpt
+	if opts.Ckpt != nil {
+		opts.Ckpt.OnEvent = s.obs.observeCkpt
+	}
 	return s
 }
 
@@ -170,6 +191,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sp.TraceID = obs.TraceIDFrom(r.Context())
+	if sp.CheckpointEveryMS > 0 && s.opts.Ckpt == nil {
+		ri.Update(func(rec *obs.AccessRecord) { rec.Outcome = "invalid" })
+		s.writeError(w, http.StatusBadRequest,
+			errors.New("checkpoint_every_ms requires a server started with a checkpoint directory (-ckpt-dir)"))
+		return
+	}
 
 	timeout := s.opts.RunTimeout
 	if req.TimeoutMS > 0 {
@@ -327,6 +354,7 @@ func (s *Server) finalize(rn *run, res runner.Result) {
 	rn.state, rn.err, rn.result = state, errMsg, result
 	rn.encodeMS = encodeMS
 	rn.cached, rn.coalesced, rn.followers = res.Cached, res.Coalesced, res.Followers
+	rn.diskHit, rn.disposition = res.DiskHit, disposition(res)
 	s.mu.Unlock()
 	s.obs.countFinished(state, res)
 	close(rn.done)
@@ -354,6 +382,7 @@ func (s *Server) waitAndRespond(w http.ResponseWriter, r *http.Request, rn *run)
 	runMS := float64(rn.runWall) / float64(time.Millisecond)
 	encodeMS := rn.encodeMS
 	cached, coalesced, followers := rn.cached, rn.coalesced, rn.followers
+	diskHit, disp := rn.diskHit, rn.disposition
 	state := rn.state
 	s.mu.Unlock()
 	infoFrom(r.Context()).Update(func(rec *obs.AccessRecord) {
@@ -361,6 +390,7 @@ func (s *Server) waitAndRespond(w http.ResponseWriter, r *http.Request, rn *run)
 		rec.RunMS = runMS
 		rec.EncodeMS = encodeMS
 		rec.Cached, rec.Coalesced, rec.Followers = cached, coalesced, followers
+		rec.DiskHit, rec.Disposition = diskHit, disp
 		rec.Outcome = state
 	})
 	s.writeJSON(w, http.StatusOK, s.snapshot(rn))
@@ -475,11 +505,16 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleMetrics serves the server-level registry (request counters and
-// latency histograms, queue-depth and in-flight gauges, pool saturation)
-// in Prometheus text exposition format.
+// latency histograms, queue-depth and in-flight gauges, pool saturation,
+// disk-store activity) in Prometheus text exposition format.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.obs.write(w, s.pool.Stats())
+	var ss *store.Stats
+	if s.opts.Store != nil {
+		st := s.opts.Store.Stats()
+		ss = &st
+	}
+	s.obs.write(w, s.pool.Stats(), ss)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

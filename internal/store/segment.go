@@ -1,0 +1,222 @@
+package store
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Record layout (little-endian), append-only:
+//
+//	 0.. 4  magic "RFS1"
+//	 4.. 8  CRC32-C over bytes [8, end) of the record
+//	 8      format version (1)
+//	 9      flags (bit 0: payload is gzip-compressed)
+//	10..12  reserved (zero)
+//	12..16  key length
+//	16..20  payload length (stored, i.e. post-compression)
+//	20..    key bytes, then payload bytes
+//
+// The checksum covers the version, flags, lengths, key, and payload, so
+// a torn write anywhere in the record — header included — fails
+// verification. Compaction copies whole records verbatim; the checksum
+// stays valid because the covered bytes never change.
+const (
+	recordMagic      = "RFS1"
+	recordVersion    = 1
+	recordHeaderSize = 20
+
+	flagGzip = 1 << 0
+
+	maxKeyLen     = 1 << 16
+	maxPayloadLen = 1 << 30
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// errCorrupt wraps every record-level integrity failure so scan and read
+// paths can classify damage uniformly.
+var errCorrupt = errors.New("store: corrupt record")
+
+// encodeRecord renders one key/payload pair as a checksummed record,
+// compressing the payload.
+func encodeRecord(key string, payload []byte) ([]byte, error) {
+	if len(key) == 0 || len(key) > maxKeyLen {
+		return nil, fmt.Errorf("store: key length %d out of range (1..%d)", len(key), maxKeyLen)
+	}
+	var comp bytes.Buffer
+	zw := gzip.NewWriter(&comp)
+	if _, err := zw.Write(payload); err != nil {
+		return nil, fmt.Errorf("store: compress: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("store: compress: %w", err)
+	}
+	if comp.Len() > maxPayloadLen {
+		return nil, fmt.Errorf("store: payload %d bytes exceeds the %d-byte record limit", comp.Len(), maxPayloadLen)
+	}
+	rec := make([]byte, recordHeaderSize+len(key)+comp.Len())
+	copy(rec[0:4], recordMagic)
+	rec[8] = recordVersion
+	rec[9] = flagGzip
+	binary.LittleEndian.PutUint32(rec[12:16], uint32(len(key)))
+	binary.LittleEndian.PutUint32(rec[16:20], uint32(comp.Len()))
+	copy(rec[recordHeaderSize:], key)
+	copy(rec[recordHeaderSize+len(key):], comp.Bytes())
+	binary.LittleEndian.PutUint32(rec[4:8], crc32.Checksum(rec[8:], castagnoli))
+	return rec, nil
+}
+
+// parseHeader validates a record header in buf and returns the key and
+// stored-payload lengths. buf must hold at least recordHeaderSize bytes.
+func parseHeader(buf []byte) (keyLen, payloadLen int, err error) {
+	if string(buf[0:4]) != recordMagic {
+		return 0, 0, fmt.Errorf("%w: bad magic", errCorrupt)
+	}
+	if buf[8] != recordVersion {
+		return 0, 0, fmt.Errorf("%w: unknown version %d", errCorrupt, buf[8])
+	}
+	keyLen = int(binary.LittleEndian.Uint32(buf[12:16]))
+	payloadLen = int(binary.LittleEndian.Uint32(buf[16:20]))
+	if keyLen == 0 || keyLen > maxKeyLen || payloadLen < 0 || payloadLen > maxPayloadLen {
+		return 0, 0, fmt.Errorf("%w: implausible lengths key=%d payload=%d", errCorrupt, keyLen, payloadLen)
+	}
+	return keyLen, payloadLen, nil
+}
+
+// decodeRecord verifies the checksum of one complete record and returns
+// its key and decompressed payload.
+func decodeRecord(rec []byte) (key string, payload []byte, err error) {
+	keyLen, payloadLen, err := parseHeader(rec)
+	if err != nil {
+		return "", nil, err
+	}
+	if len(rec) != recordHeaderSize+keyLen+payloadLen {
+		return "", nil, fmt.Errorf("%w: record size mismatch", errCorrupt)
+	}
+	if got := crc32.Checksum(rec[8:], castagnoli); got != binary.LittleEndian.Uint32(rec[4:8]) {
+		return "", nil, fmt.Errorf("%w: checksum mismatch", errCorrupt)
+	}
+	key = string(rec[recordHeaderSize : recordHeaderSize+keyLen])
+	stored := rec[recordHeaderSize+keyLen:]
+	if rec[9]&flagGzip == 0 {
+		return key, append([]byte(nil), stored...), nil
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(stored))
+	if err != nil {
+		return "", nil, fmt.Errorf("%w: %v", errCorrupt, err)
+	}
+	payload, err = io.ReadAll(io.LimitReader(zr, maxPayloadLen+1))
+	if cerr := zr.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return "", nil, fmt.Errorf("%w: %v", errCorrupt, err)
+	}
+	return key, payload, nil
+}
+
+// readRecord reads and decodes e's record from its segment, verifying
+// the checksum end to end. Caller holds s.mu.
+func (s *Store) readRecord(e *entry) ([]byte, error) {
+	seg, ok := s.segs[e.seg]
+	if !ok || seg.f == nil {
+		return nil, fmt.Errorf("store: segment %d gone", e.seg)
+	}
+	rec := make([]byte, e.size)
+	if _, err := seg.f.ReadAt(rec, e.off); err != nil {
+		return nil, fmt.Errorf("store: read %s@%d: %w", segName(e.seg), e.off, err)
+	}
+	key, payload, err := decodeRecord(rec)
+	if err != nil {
+		return nil, err
+	}
+	if key != e.key {
+		return nil, fmt.Errorf("%w: key mismatch at %s@%d", errCorrupt, segName(e.seg), e.off)
+	}
+	return payload, nil
+}
+
+// scanSegment replays one segment into the index. The first integrity
+// failure — bad magic, implausible lengths, checksum mismatch, or a
+// record extending past the end of the file — quarantines the rest of
+// the segment: the damaged bytes are copied to a .quarantined sidecar,
+// the segment is truncated back to its last good record, and the scan
+// moves on. A kill mid-write therefore costs at most the torn tail.
+func (s *Store) scanSegment(id int) error {
+	path := filepath.Join(s.dir, segName(id))
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("store: scan %s: %w", segName(id), err)
+	}
+	seg := &segment{id: id, f: f}
+	s.segs[id] = seg
+
+	off := 0
+	for off < len(data) {
+		rest := data[off:]
+		var keyLen, payloadLen int
+		var herr error
+		if len(rest) < recordHeaderSize {
+			herr = fmt.Errorf("%w: truncated header", errCorrupt)
+		} else {
+			keyLen, payloadLen, herr = parseHeader(rest)
+		}
+		recLen := recordHeaderSize + keyLen + payloadLen
+		if herr == nil && recLen > len(rest) {
+			herr = fmt.Errorf("%w: truncated record", errCorrupt)
+		}
+		var key string
+		if herr == nil {
+			key, _, herr = decodeRecord(rest[:recLen])
+		}
+		if herr != nil {
+			if qerr := s.quarantineTail(seg, data, off); qerr != nil {
+				return qerr
+			}
+			break
+		}
+		if old, ok := s.index[key]; ok {
+			s.dropLocked(old)
+		}
+		e := &entry{key: key, seg: id, off: int64(off), size: int64(recLen)}
+		e.elem = s.lru.PushFront(e)
+		s.index[key] = e
+		seg.live += int64(recLen)
+		s.liveBytes += int64(recLen)
+		off += recLen
+	}
+	// Dead bytes (superseded records) were counted by dropLocked as the
+	// scan discovered newer versions; only the segment size remains.
+	seg.size = int64(off)
+	return nil
+}
+
+// quarantineTail copies data[off:] to the segment's .quarantined sidecar
+// and truncates the segment file back to off.
+func (s *Store) quarantineTail(seg *segment, data []byte, off int) error {
+	side := filepath.Join(s.dir, segName(seg.id)+".quarantined")
+	if err := os.WriteFile(side, data[off:], 0o644); err != nil {
+		return fmt.Errorf("store: quarantine %s: %w", segName(seg.id), err)
+	}
+	if err := seg.f.Truncate(int64(off)); err != nil {
+		return fmt.Errorf("store: truncate %s: %w", segName(seg.id), err)
+	}
+	if !s.opts.NoSync {
+		seg.f.Sync()
+		syncDir(s.dir)
+	}
+	s.stats.Quarantined++
+	return nil
+}
