@@ -64,7 +64,7 @@ func main() {
 
 		policyFlag   = fs.String("policy", "rbuddy", "buddy | rbuddy | extent | fixed")
 		workloadFlag = fs.String("workload", "TS", "TS | TP | SC")
-		testFlag     = fs.String("test", "alloc", "alloc | app | seq")
+		testFlag     = fs.String("test", "alloc", "alloc | app | seq | aging")
 		scaleFlag    = fs.String("scale", "bench", "full | bench")
 		seedFlag     = fs.Int64("seed", 42, "simulation seed")
 		nameFlag     = fs.String("name", "", "presentation label for the run")
@@ -148,7 +148,15 @@ func main() {
 		}
 		req.Faults = &faults
 	}
-	req.Arrivals = clusterFlags.Arrivals()
+	// -arrival-trace is loaded client-side and sent inline: the server
+	// refuses trace_file references (it will not read paths local to the
+	// client machine).
+	if a, err := clusterFlags.Arrivals(); err != nil {
+		fatal("%v", err)
+	} else {
+		req.Arrivals = a
+	}
+	req.Compaction = clusterFlags.Compaction()
 	if cc := clusterFlags.Config(); cc.Enabled() {
 		if err := cc.Validate(); err != nil {
 			fatal("%v", err)
@@ -296,6 +304,23 @@ func renderStatus(st service.RunStatus) {
 					cr.Arrivals, cr.Admitted, cr.Rejected, cr.RejectPct)
 			}
 		}
+		if co := p.Compaction; co != nil {
+			cot := report.NewTable(fmt.Sprintf("Compaction report (%s)", co.Policy),
+				"Segments", "Merges", "Flushed", "MergeRead", "MergeWritten", "WriteAmp", "Live")
+			cot.AddRow(co.Segments, co.Merges, units.Format(co.FlushBytes),
+				units.Format(co.MergeReadBytes), units.Format(co.MergeWriteBytes),
+				fmt.Sprintf("%.2f", co.WriteAmp), fmt.Sprintf("%v", co.Live))
+			cot.Render(os.Stdout)
+		}
+	case st.Result != nil && st.Result.Aging != nil:
+		a := st.Result.Aging
+		t := report.NewTable(fmt.Sprintf("%s  %s  (%s)", st.ID, st.Label, note(st)),
+			"Sim time", "Util%", "Ext%", "FreeFrags", "LargestFree", "Files", "Ops")
+		f := a.Final()
+		t.AddRow(fmt.Sprintf("%.1fh", a.SimMS/3.6e6), fmt.Sprintf("%.1f", f.Utilization*100),
+			fmt.Sprintf("%.2f", f.ExternalPct), f.FreeFragments, f.LargestFreeUnits,
+			f.Files, a.Ops)
+		t.Render(os.Stdout)
 	case st.Error != "":
 		fmt.Printf("%s  %s  state=%s: %s\n", st.ID, st.Label, st.State, st.Error)
 	default:
@@ -333,6 +358,9 @@ func detail(st service.RunStatus) string {
 		return fmt.Sprintf("%.2f%% of max", st.Result.Perf.Percent)
 	case st.Result != nil && st.Result.Frag != nil:
 		return fmt.Sprintf("int %.2f%% / ext %.2f%%", st.Result.Frag.InternalPct, st.Result.Frag.ExternalPct)
+	case st.Result != nil && st.Result.Aging != nil:
+		f := st.Result.Aging.Final()
+		return fmt.Sprintf("%d free frags after %.1fh", f.FreeFragments, st.Result.Aging.SimMS/3.6e6)
 	case st.Error != "":
 		return st.Error
 	case st.Position > 0:

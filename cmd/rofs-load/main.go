@@ -48,6 +48,7 @@ import (
 
 	"rofs/internal/obs"
 	"rofs/internal/service"
+	"rofs/internal/workload"
 )
 
 func main() {
@@ -66,6 +67,8 @@ func main() {
 		heavyFlag    = fs.Float64("heavy-frac", 0, "fraction of requests with an oversized sim cap")
 		baseSimFlag  = fs.Float64("base-sim", 15_000, "simulated-time cap (ms) for fresh and repeat requests")
 		heavySimFlag = fs.Float64("heavy-sim", 120_000, "simulated-time cap (ms) for heavy requests")
+
+		traceFlag = fs.String("arrival-trace", "", "open-loop trace file attached inline to every fresh request")
 
 		scrapeFlag   = fs.Duration("scrape", time.Second, "metrics scrape interval (0 disables)")
 		timeoutFlag  = fs.Duration("timeout", 2*time.Minute, "per-request client timeout")
@@ -110,6 +113,16 @@ func main() {
 		heavyFrac:  *heavyFlag,
 		baseSimMS:  *baseSimFlag,
 		heavySimMS: *heavySimFlag,
+	}
+	if *traceFlag != "" {
+		// The server rejects trace_file by design (it won't read the
+		// submitter's filesystem), so the file is loaded here and shipped
+		// inline in each request body.
+		a, err := workload.LoadTraceFile(*traceFlag)
+		if err != nil {
+			fatal("%v", err)
+		}
+		gen.arrivals = a
 	}
 
 	scraper := newScraper(client, *scrapeFlag)
@@ -173,6 +186,7 @@ type generator struct {
 	heavyFrac  float64
 	baseSimMS  float64
 	heavySimMS float64
+	arrivals   *workload.Arrivals // optional, attached to fresh requests
 
 	fresh, heavy int // never-reused seed sequences
 }
@@ -229,6 +243,10 @@ func (g *generator) next(idx int, ramp bool) item {
 		it.class = classFresh
 		g.fresh++
 		it.req.Seed = 1_000_000 + int64(g.fresh)
+		// Replay the imported trace (if any) instead of the closed-loop
+		// mix. Repeat and heavy requests keep their classes' semantics:
+		// cache hits need stable spec keys, heavy needs the long sim cap.
+		it.req.Arrivals = g.arrivals
 	}
 	it.req.Name = fmt.Sprintf("load-%s-%06d", it.class, idx)
 	return it

@@ -145,8 +145,12 @@ func main() {
 		fatal("%v", err)
 	}
 
+	arrivals, err := clusterFlags.Arrivals()
+	if err != nil {
+		fatal("%v", err)
+	}
 	specs, err := buildSpecs(sc, *paramFlag, *workloadFlag, kind, values, faults,
-		clusterFlags.Config(), clusterFlags.Arrivals())
+		clusterFlags.Config(), arrivals)
 	if err != nil {
 		fatal("%v", err)
 	}

@@ -28,6 +28,7 @@ import (
 	"rofs/internal/runner"
 	"rofs/internal/sim"
 	"rofs/internal/units"
+	"rofs/internal/workload"
 )
 
 // expFunc renders one experiment; the pool bounds its parallelism and
@@ -38,37 +39,44 @@ type expFunc func(ctx context.Context, pool *runner.Pool, sc experiments.Scale) 
 // paper's order.
 func experimentRegistry() (map[string]expFunc, []string) {
 	all := map[string]expFunc{
-		"table1":  table1,
-		"table2":  table2,
-		"table3":  table3,
-		"fig1":    fig1,
-		"fig2":    fig2,
-		"fig3":    fig3,
-		"fig4":    fig4,
-		"fig5":    fig5,
-		"table4":  table4,
-		"fig6":    fig6,
-		"raid":    ablationRAID,
-		"stripe":  ablationStripe,
-		"mix":     ablationMix,
-		"cluster": ablationCluster,
-		"sched":   ablationScheduler,
-		"realloc": ablationRealloc,
-		"meta":    metadataTable,
-		"skew":    ablationSkew,
-		"aging":   ablationAging,
-		"faults":  faultTable,
-		"fleet":   fleetTable,
+		"table1":   table1,
+		"table2":   table2,
+		"table3":   table3,
+		"fig1":     fig1,
+		"fig2":     fig2,
+		"fig3":     fig3,
+		"fig4":     fig4,
+		"fig5":     fig5,
+		"table4":   table4,
+		"fig6":     fig6,
+		"raid":     ablationRAID,
+		"stripe":   ablationStripe,
+		"mix":      ablationMix,
+		"cluster":  ablationCluster,
+		"sched":    ablationScheduler,
+		"realloc":  ablationRealloc,
+		"meta":     metadataTable,
+		"skew":     ablationSkew,
+		"freelist": ablationFreeList,
+		"faults":   faultTable,
+		"fleet":    fleetTable,
+		"trace":    traceReplay,
+		"aging":    agingTable,
+		"compact":  compactionTable,
 	}
 	order := []string{"table1", "table2", "table3", "fig1", "fig2", "fig3", "fig4", "fig5",
 		"table4", "fig6", "raid", "stripe", "mix", "cluster", "sched", "realloc", "meta",
-		"skew", "aging", "faults", "fleet"}
+		"skew", "freelist", "faults", "fleet", "trace", "aging", "compact"}
 	return all, order
 }
 
 // tableFaults is the scenario the `faults` experiment runs, set from the
 // fault flags in main (zero: experiments.DefaultFaultScenario).
 var tableFaults fault.Scenario
+
+// tableArrivals is the trace the `trace` experiment replays, loaded from
+// -arrival-trace in main (nil: the built-in demo trace).
+var tableArrivals *workload.Arrivals
 
 // progress prints one per-run line to stderr as results land.
 func progress(_ int, r runner.Result) {
@@ -88,7 +96,7 @@ func progress(_ int, r runner.Result) {
 
 func main() {
 	var (
-		expFlag     = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,fig1,fig2,fig3,fig4,fig5,table4,fig6,raid,stripe,mix,cluster,sched,realloc,meta,skew,aging,faults,fleet, or all")
+		expFlag     = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,fig1,fig2,fig3,fig4,fig5,table4,fig6,raid,stripe,mix,cluster,sched,realloc,meta,skew,freelist,faults,fleet,trace,aging,compact, or all")
 		scaleFlag   = flag.String("scale", "bench", "full (the paper's 8-drive 2.8G array) or bench (reduced)")
 		seedFlag    = flag.Int64("seed", 42, "simulation seed")
 		jobsFlag    = flag.Int("jobs", runtime.GOMAXPROCS(0), "maximum simulations running at once")
@@ -105,8 +113,20 @@ func main() {
 		// Scenario knobs for the `faults` experiment (all other experiments
 		// run fault-free; zero flags select the default scenario).
 		faultFlags = fault.AddFlags(flag.CommandLine)
+
+		// Trace file for the `trace` experiment (empty: a built-in demo
+		// trace; see EXPERIMENTS.md for the file grammar).
+		traceFlag = flag.String("arrival-trace", "", "open-loop trace file the `trace` experiment replays")
 	)
 	flag.Parse()
+	if *traceFlag != "" {
+		a, err := workload.LoadTraceFile(*traceFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rofs-tables: %v\n", err)
+			os.Exit(2)
+		}
+		tableArrivals = a
+	}
 	tableFaults = faultFlags.Scenario()
 	if err := tableFaults.Validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "rofs-tables: %v\n", err)
@@ -555,8 +575,8 @@ func ablationSkew(ctx context.Context, pool *runner.Pool, sc experiments.Scale) 
 	return nil
 }
 
-func ablationAging(ctx context.Context, pool *runner.Pool, sc experiments.Scale) error {
-	cells, err := experiments.AblationAging(ctx, pool, sc)
+func ablationFreeList(ctx context.Context, pool *runner.Pool, sc experiments.Scale) error {
+	cells, err := experiments.AblationFreeList(ctx, pool, sc)
 	if err != nil {
 		return err
 	}
@@ -564,6 +584,73 @@ func ablationAging(ctx context.Context, pool *runner.Pool, sc experiments.Scale)
 		"Free list", "Sequential%", "Application%")
 	for _, c := range cells {
 		t.AddRow(c.Policy, c.SeqPct, c.AppPct)
+	}
+	t.Render(os.Stdout)
+	return nil
+}
+
+func traceReplay(ctx context.Context, pool *runner.Pool, sc experiments.Scale) error {
+	rows, err := experiments.TraceTable(ctx, pool, sc, tableArrivals)
+	if err != nil {
+		return err
+	}
+	src := "built-in demo trace"
+	if tableArrivals != nil {
+		src = fmt.Sprintf("%d-op trace", len(tableArrivals.Trace))
+	}
+	t := report.NewTable(fmt.Sprintf("Trace replay (TP, open-loop %s): per-policy throughput and latency", src),
+		"Policy", "Ops", "Throughput%", "Mean lat (ms)", "P95 lat (ms)")
+	for _, r := range rows {
+		t.AddRow(r.Policy, r.Ops, fmt.Sprintf("%.2f", r.Percent),
+			fmt.Sprintf("%.2f", r.MeanLatencyMS), fmt.Sprintf("%.0f", r.P95LatencyMS))
+	}
+	t.Render(os.Stdout)
+	return nil
+}
+
+func agingTable(ctx context.Context, pool *runner.Pool, sc experiments.Scale) error {
+	rows, err := experiments.AgingTable(ctx, pool, sc)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Aging: free-space decay under multi-day TS churn",
+		"Policy", "Sim time", "Util%", "Int%", "Ext%", "Free frags", "Largest free", "Files", "Mean file", "Alloc fails")
+	for _, r := range rows {
+		n := len(r.Result.Samples)
+		if n == 0 {
+			continue
+		}
+		for _, idx := range []int{0, n / 4, n / 2, 3 * n / 4, n - 1} {
+			s := r.Result.Samples[idx]
+			t.AddRow(r.Policy, fmt.Sprintf("%.1fh", s.SimMS/3.6e6),
+				fmt.Sprintf("%.1f", s.Utilization*100),
+				fmt.Sprintf("%.2f", s.InternalPct), fmt.Sprintf("%.2f", s.ExternalPct),
+				s.FreeFragments, s.LargestFreeUnits, s.Files,
+				units.Format(int64(s.MeanFileBytes)), s.AllocFails)
+		}
+	}
+	t.Render(os.Stdout)
+	return nil
+}
+
+func compactionTable(ctx context.Context, pool *runner.Pool, sc experiments.Scale) error {
+	rows, err := experiments.CompactionTable(ctx, pool, sc)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Compaction (TP app, rbuddy-5-g1-clus): log-structured overlay cost",
+		"Overlay", "Throughput%", "Mean lat (ms)", "P95 lat (ms)", "Segments", "Merges", "Merged", "Write amp")
+	for _, r := range rows {
+		if r.Compaction == nil {
+			t.AddRow(r.Overlay, fmt.Sprintf("%.2f", r.Percent),
+				fmt.Sprintf("%.2f", r.MeanLatencyMS), fmt.Sprintf("%.0f", r.P95LatencyMS),
+				"-", "-", "-", "-")
+			continue
+		}
+		c := r.Compaction
+		t.AddRow(r.Overlay, fmt.Sprintf("%.2f", r.Percent),
+			fmt.Sprintf("%.2f", r.MeanLatencyMS), fmt.Sprintf("%.0f", r.P95LatencyMS),
+			c.Segments, c.Merges, units.Format(c.MergeWriteBytes), fmt.Sprintf("%.2fx", c.WriteAmp))
 	}
 	t.Render(os.Stdout)
 	return nil

@@ -28,6 +28,36 @@ func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
 	}
 }
 
+// TestEveryRegisteredExperimentRuns drives each -exp name end to end —
+// registry-driven, so a newly registered experiment is exercised without
+// anyone remembering to add a test. It runs in -short mode too, at a
+// reduced simulated-time cap to keep the whole sweep in test budget.
+func TestEveryRegisteredExperimentRuns(t *testing.T) {
+	old := os.Stdout
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = null
+	defer func() {
+		os.Stdout = old
+		null.Close()
+	}()
+	ctx := context.Background()
+	pool := runner.New(0)
+	sc := experiments.BenchScale()
+	sc.MaxSimMS = 8_000
+	all, order := experimentRegistry()
+	for _, name := range order {
+		fn := all[name]
+		t.Run(name, func(t *testing.T) {
+			if err := fn(ctx, pool, sc); err != nil {
+				t.Errorf("experiment %q failed: %v", name, err)
+			}
+		})
+	}
+}
+
 func TestCheapExperimentsRun(t *testing.T) {
 	// The static and analytic experiments run in microseconds; exercise
 	// them end to end (output goes to stdout, which `go test` tolerates).

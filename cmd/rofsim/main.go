@@ -34,7 +34,7 @@ func main() {
 	var (
 		policyFlag   = flag.String("policy", "rbuddy", "buddy | rbuddy | extent | fixed")
 		workloadFlag = flag.String("workload", "TS", "TS | TP | SC")
-		testFlag     = flag.String("test", "alloc", "alloc | app | seq")
+		testFlag     = flag.String("test", "alloc", "alloc | app | seq | aging")
 		scaleFlag    = flag.String("scale", "bench", "full | bench")
 		seedFlag     = flag.Int64("seed", 42, "simulation seed")
 
@@ -153,8 +153,13 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
-	if a := clusterFlags.Arrivals(); a != nil {
+	if a, aerr := clusterFlags.Arrivals(); aerr != nil {
+		fatal("%v", aerr)
+	} else if a != nil {
 		wl.Arrivals = a
+	}
+	if cc := clusterFlags.Compaction(); cc != nil {
+		wl.Compact = cc
 	}
 	cc := clusterFlags.Config()
 	if err := cc.Validate(); err != nil {
@@ -339,6 +344,25 @@ func main() {
 					ip.Index, ip.Ops, ip.Percent, ip.MeanLatencyMS, faulted)
 			}
 		}
+		if co := res.Compaction; co != nil {
+			fmt.Fprintf(rpt, "  compaction:   %s, %d segments flushed (%s), %d merges (%s read, %s written)\n",
+				co.Policy, co.Segments, units.Format(co.FlushBytes), co.Merges,
+				units.Format(co.MergeReadBytes), units.Format(co.MergeWriteBytes))
+			fmt.Fprintf(rpt, "  write amp:    %.2fx, live segments per tier %v\n", co.WriteAmp, co.Live)
+		}
+	case "aging":
+		res, err := core.RunAging(cfg)
+		if err != nil {
+			fatal("%v", err)
+		}
+		f := res.Final()
+		fmt.Fprintf(rpt, "  churn:        %.1f h simulated, %d operations, %d disk-full conditions\n",
+			res.SimMS/3.6e6, res.Ops, res.AllocFails)
+		fmt.Fprintf(rpt, "  free space:   %d fragments, largest %d units\n",
+			f.FreeFragments, f.LargestFreeUnits)
+		fmt.Fprintf(rpt, "  fragmentation: %.2f%% internal, %.2f%% external at %.1f%% utilization\n",
+			f.InternalPct, f.ExternalPct, f.Utilization*100)
+		fmt.Fprintf(rpt, "  objects:      %d files, %s mean size\n", f.Files, units.Format(int64(f.MeanFileBytes)))
 	default:
 		fatal("unknown test %q", *testFlag)
 	}

@@ -89,6 +89,24 @@ type StatsReporter interface {
 	OpStats() OpStats
 }
 
+// FreeSpaceStats describes the shape of a policy's free space — the decay
+// the aging experiment tracks over simulated days of churn (Sears & van
+// Ingen's free-space-fragmentation metric). Fragments counts the discrete
+// free pieces the policy could hand out without coalescing beyond what its
+// structures already do (free-list runs, free blocks per order/class);
+// LargestUnits is the biggest single piece. A policy whose FreeUnits stays
+// flat while Fragments climbs and LargestUnits shrinks is aging badly.
+type FreeSpaceStats struct {
+	Fragments    int64
+	LargestUnits int64
+}
+
+// FreeSpaceReporter is the optional interface policies implement to expose
+// free-space shape to the aging experiment and the metrics registry.
+type FreeSpaceReporter interface {
+	FreeSpaceStats() FreeSpaceStats
+}
+
 // DescriptorCounter is the optional interface policies implement to report
 // how many layout descriptors a file's metadata must hold: one per block
 // for the block-based policies, one per as-allocated extent for the extent

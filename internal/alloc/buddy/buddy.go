@@ -109,6 +109,20 @@ func (p *Policy) TotalUnits() int64 { return p.cfg.TotalUnits }
 // FreeUnits implements alloc.Policy.
 func (p *Policy) FreeUnits() int64 { return p.free }
 
+// FreeSpaceStats implements alloc.FreeSpaceReporter: free buddy blocks are
+// the fragments (buddies already coalesce on free), the largest being the
+// biggest non-empty order.
+func (p *Policy) FreeSpaceStats() alloc.FreeSpaceStats {
+	var st alloc.FreeSpaceStats
+	for o, tree := range p.orders {
+		if n := tree.Len(); n > 0 {
+			st.Fragments += int64(n)
+			st.LargestUnits = int64(1) << o
+		}
+	}
+	return st
+}
+
 // allocBlock takes the lowest-addressed free block of exactly 1<<order
 // units, splitting a larger block if necessary.
 func (p *Policy) allocBlock(order int) (int64, error) {

@@ -128,6 +128,15 @@ func (p *Policy) FreeUnits() int64 { return p.free.FreeUnits() }
 // diagnostic).
 func (p *Policy) FreeRuns() int { return p.free.Runs() }
 
+// FreeSpaceStats implements alloc.FreeSpaceReporter: the free list's
+// maximal runs are the fragments, its longest run the largest piece.
+func (p *Policy) FreeSpaceStats() alloc.FreeSpaceStats {
+	return alloc.FreeSpaceStats{
+		Fragments:    int64(p.free.Runs()),
+		LargestUnits: p.free.MaxRun(),
+	}
+}
+
 // rangeFor returns the mean of the range a file with the given
 // AllocationSize draws extents from: the largest mean <= hint, or the
 // smallest range when none qualifies.

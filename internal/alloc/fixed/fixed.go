@@ -91,6 +91,17 @@ func (p *Policy) TotalUnits() int64 { return p.nBlocks * p.cfg.BlockUnits }
 // FreeUnits implements alloc.Policy.
 func (p *Policy) FreeUnits() int64 { return p.free * p.cfg.BlockUnits }
 
+// FreeSpaceStats implements alloc.FreeSpaceReporter: fixed blocks never
+// coalesce, so every free block is its own fragment and the largest free
+// piece is always one block (or zero when the disk is full).
+func (p *Policy) FreeSpaceStats() alloc.FreeSpaceStats {
+	st := alloc.FreeSpaceStats{Fragments: p.free}
+	if p.free > 0 {
+		st.LargestUnits = p.cfg.BlockUnits
+	}
+	return st
+}
+
 func (p *Policy) allocBlock() (int64, error) {
 	if p.free == 0 {
 		return 0, alloc.ErrNoSpace

@@ -169,6 +169,20 @@ func (p *Policy) FreeBlockCounts() []int {
 	return out
 }
 
+// FreeSpaceStats implements alloc.FreeSpaceReporter: free blocks across
+// all size classes are the fragments, the largest being the biggest class
+// with a free block.
+func (p *Policy) FreeSpaceStats() alloc.FreeSpaceStats {
+	var st alloc.FreeSpaceStats
+	for c, t := range p.trees {
+		if n := t.Len(); n > 0 {
+			st.Fragments += int64(n)
+			st.LargestUnits = p.sizes[c]
+		}
+	}
+	return st
+}
+
 func (p *Policy) region(addr int64) int {
 	if !p.cfg.Clustered {
 		return 0

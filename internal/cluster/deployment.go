@@ -342,6 +342,12 @@ func (d *Deployment) results(end float64) (core.PerfResult, *core.ClusterReport,
 		if ir.Faults != nil {
 			res.Faults = ir.Faults
 		}
+		if ir.Compaction != nil {
+			if res.Compaction == nil {
+				res.Compaction = &core.CompactionReport{}
+			}
+			res.Compaction.Merge(ir.Compaction)
+		}
 		// Fleet throughput is the mean of per-member percents: members run
 		// identical arrays, so this is fleet bytes over fleet capacity.
 		res.Percent += ir.Percent / float64(d.cc.Instances)

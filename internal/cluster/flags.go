@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"flag"
+	"fmt"
 
 	"rofs/internal/workload"
 )
@@ -21,8 +22,14 @@ type Flags struct {
 	par        *int
 	syncMS     *float64
 
-	rate    *float64
-	clients *int
+	rate      *float64
+	clients   *int
+	traceFile *string
+
+	compact        *string
+	compactSegment *int64
+	compactFlush   *float64
+	compactFanout  *int
 }
 
 // AddFlags registers the cluster and open-loop arrival flags on fs.
@@ -40,6 +47,12 @@ func AddFlags(fs *flag.FlagSet) *Flags {
 		syncMS:     fs.Float64("sync-ms", 0, "cluster: open-loop lookahead window override (ms, 0: snapshot/metrics grid or 100)"),
 		rate:       fs.Float64("rate", 0, "open-loop Poisson arrival rate (ops/s, 0: closed-loop)"),
 		clients:    fs.Int("arrival-clients", 0, "open-loop client-key population (0: default 256)"),
+		traceFile:  fs.String("arrival-trace", "", "open-loop trace file to replay (see EXPERIMENTS.md for the grammar)"),
+
+		compact:        fs.String("compact", "", "log-structured overlay merge policy: tiered | leveled (app test only; empty: off)"),
+		compactSegment: fs.Int64("compact-segment", 0, "compaction: log segment bytes (0: default 512K)"),
+		compactFlush:   fs.Float64("compact-flush-ms", 0, "compaction: foreground segment flush cadence (simulated ms, 0: default 250)"),
+		compactFanout:  fs.Int("compact-fanout", 0, "compaction: merge width / level ratio (0: default 4)"),
 	}
 }
 
@@ -60,11 +73,37 @@ func (f *Flags) Config() Config {
 	}
 }
 
-// Arrivals returns the open-loop arrival process the flags declare, or
-// nil when -rate is unset (closed-loop user sessions).
-func (f *Flags) Arrivals() *workload.Arrivals {
+// Arrivals returns the open-loop arrival process the flags declare —
+// Poisson at -rate, or a replayed -arrival-trace file (loaded here) — or
+// nil when neither is set (closed-loop user sessions).
+func (f *Flags) Arrivals() (*workload.Arrivals, error) {
+	if *f.traceFile != "" {
+		if *f.rate > 0 {
+			return nil, fmt.Errorf("-rate and -arrival-trace are mutually exclusive")
+		}
+		a, err := workload.LoadTraceFile(*f.traceFile)
+		if err != nil {
+			return nil, err
+		}
+		a.Clients = *f.clients
+		return a, nil
+	}
 	if *f.rate <= 0 {
+		return nil, nil
+	}
+	return &workload.Arrivals{RatePerSec: *f.rate, Clients: *f.clients}, nil
+}
+
+// Compaction returns the log-structured overlay the flags declare, or nil
+// when -compact is unset.
+func (f *Flags) Compaction() *workload.Compaction {
+	if *f.compact == "" {
 		return nil
 	}
-	return &workload.Arrivals{RatePerSec: *f.rate, Clients: *f.clients}
+	return &workload.Compaction{
+		Policy:       *f.compact,
+		SegmentBytes: *f.compactSegment,
+		FlushEveryMS: *f.compactFlush,
+		Fanout:       *f.compactFanout,
+	}
 }

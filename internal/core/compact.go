@@ -1,0 +1,358 @@
+package core
+
+import (
+	"rofs/internal/disk"
+	"rofs/internal/metrics"
+	"rofs/internal/sim"
+	"rofs/internal/workload"
+)
+
+// The compaction overlay models the write-optimized design the paper's
+// read-optimized systems are contrasted with: a log-structured segment
+// stream. The foreground log appends one fixed-size segment per flush
+// interval as an ordinary (fault-visible) sequential write, and a
+// background merge-compaction engine folds segments together under a
+// pluggable policy — size-tiered or leveled. Merge I/O is submitted as
+// internal maintenance traffic, exactly like the rebuild engine's
+// reconstruction: it competes through the real per-drive queues and busy
+// time (so the workload's own operations feel it as queue wait) but is
+// excluded from throughput and latency accounting.
+//
+// The overlay shares the drives' unit address space with the file system
+// but not its allocator: like rebuild I/O, segments address raw disk
+// units, so the overlay perturbs timing — seeks, queueing, bandwidth —
+// without touching allocation state. Everything is cadence-driven and
+// drawn from no RNG, so an armed run is deterministic and an unarmed run
+// is untouched (no events, no metrics series, no spec-key term).
+
+// CompactionReport summarizes the overlay's activity over a run.
+type CompactionReport struct {
+	// Policy is the merge policy ("tiered" or "leveled").
+	Policy string
+	// Segments is the number of foreground segment flushes.
+	Segments int64
+	// Merges is the number of background merge operations.
+	Merges int64
+	// FlushBytes is the foreground log volume; MergeReadBytes and
+	// MergeWriteBytes are the background merge volume.
+	FlushBytes      int64
+	MergeReadBytes  int64
+	MergeWriteBytes int64
+	// WriteAmp is total bytes written (flush + merge) over flush bytes —
+	// the overlay's write amplification.
+	WriteAmp float64
+	// Live is the final number of live segments per tier (tiered) or
+	// level (leveled).
+	Live []int64
+}
+
+// Merge folds another instance's report into r — the fleet result path,
+// which sums volumes, concatenates per-tier live counts element-wise,
+// and re-derives the amplification from the merged totals.
+func (r *CompactionReport) Merge(o *CompactionReport) {
+	if r.Policy == "" {
+		r.Policy = o.Policy
+	}
+	r.Segments += o.Segments
+	r.Merges += o.Merges
+	r.FlushBytes += o.FlushBytes
+	r.MergeReadBytes += o.MergeReadBytes
+	r.MergeWriteBytes += o.MergeWriteBytes
+	for len(r.Live) < len(o.Live) {
+		r.Live = append(r.Live, 0)
+	}
+	for i, n := range o.Live {
+		r.Live[i] += n
+	}
+	if r.FlushBytes > 0 {
+		r.WriteAmp = float64(r.FlushBytes+r.MergeWriteBytes) / float64(r.FlushBytes)
+	}
+}
+
+// compactor is the per-instance overlay engine.
+type compactor struct {
+	s      *Instance
+	policy string
+	// segUnits is the foreground segment size in disk units; a tier-t
+	// segment of the tiered policy covers segUnits·fanout^t units.
+	segUnits int64
+	flushMS  float64
+	fanout   int64
+
+	units   int64 // drive address space (wrap limit)
+	cursor  int64 // next append position
+	started bool  // the flush cadence is armed at most once
+
+	// starts[t] holds the start unit of every live segment at tier/level
+	// t, in age order — merge inputs are the oldest.
+	starts  [][]int64
+	merging bool
+
+	flushes, merges                             int64
+	flushBytes, mergeReadBytes, mergeWriteBytes int64
+
+	mFlushes, mMerges           *metrics.Counter
+	mFlushB, mMergeRB, mMergeWB *metrics.Counter
+}
+
+// newCompactor builds the overlay state (no events yet — start arms the
+// flush cadence when measurement begins) and registers its metrics series,
+// which therefore exist only on armed runs.
+func newCompactor(s *Instance) *compactor {
+	cc := s.cfg.Workload.Compact
+	c := &compactor{
+		s:       s,
+		policy:  cc.EffectivePolicy(),
+		flushMS: cc.EffectiveFlushEveryMS(),
+		fanout:  int64(cc.EffectiveFanout()),
+		units:   s.dsys.Units(),
+	}
+	c.segUnits = (cc.EffectiveSegmentBytes() + s.dsys.UnitBytes() - 1) / s.dsys.UnitBytes()
+	if c.segUnits < 1 {
+		c.segUnits = 1
+	}
+	if c.segUnits > c.units {
+		c.segUnits = c.units
+	}
+	if reg := s.cfg.Metrics; reg != nil {
+		c.mFlushes = reg.Counter("compact.flushes")
+		c.mMerges = reg.Counter("compact.merges")
+		c.mFlushB = reg.Counter("compact.flush_bytes")
+		c.mMergeRB = reg.Counter("compact.merge_read_bytes")
+		c.mMergeWB = reg.Counter("compact.merge_write_bytes")
+		reg.TimelineFunc("compact.live_segments", func() float64 {
+			var n int64
+			for _, tier := range c.starts {
+				n += int64(len(tier))
+			}
+			return float64(n)
+		})
+	}
+	return c
+}
+
+// start arms the foreground flush cadence. Re-arming (a second
+// measurement phase) is a no-op: the cadence never stops.
+func (c *compactor) start(now float64) {
+	if c.started {
+		return
+	}
+	c.started = true
+	var tick sim.Handler
+	tick = func(now float64) {
+		c.flush(now)
+		c.s.eng.After(c.flushMS, tick)
+	}
+	c.s.eng.After(c.flushMS, tick)
+}
+
+// place claims a contiguous run of n units at the append cursor, wrapping
+// to the start of the address space when the tail would overflow.
+func (c *compactor) place(n int64) int64 {
+	if n > c.units {
+		n = c.units
+	}
+	if c.cursor+n > c.units {
+		c.cursor = 0
+	}
+	start := c.cursor
+	c.cursor += n
+	return start
+}
+
+// flush appends one foreground log segment: a sequential write through
+// the normal queues, fault-visible like any workload write.
+func (c *compactor) flush(now float64) {
+	n := c.segUnits
+	start := c.place(n)
+	c.flushes++
+	c.flushBytes += n * c.s.dsys.UnitBytes()
+	c.mFlushes.Inc()
+	c.mFlushB.Add(n * c.s.dsys.UnitBytes())
+	c.s.dsys.Submit(&disk.Request{
+		Runs:  []disk.Run{{Start: start, Len: n}},
+		Write: true,
+		Done: func(now float64) {
+			c.tierAppend(0, start)
+			c.maybeMerge(now)
+		},
+	})
+}
+
+// tierAppend records a live segment at tier t.
+func (c *compactor) tierAppend(t int, start int64) {
+	for len(c.starts) <= t {
+		c.starts = append(c.starts, nil)
+	}
+	c.starts[t] = append(c.starts[t], start)
+}
+
+// tierSegUnits is the size of one tier-t segment in units: merges widen
+// tiered segments by fanout per tier, while leveled segments stay
+// log-sized.
+func (c *compactor) tierSegUnits(t int) int64 {
+	n := c.segUnits
+	if c.policy == workload.CompactTiered {
+		for i := 0; i < t; i++ {
+			if n > c.units/c.fanout {
+				return c.units // clamp: wider than the disk
+			}
+			n *= c.fanout
+		}
+	}
+	return n
+}
+
+// maybeMerge starts at most one background merge; the completion handler
+// re-checks, so a backlog drains one merge at a time.
+func (c *compactor) maybeMerge(now float64) {
+	if c.merging {
+		return
+	}
+	switch c.policy {
+	case workload.CompactTiered:
+		c.maybeMergeTiered(now)
+	case workload.CompactLeveled:
+		c.maybeMergeLeveled(now)
+	}
+}
+
+// maybeMergeTiered merges the lowest tier holding fanout segments into
+// one segment of the next tier: read them all, write the union.
+func (c *compactor) maybeMergeTiered(now float64) {
+	for t := 0; t < len(c.starts); t++ {
+		if int64(len(c.starts[t])) < c.fanout {
+			continue
+		}
+		in := c.starts[t][:c.fanout]
+		inUnits := c.tierSegUnits(t)
+		reads := make([]disk.Run, len(in))
+		for i, st := range in {
+			reads[i] = disk.Run{Start: st, Len: inUnits}
+		}
+		outUnits := c.tierSegUnits(t + 1)
+		outStart := c.place(outUnits)
+		c.starts[t] = append(c.starts[t][:0], c.starts[t][c.fanout:]...)
+		c.runMerge(now, t+1, outStart, reads, outUnits)
+		return
+	}
+}
+
+// maybeMergeLeveled merges one victim segment of the shallowest
+// overflowing level (level L holds fanout^(L+1) segments) with its
+// overlapping segments one level down, rewriting them all.
+func (c *compactor) maybeMergeLeveled(now float64) {
+	cap := c.fanout
+	for t := 0; t < len(c.starts); t++ {
+		if int64(len(c.starts[t])) > cap {
+			victim := c.starts[t][0]
+			c.starts[t] = append(c.starts[t][:0], c.starts[t][1:]...)
+			overlap := c.fanout
+			if t+1 < len(c.starts) && int64(len(c.starts[t+1])) < overlap {
+				overlap = int64(len(c.starts[t+1]))
+			} else if t+1 >= len(c.starts) {
+				overlap = 0
+			}
+			reads := make([]disk.Run, 0, overlap+1)
+			reads = append(reads, disk.Run{Start: victim, Len: c.segUnits})
+			for i := int64(0); i < overlap; i++ {
+				reads = append(reads, disk.Run{Start: c.starts[t+1][0], Len: c.segUnits})
+				c.starts[t+1] = append(c.starts[t+1][:0], c.starts[t+1][1:]...)
+			}
+			// The rewritten run lands contiguously in the next level; each
+			// input segment re-enters the level's age order.
+			outUnits := (overlap + 1) * c.segUnits
+			if outUnits > c.units {
+				outUnits = c.units
+			}
+			outStart := c.place(outUnits)
+			for i := int64(0); i < outUnits/c.segUnits; i++ {
+				c.tierAppend(t+1, outStart+i*c.segUnits)
+			}
+			c.runMergeRuns(now, outStart, reads, outUnits)
+			return
+		}
+		if cap > c.units { // int64-overflow guard; such a level never fills
+			return
+		}
+		cap *= c.fanout
+	}
+}
+
+// runMerge performs a tiered merge: internal reads of every input, then
+// one internal write of the merged segment, then bookkeeping.
+func (c *compactor) runMerge(now float64, outTier int, outStart int64, reads []disk.Run, outUnits int64) {
+	c.merging = true
+	c.s.dsys.Submit(&disk.Request{
+		Runs:     reads,
+		Internal: true,
+		Done: func(now float64) {
+			c.s.dsys.Submit(&disk.Request{
+				Runs:     []disk.Run{{Start: outStart, Len: outUnits}},
+				Write:    true,
+				Internal: true,
+				Done: func(now float64) {
+					c.tierAppend(outTier, outStart)
+					c.finishMerge(now, reads, outUnits)
+				},
+			})
+		},
+	})
+}
+
+// runMergeRuns is the leveled variant: bookkeeping for the outputs was
+// done up front (they re-enter their level individually).
+func (c *compactor) runMergeRuns(now float64, outStart int64, reads []disk.Run, outUnits int64) {
+	c.merging = true
+	c.s.dsys.Submit(&disk.Request{
+		Runs:     reads,
+		Internal: true,
+		Done: func(now float64) {
+			c.s.dsys.Submit(&disk.Request{
+				Runs:     []disk.Run{{Start: outStart, Len: outUnits}},
+				Write:    true,
+				Internal: true,
+				Done: func(now float64) {
+					c.finishMerge(now, reads, outUnits)
+				},
+			})
+		},
+	})
+}
+
+// finishMerge credits the merge volume and looks for the next merge.
+func (c *compactor) finishMerge(now float64, reads []disk.Run, outUnits int64) {
+	ub := c.s.dsys.UnitBytes()
+	var readUnits int64
+	for _, r := range reads {
+		readUnits += r.Len
+	}
+	c.merges++
+	c.mergeReadBytes += readUnits * ub
+	c.mergeWriteBytes += outUnits * ub
+	c.mMerges.Inc()
+	c.mMergeRB.Add(readUnits * ub)
+	c.mMergeWB.Add(outUnits * ub)
+	c.merging = false
+	c.maybeMerge(now)
+}
+
+// report assembles the end-of-run summary.
+func (c *compactor) report() CompactionReport {
+	r := CompactionReport{
+		Policy:          c.policy,
+		Segments:        c.flushes,
+		Merges:          c.merges,
+		FlushBytes:      c.flushBytes,
+		MergeReadBytes:  c.mergeReadBytes,
+		MergeWriteBytes: c.mergeWriteBytes,
+		Live:            make([]int64, len(c.starts)),
+	}
+	for t, tier := range c.starts {
+		r.Live[t] = int64(len(tier))
+	}
+	if c.flushBytes > 0 {
+		r.WriteAmp = float64(c.flushBytes+c.mergeWriteBytes) / float64(c.flushBytes)
+	}
+	return r
+}

@@ -63,6 +63,10 @@ type PerfResult struct {
 	// results — present only for multi-instance cluster runs, so plain
 	// results serialize exactly as before.
 	Cluster *ClusterReport `json:",omitempty"`
+	// Compaction is the log-structured overlay's report — segment flushes,
+	// merges, write amplification — present only when the workload armed
+	// one, so plain results serialize exactly as before.
+	Compaction *CompactionReport `json:",omitempty"`
 }
 
 // RunAllocation performs the allocation test: initialization, then only
@@ -261,6 +265,10 @@ func (s *Instance) perfTail(end float64) (PerfResult, error) {
 	res.FinalUtilization = s.fsys.Utilization()
 	if s.inj != nil {
 		res.Faults = s.inj.Report(end)
+	}
+	if s.comp != nil {
+		cr := s.comp.report()
+		res.Compaction = &cr
 	}
 	if err := s.fsys.Check(); err != nil {
 		return res, fmt.Errorf("core: post-run fsck: %w", err)

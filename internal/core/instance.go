@@ -152,7 +152,15 @@ const (
 	allocationTest testKind = iota
 	applicationTest
 	sequentialTest
+	agingTest
 )
+
+// spaceOnly reports whether the kind measures space rather than time: the
+// disk system is detached (operations complete immediately), latency is
+// meaningless, and faults — a timing phenomenon — do not apply.
+func (k testKind) spaceOnly() bool {
+	return k == allocationTest || k == agingTest
+}
 
 // Instance is one live simulated file server: disk array, allocation
 // policy, file system, and the per-file-type populations — everything
@@ -175,6 +183,8 @@ type Instance struct {
 	types   []*typeState
 	tracker *stats.ThroughputTracker
 	tracer  *trace.Tracer
+
+	comp *compactor // log-structured overlay; nil unless armed
 
 	ops        int64
 	allocFails int64
@@ -278,7 +288,7 @@ func newInstance(cfg Config, kind testKind, eng *sim.Engine, idx int) (*Instance
 	}
 	seed := cfg.Seed + int64(idx)*instanceSeedStride
 	s := &Instance{cfg: cfg, kind: kind, idx: idx, seed: seed, eng: eng, rng: sim.NewRNG(seed)}
-	if kind != allocationTest {
+	if !kind.spaceOnly() {
 		s.latencyH = stats.NewHistogram(latencyBounds)
 	}
 	dsys, err := disk.New(cfg.Disk, s.eng)
@@ -314,7 +324,7 @@ func newInstance(cfg Config, kind testKind, eng *sim.Engine, idx int) (*Instance
 		return nil, err
 	}
 	attached := dsys
-	if kind == allocationTest {
+	if kind.spaceOnly() {
 		attached = nil
 	}
 	fsys, err := fs.New(policy, attached, dsys.UnitBytes())
@@ -322,12 +332,21 @@ func newInstance(cfg Config, kind testKind, eng *sim.Engine, idx int) (*Instance
 		return nil, err
 	}
 	s.fsys = fsys
-	if cfg.Faults.Enabled() && kind != allocationTest {
+	if cfg.Faults.Enabled() && !kind.spaceOnly() {
 		inj, err := fault.NewInjector(cfg.Faults, seed, dsys, fsys)
 		if err != nil {
 			return nil, err
 		}
 		s.inj = inj
+	}
+	if cfg.Workload.Compact != nil {
+		// The overlay needs real drive traffic and a throughput phase; the
+		// space-only and sequential kinds have neither use for it.
+		if kind != applicationTest {
+			return nil, fmt.Errorf("core: compaction overlay requires the application test, not the %s test",
+				[...]string{"alloc", "app", "seq", "aging"}[kind])
+		}
+		s.comp = newCompactor(s)
 	}
 	s.wireMetrics(kind)
 	s.startMetricsTick()
@@ -471,7 +490,7 @@ func (u *userOp) complete(now float64) {
 			opNames[u.op], u.ts.ft.Name, u.f.Length(), now-u.issued)
 	}
 	s.mOps[u.op].Inc()
-	if s.kind != allocationTest {
+	if !s.kind.spaceOnly() {
 		s.latency.Add(now - u.issued)
 		if s.latencyH != nil {
 			s.latencyH.Add(now - u.issued)
@@ -564,7 +583,7 @@ const (
 // sequential test performs only reads and writes.
 func (s *Instance) pickOp(ft *workload.FileType) opKind {
 	switch s.kind {
-	case allocationTest:
+	case allocationTest, agingTest:
 		// "Only the extend, truncate, delete, and create operations in the
 		// proportion as expressed by the file type parameters" (§3).
 		// Creates run at the delete rate and add brand-new files, so the
@@ -614,7 +633,7 @@ func (s *Instance) pickOp(ft *workload.FileType) opKind {
 // user's continuations carry it to its simulated completion.
 func (s *Instance) doOp(u *userOp) {
 	s.ops++
-	if s.kind == allocationTest && s.ops > s.cfg.MaxOps {
+	if s.kind.spaceOnly() && s.ops > s.cfg.MaxOps {
 		s.eng.Stop()
 		return
 	}
@@ -643,7 +662,9 @@ func (s *Instance) doOp(u *userOp) {
 	// extend.
 	if s.kind != allocationTest {
 		switch util := s.fsys.Utilization(); {
-		case op == opExtend && util > s.cfg.UpperUtil:
+		case (op == opExtend || op == opCreate) && util > s.cfg.UpperUtil:
+			// Creates are in the mix only on the aging test, whose churn
+			// must stay inside the band instead of growing until full.
 			op = opDealloc
 		case op == opDealloc && util < s.cfg.LowerUtil:
 			op = opExtend
@@ -673,6 +694,17 @@ func (s *Instance) doOp(u *userOp) {
 			u.complete(s.eng.Now())
 			return
 		}
+		if s.kind == agingTest {
+			// Aging churns space without disk timing; a failed grow is the
+			// §2.2 disk-full condition — log it and carry on, the band
+			// keeping above pulls utilization back down.
+			if err := f.Allocate(size); err != nil {
+				s.allocFails++
+				s.mAllocFails.Inc()
+			}
+			u.complete(s.eng.Now())
+			return
+		}
 		u.inFlight = size
 		if err := f.Extend(size, u.extendDone); err != nil {
 			s.allocFails++ // disk full: log and reschedule (§2.2)
@@ -683,7 +715,14 @@ func (s *Instance) doOp(u *userOp) {
 		nf := s.fsys.Create(ft.AllocSizeBytes)
 		size := s.drawInitialSize(ft)
 		if err := nf.Allocate(size); err != nil {
-			s.markFull(s.eng.Now())
+			if s.kind != agingTest {
+				s.markFull(s.eng.Now())
+				return
+			}
+			s.allocFails++
+			s.mAllocFails.Inc()
+			nf.Delete()
+			u.complete(s.eng.Now())
 			return
 		}
 		ts.files = append(ts.files, nf)
@@ -735,6 +774,9 @@ func (s *Instance) startTracker() {
 		s.cfg.WindowMS, s.dsys.MaxBandwidth(), s.cfg.TolerancePct, s.cfg.StableWindows)
 	s.tracker = tr
 	tr.Start(s.eng.Now())
+	if s.comp != nil {
+		s.comp.start(s.eng.Now())
+	}
 	var tick sim.Handler
 	tick = func(now float64) {
 		if s.tracker != tr {

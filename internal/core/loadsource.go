@@ -215,6 +215,8 @@ func kindState(kind TestKind) (testKind, error) {
 		return applicationTest, nil
 	case Sequential:
 		return sequentialTest, nil
+	case Aging:
+		return agingTest, nil
 	default:
 		return 0, fmt.Errorf("core: unknown test kind %d", int(kind))
 	}

@@ -23,7 +23,7 @@ func (s *Instance) wireMetrics(kind testKind) {
 	}
 	reg.SetLabel("policy", s.cfg.Policy.Name())
 	reg.SetLabel("workload", s.cfg.Workload.Name)
-	reg.SetLabel("test", [...]string{"alloc", "app", "seq"}[kind])
+	reg.SetLabel("test", [...]string{"alloc", "app", "seq", "aging"}[kind])
 	reg.SetLabel("seed", strconv.FormatInt(s.cfg.Seed, 10))
 
 	s.dsys.SetMetrics(reg)
@@ -45,6 +45,19 @@ func (s *Instance) wireMetrics(kind testKind) {
 	reg.TimelineFunc("frag.internal_pct", s.fsys.InternalFragPct)
 	reg.TimelineFunc("frag.external_pct", s.fsys.ExternalFragPct)
 	reg.TimelineFunc("frag.utilization", s.fsys.Utilization)
+
+	// Free-space-shape timelines, only on the aging test — other kinds'
+	// bundles keep their existing series set byte for byte.
+	if kind == agingTest {
+		if fr, ok := s.fsys.Policy().(alloc.FreeSpaceReporter); ok {
+			reg.TimelineFunc("frag.free_fragments", func() float64 {
+				return float64(fr.FreeSpaceStats().Fragments)
+			})
+			reg.TimelineFunc("frag.largest_free_units", func() float64 {
+				return float64(fr.FreeSpaceStats().LargestUnits)
+			})
+		}
+	}
 
 	// Fault timelines, only when a scenario is armed — fault-free bundles
 	// keep their pre-fault series set.
@@ -151,6 +164,14 @@ func (s *Instance) finalizeMetrics() {
 	reg.Gauge("workload.types").Set(types)
 
 	reg.Gauge("core.ops_total").Set(float64(s.ops))
+
+	if s.kind == agingTest {
+		if fr, ok := s.fsys.Policy().(alloc.FreeSpaceReporter); ok {
+			st := fr.FreeSpaceStats()
+			reg.Gauge("frag.final_free_fragments").Set(float64(st.Fragments))
+			reg.Gauge("frag.final_largest_free_units").Set(float64(st.LargestUnits))
+		}
+	}
 
 	if s.inj != nil {
 		fst := s.dsys.FaultStats(s.eng.Now())

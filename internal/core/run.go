@@ -23,6 +23,12 @@ const (
 	// AllocationRealloc is the allocation test followed by Koch's nightly
 	// reallocator (§4.1's excluded rearranger).
 	AllocationRealloc
+	// Aging is the long-horizon fragmentation-decay test: create / grow /
+	// truncate / delete churn held inside the §2.2 utilization band for
+	// days of simulated time, with the free-space shape sampled along the
+	// way (Sears & van Ingen's aging methodology). Like the allocation
+	// test it measures space, not time, so it runs without disk timing.
+	Aging
 )
 
 // String implements fmt.Stringer with short identifiers for reports.
@@ -36,6 +42,8 @@ func (k TestKind) String() string {
 		return "seq"
 	case AllocationRealloc:
 		return "realloc"
+	case Aging:
+		return "aging"
 	default:
 		return fmt.Sprintf("TestKind(%d)", int(k))
 	}
@@ -61,6 +69,7 @@ type Outcome struct {
 	Frag    FragResult    // Allocation
 	Perf    PerfResult    // Application, Sequential
 	Realloc ReallocResult // AllocationRealloc
+	Aging   AgingResult   // Aging
 	Stats   RunStats
 	// Metrics is the run's registry (Config.Metrics, finalized); nil when
 	// metrics were disabled.
@@ -91,6 +100,10 @@ func Run(cfg Config, kind TestKind) (Outcome, error) {
 	case AllocationRealloc:
 		if s, err = newInstance(cfg, allocationTest, nil, 0); err == nil {
 			out.Realloc, err = s.allocationRealloc()
+		}
+	case Aging:
+		if s, err = newInstance(cfg, agingTest, nil, 0); err == nil {
+			out.Aging, err = s.aging()
 		}
 	default:
 		return out, fmt.Errorf("core: unknown test kind %d", int(kind))

@@ -187,6 +187,12 @@ type Request struct {
 	// falls back to Done (the caller cannot distinguish, but the operation
 	// stream continues).
 	Fail func(now float64)
+	// Internal marks background maintenance I/O (compaction merges, like
+	// the rebuild engine's reconstruction reads): it competes through the
+	// per-drive queues and busy time as usual but is excluded from the
+	// system's throughput and latency accounting, and — being assumed
+	// verified — never draws transient errors.
+	Internal bool
 }
 
 // Bytes returns the request's total payload given the system's unit size.
@@ -504,11 +510,13 @@ func (s *System) Submit(req *Request) {
 		segs = s.degrade(segs)
 	}
 	if len(segs) == 0 {
-		s.totalBytes += payload
-		s.requests++
-		s.mRequests.Inc()
-		s.mBytes.Add(payload)
-		s.mLatency.Observe(0)
+		if !req.Internal {
+			s.totalBytes += payload
+			s.requests++
+			s.mRequests.Inc()
+			s.mBytes.Add(payload)
+			s.mLatency.Observe(0)
+		}
 		if req.Done != nil {
 			req.Done(s.eng.Now())
 		}
@@ -516,6 +524,7 @@ func (s *System) Submit(req *Request) {
 	}
 	p := s.newPending(len(segs), payload, req.Done)
 	p.fail = req.Fail
+	p.internal = req.Internal
 	p.submitMS = s.eng.Now()
 	for _, sg := range segs {
 		sg.seg.req = p

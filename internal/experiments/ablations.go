@@ -373,18 +373,18 @@ func AblationSkew(ctx context.Context, pool *runner.Pool, sc Scale) ([]SkewCell,
 	return cells, nil
 }
 
-// AgingCell reports one fixed-block free-list discipline (A8).
-type AgingCell struct {
+// FreeListCell reports one fixed-block free-list discipline (A8).
+type FreeListCell struct {
 	Policy string
 	SeqPct float64
 	AppPct float64
 }
 
-// AblationAging contrasts the V7-style LIFO free list against an
+// AblationFreeList contrasts the V7-style LIFO free list against an
 // address-ordered one on the aged TS workload — isolating how much of the
 // fixed-block baseline's penalty is free-list aging versus block-at-a-time
 // transfer.
-func AblationAging(ctx context.Context, pool *runner.Pool, sc Scale) ([]AgingCell, error) {
+func AblationFreeList(ctx context.Context, pool *runner.Pool, sc Scale) ([]FreeListCell, error) {
 	wl, err := sc.Workload("TS")
 	if err != nil {
 		return nil, err
@@ -401,11 +401,11 @@ func AblationAging(ctx context.Context, pool *runner.Pool, sc Scale) ([]AgingCel
 	}
 	outs, err := runAll(ctx, pool, specs)
 	if err != nil {
-		return nil, fmt.Errorf("aging ablation: %w", err)
+		return nil, fmt.Errorf("free-list ablation: %w", err)
 	}
-	cells := make([]AgingCell, len(policies))
+	cells := make([]FreeListCell, len(policies))
 	for i, p := range policies {
-		cells[i] = AgingCell{Policy: p.Name(), SeqPct: outs[2*i].Perf.Percent, AppPct: outs[2*i+1].Perf.Percent}
+		cells[i] = FreeListCell{Policy: p.Name(), SeqPct: outs[2*i].Perf.Percent, AppPct: outs[2*i+1].Perf.Percent}
 	}
 	return cells, nil
 }

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"rofs/internal/core"
+	"rofs/internal/runner"
+	"rofs/internal/workload"
+)
+
+// The aging experiment runs the §5 comparison set through days of
+// simulated create/grow/truncate/delete churn on the TS workload — the one
+// whose small, short-lived files exercise free-space decay — and reports
+// the free-space shape over simulated time (Sears & van Ingen's
+// fragmentation-over-age methodology). The churn is space-only (no disk
+// timing), so the horizon is bounded by an operation budget, not by event
+// cost: think times are dilated by a fixed deterministic factor so the
+// expected operation count over the multi-day horizon stays near the
+// budget while the churn's mix and relative rates are preserved.
+
+// agingHorizon returns the simulated-time horizon and operation budget for
+// a scale: three days of churn at full scale, one day at bench scale.
+func agingHorizon(sc Scale) (horizonMS, opsBudget float64) {
+	const dayMS = 24 * 3600 * 1000
+	if sc.Name == "full" {
+		return 3 * dayMS, 2_000_000
+	}
+	return 1 * dayMS, 150_000
+}
+
+// agingDilate returns a deep copy of the workload with think times (and
+// the start-stagger horizon) multiplied so the expected closed-loop
+// operation count over horizonMS is at most opsBudget. The factor is pure
+// arithmetic on the workload parameters, so it folds into the runner.Spec
+// cache key through the Types values.
+func agingDilate(wl workload.Workload, horizonMS, opsBudget float64) workload.Workload {
+	out := workload.Workload{Name: wl.Name, Types: make([]workload.FileType, len(wl.Types))}
+	copy(out.Types, wl.Types)
+	var perMS float64
+	for i := range out.Types {
+		if out.Types[i].ProcessTimeMS > 0 {
+			perMS += float64(out.Types[i].Users) / out.Types[i].ProcessTimeMS
+		}
+	}
+	factor := perMS * horizonMS / opsBudget
+	if factor < 1 {
+		factor = 1
+	}
+	for i := range out.Types {
+		out.Types[i].ProcessTimeMS *= factor
+		out.Types[i].HitFreqMS *= factor
+	}
+	return out
+}
+
+// AgingRow is one allocator's aging run: the sampled free-space decay
+// timeline over the churn horizon.
+type AgingRow struct {
+	Policy string
+	Result core.AgingResult
+}
+
+// AgingSpecs declares one aging run per §5 policy on the dilated TS
+// workload.
+func AgingSpecs(sc Scale) ([]runner.Spec, error) {
+	wl, err := sc.Workload("TS")
+	if err != nil {
+		return nil, err
+	}
+	policies, err := sc.Figure6Policies("TS")
+	if err != nil {
+		return nil, err
+	}
+	horizon, budget := agingHorizon(sc)
+	aged := agingDilate(wl, horizon, budget)
+	specs := make([]runner.Spec, 0, len(policies))
+	for _, p := range policies {
+		sp := sc.Spec(p, aged, core.Aging)
+		sp.MaxSimMS = horizon
+		specs = append(specs, sp)
+	}
+	return specs, nil
+}
+
+// AgingTable runs the aging experiment: per-allocator free-space decay
+// over days of simulated churn.
+func AgingTable(ctx context.Context, p *runner.Pool, sc Scale) ([]AgingRow, error) {
+	specs, err := AgingSpecs(sc)
+	if err != nil {
+		return nil, err
+	}
+	outs, err := runAll(ctx, p, specs)
+	if err != nil {
+		return nil, fmt.Errorf("aging: %w", err)
+	}
+	rows := make([]AgingRow, len(outs))
+	for i, out := range outs {
+		rows[i] = AgingRow{Policy: specs[i].Policy.Name(), Result: out.Aging}
+	}
+	return rows, nil
+}

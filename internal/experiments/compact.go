@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"rofs/internal/core"
+	"rofs/internal/runner"
+	"rofs/internal/workload"
+)
+
+// The compaction experiment prices the log-structured overlay: the TP
+// application test runs bare, then with a size-tiered merge engine, then
+// with a leveled one, all under the restricted buddy policy. The segment
+// stream and merge I/O go through the same per-drive queues as the
+// workload, so the throughput and latency deltas are the cost of the
+// write-optimized design's background work on a read-optimized system.
+
+// CompactRow reports one overlay variant.
+type CompactRow struct {
+	// Overlay is "off", "tiered", or "leveled".
+	Overlay       string
+	Percent       float64
+	MeanLatencyMS float64
+	P95LatencyMS  float64
+	// Compaction is nil for the bare run.
+	Compaction *core.CompactionReport
+}
+
+// CompactionSpecs declares the three TP application runs: bare, tiered,
+// leveled.
+func CompactionSpecs(sc Scale) ([]runner.Spec, []string, error) {
+	wl, err := sc.Workload("TP")
+	if err != nil {
+		return nil, nil, err
+	}
+	overlays := []string{"off", workload.CompactTiered, workload.CompactLeveled}
+	specs := make([]runner.Spec, 0, len(overlays))
+	for _, ov := range overlays {
+		w := wl
+		if ov != "off" {
+			w.Compact = &workload.Compaction{Policy: ov}
+		}
+		specs = append(specs, sc.Spec(core.RBuddy(5, 1, true), w, core.Application))
+	}
+	return specs, overlays, nil
+}
+
+// CompactionTable runs the overlay comparison.
+func CompactionTable(ctx context.Context, p *runner.Pool, sc Scale) ([]CompactRow, error) {
+	specs, overlays, err := CompactionSpecs(sc)
+	if err != nil {
+		return nil, err
+	}
+	outs, err := runAll(ctx, p, specs)
+	if err != nil {
+		return nil, fmt.Errorf("compaction: %w", err)
+	}
+	rows := make([]CompactRow, len(outs))
+	for i, out := range outs {
+		rows[i] = CompactRow{
+			Overlay:       overlays[i],
+			Percent:       out.Perf.Percent,
+			MeanLatencyMS: out.Perf.MeanLatencyMS,
+			P95LatencyMS:  out.Perf.P95LatencyMS,
+			Compaction:    out.Perf.Compaction,
+		}
+	}
+	return rows, nil
+}

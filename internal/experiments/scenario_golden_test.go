@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rofs/internal/cluster"
+	"rofs/internal/core"
+	"rofs/internal/runner"
+	"rofs/internal/workload"
+)
+
+// Goldens for the scenario layer: the aging fragmentation timeline and
+// the seeded compaction workload. Each renderer takes a fresh pool so
+// the jobs / parallelism comparisons below exercise real re-execution —
+// a shared pool would answer the second run from its cache and prove
+// nothing.
+
+// renderAgingGolden renders the full aging timeline — every sample of
+// every policy at full float64 precision — from a fresh pool with the
+// given worker count.
+func renderAgingGolden(t *testing.T, jobs int) []byte {
+	t.Helper()
+	rows, err := AgingTable(context.Background(), runner.New(jobs), BenchScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, r := range rows {
+		fmt.Fprintf(&buf, "# %s: %d ops, %d alloc fails, %d samples\n",
+			r.Policy, r.Result.Ops, r.Result.AllocFails, len(r.Result.Samples))
+		for _, s := range r.Result.Samples {
+			fmt.Fprintf(&buf, "%s t=%.17g util=%.17g int=%.17g ext=%.17g frags=%d largest=%d files=%d mean=%.17g ops=%d fails=%d\n",
+				r.Policy, s.SimMS, s.Utilization, s.InternalPct, s.ExternalPct,
+				s.FreeFragments, s.LargestFreeUnits, s.Files, s.MeanFileBytes,
+				s.Ops, s.AllocFails)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestAgingGolden pins the aging fragmentation timeline byte-for-byte at
+// bench scale, and proves the pool's -jobs knob is an execution detail:
+// a serial pool and an 8-worker pool render identical bytes.
+func TestAgingGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-day aging simulation; skipped in -short")
+	}
+	got := renderAgingGolden(t, 1)
+	path := filepath.Join("testdata", "aging_bench_seed42.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing golden (run with -update to create): %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("aging timeline diverged from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+		}
+	}
+	if par := renderAgingGolden(t, 8); !bytes.Equal(got, par) {
+		t.Fatalf("aging timeline differs between jobs=1 and jobs=8:\n--- jobs=1 ---\n%s\n--- jobs=8 ---\n%s", got, par)
+	}
+}
+
+// renderCompactionGolden renders the compaction comparison (bare, tiered,
+// leveled) plus a two-instance fleet run of the tiered overlay, from a
+// fresh pool with the given worker count and fleet parallelism.
+func renderCompactionGolden(t *testing.T, jobs, par int) []byte {
+	t.Helper()
+	ctx := context.Background()
+	pool := runner.New(jobs)
+	sc := BenchScale()
+	var buf bytes.Buffer
+	rows, err := CompactionTable(ctx, pool, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&buf, "%s pct=%.17g mean=%.17g p95=%.17g", r.Overlay,
+			r.Percent, r.MeanLatencyMS, r.P95LatencyMS)
+		if c := r.Compaction; c != nil {
+			fmt.Fprintf(&buf, " segs=%d merges=%d flush=%d mread=%d mwrite=%d amp=%.17g live=%v",
+				c.Segments, c.Merges, c.FlushBytes, c.MergeReadBytes, c.MergeWriteBytes,
+				c.WriteAmp, c.Live)
+		}
+		buf.WriteByte('\n')
+	}
+
+	// A compacting fleet: the overlay's merge engine runs inside each
+	// instance, and the Parallelism knob must not leak into the results.
+	wl, err := sc.Workload("TP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl.Arrivals = &workload.Arrivals{RatePerSec: 100}
+	wl.Compact = &workload.Compaction{Policy: workload.CompactTiered}
+	sp := sc.Spec(core.RBuddy(5, 1, true), wl, core.Application)
+	sp.Cluster = cluster.Config{Instances: 2, Parallelism: par}
+	outs, err := runAll(ctx, pool, []runner.Spec{sp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perf := outs[0].Perf
+	fmt.Fprintf(&buf, "fleet pct=%.17g mean=%.17g p95=%.17g", perf.Percent,
+		perf.MeanLatencyMS, perf.P95LatencyMS)
+	if c := perf.Compaction; c != nil {
+		fmt.Fprintf(&buf, " segs=%d merges=%d amp=%.17g live=%v",
+			c.Segments, c.Merges, c.WriteAmp, c.Live)
+	}
+	buf.WriteByte('\n')
+	return buf.Bytes()
+}
+
+// TestCompactionGolden pins the seeded compaction workload byte-for-byte
+// and proves both execution knobs are invisible to the results: pool
+// -jobs (1 vs 8) and fleet -par (serial vs 4 workers).
+func TestCompactionGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compaction simulations; skipped in -short")
+	}
+	got := renderCompactionGolden(t, 1, 1)
+	path := filepath.Join("testdata", "compact_bench_seed42.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing golden (run with -update to create): %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("compaction results diverged from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+		}
+	}
+	if par := renderCompactionGolden(t, 8, 4); !bytes.Equal(got, par) {
+		t.Fatalf("compaction results differ between jobs=1/par=1 and jobs=8/par=4:\n--- serial ---\n%s\n--- parallel ---\n%s", got, par)
+	}
+}

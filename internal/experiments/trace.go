@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"rofs/internal/core"
+	"rofs/internal/runner"
+	"rofs/internal/workload"
+)
+
+// The trace experiment replays one open-loop arrival trace — imported from
+// a blktrace-style file or synthesized — against the §5 comparison set on
+// the TP workload, so the same timestamped request stream is offered to
+// every allocator and the differences are pure policy.
+
+// TraceRow reports one allocator's replay of the trace.
+type TraceRow struct {
+	Policy string
+	// Ops is the number of completed operations (trace arrivals plus the
+	// drain of in-flight work).
+	Ops int64
+	// Percent is throughput as a percent of the disk system's maximum
+	// sustained bandwidth.
+	Percent       float64
+	MeanLatencyMS float64
+	P95LatencyMS  float64
+}
+
+// DemoTrace synthesizes a small deterministic trace covering all four
+// operations — the built-in input when no -arrival-trace file is given.
+func DemoTrace() *workload.Arrivals {
+	const n = 4000
+	pattern := []string{"read", "write", "read", "extend", "read", "write", "read", "dealloc"}
+	ops := make([]workload.TraceOp, n)
+	for i := range ops {
+		ops[i] = workload.TraceOp{
+			AtMS:   float64(i) * 5,
+			Op:     pattern[i%len(pattern)],
+			Client: i % 64,
+		}
+	}
+	return &workload.Arrivals{Mode: workload.ArrivalsTrace, Trace: ops}
+}
+
+// TraceSpecs declares one application-test replay of the trace per §5
+// policy on the TP workload.
+func TraceSpecs(sc Scale, a *workload.Arrivals) ([]runner.Spec, error) {
+	if a == nil {
+		a = DemoTrace()
+	}
+	wl, err := sc.Workload("TP")
+	if err != nil {
+		return nil, err
+	}
+	policies, err := sc.Figure6Policies("TP")
+	if err != nil {
+		return nil, err
+	}
+	wl.Arrivals = a
+	specs := make([]runner.Spec, 0, len(policies))
+	for _, p := range policies {
+		specs = append(specs, sc.Spec(p, wl, core.Application))
+	}
+	return specs, nil
+}
+
+// TraceTable replays the trace (nil: DemoTrace) across the §5 policies.
+func TraceTable(ctx context.Context, p *runner.Pool, sc Scale, a *workload.Arrivals) ([]TraceRow, error) {
+	specs, err := TraceSpecs(sc, a)
+	if err != nil {
+		return nil, err
+	}
+	outs, err := runAll(ctx, p, specs)
+	if err != nil {
+		return nil, fmt.Errorf("trace replay: %w", err)
+	}
+	rows := make([]TraceRow, len(outs))
+	for i, out := range outs {
+		rows[i] = TraceRow{
+			Policy:        specs[i].Policy.Name(),
+			Ops:           out.Perf.Ops,
+			Percent:       out.Perf.Percent,
+			MeanLatencyMS: out.Perf.MeanLatencyMS,
+			P95LatencyMS:  out.Perf.P95LatencyMS,
+		}
+	}
+	return rows, nil
+}

@@ -9,6 +9,7 @@ import (
 
 	"rofs/internal/alloc/extent"
 	"rofs/internal/core"
+	"rofs/internal/workload"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite golden files from the current key encoding")
@@ -36,6 +37,23 @@ func TestSpecKeyGolden(t *testing.T) {
 	// grid appends a |ckpt= term (and only then).
 	specs[4].Kind = core.Application
 	specs[4].CheckpointEveryMS = 10_000
+
+	// The scenario layer's variants, each appending its own term (and only
+	// when armed): the aging kind, an inline arrival trace, and the
+	// log-structured compaction overlay.
+	aging := testSpec(t, 42)
+	aging.Kind = core.Aging
+	traced := testSpec(t, 42)
+	traced.Kind = core.Application
+	traced.Workload.Arrivals = &workload.Arrivals{Trace: []workload.TraceOp{
+		{AtMS: 0, Op: "read"},
+		{AtMS: 500, Op: "write", Client: 3},
+		{AtMS: 1000, Op: "dealloc"},
+	}}
+	compacted := testSpec(t, 42)
+	compacted.Kind = core.Application
+	compacted.Workload.Compact = &workload.Compaction{Policy: workload.CompactLeveled, Fanout: 8}
+	specs = append(specs, aging, traced, compacted)
 
 	var b strings.Builder
 	for _, sp := range specs {

@@ -24,6 +24,7 @@ type storedResult struct {
 	Frag    *core.FragResult    `json:"frag,omitempty"`
 	Perf    *core.PerfResult    `json:"perf,omitempty"`
 	Realloc *core.ReallocResult `json:"realloc,omitempty"`
+	Aging   *core.AgingResult   `json:"aging,omitempty"`
 	Stats   core.RunStats       `json:"stats"`
 	WallNS  int64               `json:"wall_ns"`
 	Metrics json.RawMessage     `json:"metrics,omitempty"`
@@ -47,6 +48,9 @@ func encodeStored(out core.Outcome, wall time.Duration) ([]byte, error) {
 	case core.AllocationRealloc:
 		r := out.Realloc
 		env.Realloc = &r
+	case core.Aging:
+		a := out.Aging
+		env.Aging = &a
 	default:
 		return nil, fmt.Errorf("runner: cannot store outcome of kind %v", out.Kind)
 	}
@@ -91,6 +95,11 @@ func decodeStored(sp Spec, payload []byte) (core.Outcome, time.Duration, []byte,
 			return out, 0, nil, fmt.Errorf("runner: stored %s result missing realloc payload", env.Kind)
 		}
 		out.Realloc = *env.Realloc
+	case core.Aging:
+		if env.Aging == nil {
+			return out, 0, nil, fmt.Errorf("runner: stored %s result missing aging payload", env.Kind)
+		}
+		out.Aging = *env.Aging
 	}
 	return out, time.Duration(env.WallNS), []byte(env.Metrics), nil
 }

@@ -40,7 +40,7 @@ import (
 type RunRequest struct {
 	Policy   string `json:"policy"`          // buddy | rbuddy | extent | fixed
 	Workload string `json:"workload"`        // TS | TP | SC
-	Test     string `json:"test"`            // alloc | app | seq
+	Test     string `json:"test"`            // alloc | app | seq | aging
 	Scale    string `json:"scale,omitempty"` // full | bench (default bench)
 	Seed     int64  `json:"seed,omitempty"`  // default 42
 	Name     string `json:"name,omitempty"`  // presentation-only label
@@ -72,6 +72,11 @@ type RunRequest struct {
 	// timestamped trace, see internal/workload) to the workload; nil keeps
 	// the closed-loop user sessions. Application test only.
 	Arrivals *workload.Arrivals `json:"arrivals,omitempty"`
+
+	// Compaction arms the log-structured overlay: foreground segment
+	// flushes plus background merges through the same drive queues (see
+	// workload.Compaction). Application test only.
+	Compaction *workload.Compaction `json:"compaction,omitempty"`
 
 	// Cluster runs the request as an N-instance fleet through the cluster
 	// Deployment (see internal/cluster); nil or a zero config runs a plain
@@ -163,12 +168,26 @@ func (req *RunRequest) Spec() (runner.Spec, error) {
 		return zero, err
 	}
 	if req.Arrivals != nil {
+		if req.Arrivals.TraceFile != "" {
+			// The server never reads paths named by clients; rofs-client
+			// -arrival-trace loads the file and inlines the operations.
+			return zero, fmt.Errorf("arrivals trace_file is not accepted over HTTP; send the trace inline (rofs-client -arrival-trace does this)")
+		}
 		wl.Arrivals = req.Arrivals
 		if err := wl.Validate(); err != nil {
 			return zero, err
 		}
 		if req.Test != "app" {
 			return zero, fmt.Errorf("open-loop arrivals require the app test, not %q", req.Test)
+		}
+	}
+	if req.Compaction != nil {
+		wl.Compact = req.Compaction
+		if err := wl.Validate(); err != nil {
+			return zero, err
+		}
+		if req.Test != "app" {
+			return zero, fmt.Errorf("the compaction overlay requires the app test, not %q", req.Test)
 		}
 	}
 	var cl cluster.Config
@@ -190,8 +209,10 @@ func (req *RunRequest) Spec() (runner.Spec, error) {
 		kind = core.Application
 	case "seq":
 		kind = core.Sequential
+	case "aging":
+		kind = core.Aging
 	default:
-		return zero, fmt.Errorf("unknown test %q (want alloc, app, or seq)", req.Test)
+		return zero, fmt.Errorf("unknown test %q (want alloc, app, seq, or aging)", req.Test)
 	}
 
 	var policy core.PolicySpec
@@ -295,10 +316,11 @@ type RunStatus struct {
 // served.
 type RunResult struct {
 	Test string `json:"test"`
-	// Exactly one of Frag and Perf is set, selected by Test.
-	Frag  *core.FragResult `json:"frag,omitempty"`
-	Perf  *core.PerfResult `json:"perf,omitempty"`
-	Stats core.RunStats    `json:"stats"`
+	// Exactly one of Frag, Perf, and Aging is set, selected by Test.
+	Frag  *core.FragResult  `json:"frag,omitempty"`
+	Perf  *core.PerfResult  `json:"perf,omitempty"`
+	Aging *core.AgingResult `json:"aging,omitempty"`
+	Stats core.RunStats     `json:"stats"`
 	// Metrics is the run's rofs-metrics/v1 bundle (absent when the server
 	// runs with per-run metrics disabled).
 	Metrics json.RawMessage `json:"metrics,omitempty"`

@@ -91,6 +91,9 @@ func newRunResult(res runner.Result) (*RunResult, error) {
 	case core.Allocation, core.AllocationRealloc:
 		frag := res.Outcome.Frag
 		out.Frag = &frag
+	case core.Aging:
+		aging := res.Outcome.Aging
+		out.Aging = &aging
 	default:
 		perf := res.Outcome.Perf
 		out.Perf = &perf

@@ -105,6 +105,9 @@ type Workload struct {
 	// with an open-loop arrival process (Poisson or trace). Closed-loop
 	// runs leave it nil.
 	Arrivals *Arrivals `json:"Arrivals,omitempty"`
+	// Compact, when non-nil, overlays a log-structured segment stream with
+	// background merge-compaction on the run (application test only).
+	Compact *Compaction `json:"compact,omitempty"`
 }
 
 // Validate checks every file type.
@@ -122,6 +125,11 @@ func (w *Workload) Validate() error {
 			return err
 		}
 	}
+	if w.Compact != nil {
+		if err := w.Compact.Validate(w); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -133,6 +141,9 @@ func (w *Workload) KeyString() string {
 	s := fmt.Sprintf("{Name:%s Types:%+v}", w.Name, w.Types)
 	if w.Arrivals != nil {
 		s += "|arrivals{" + w.Arrivals.Key() + "}"
+	}
+	if w.Compact != nil {
+		s += "|compact{" + w.Compact.Key() + "}"
 	}
 	return s
 }

@@ -1,0 +1,120 @@
+#!/bin/sh
+# check_aging.sh — the aging-smoke gate, three contracts:
+#
+#   1. trace import end to end: a trace file replays over HTTP (loaded
+#      client-side, shipped inline), and a request still carrying a
+#      trace_file path is rejected with 400 — servers do not read
+#      client-local filesystems;
+#   2. determinism: the multi-day aging table reproduces byte for byte
+#      under the same seed;
+#   3. compaction: an armed run's metrics bundle shows nonzero background
+#      merge I/O — the overlay actually ran through the drive queues.
+set -eu
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+server_pid=""
+cleanup() {
+	[ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+echo "check_aging: building rofs-server, rofs-client, rofsim, rofs-tables"
+go build -o "$tmp/rofs-server" ./cmd/rofs-server
+go build -o "$tmp/rofs-client" ./cmd/rofs-client
+go build -o "$tmp/rofsim" ./cmd/rofsim
+go build -o "$tmp/rofs-tables" ./cmd/rofs-tables
+
+"$tmp/rofs-server" -addr 127.0.0.1:0 -addr-file "$tmp/addr" -jobs 2 \
+	2>"$tmp/server.log" &
+server_pid=$!
+i=0
+while [ ! -s "$tmp/addr" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo "check_aging: FAIL: server never wrote its address" >&2
+		cat "$tmp/server.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+ROFS_SERVER="http://$(cat "$tmp/addr")"
+export ROFS_SERVER
+echo "check_aging: server is up at $ROFS_SERVER"
+
+echo "check_aging: a trace file replays over HTTP (inlined client-side)"
+cat >"$tmp/ops.trace" <<'EOF'
+# mixed-grammar trace: simple lines and blkparse queue records
+0 read
+100 write - 3
+8,0 1 1 0.250000000 42 Q R 128 + 8 [smoke]
+400 extend
+8,0 1 2 0.500000000 42 Q W 256 + 16 [smoke]
+1000 dealloc - 7
+EOF
+out=$("$tmp/rofs-client" run -workload TP -test app -arrival-trace "$tmp/ops.trace" 2>&1)
+echo "$out" | grep -qi 'ops\|throughput' || {
+	echo "check_aging: FAIL: traced run over HTTP produced no result:" >&2
+	echo "$out" >&2
+	exit 1
+}
+
+echo "check_aging: a trace_file path in the request body is a 400"
+code=$(curl -s -o "$tmp/reject.json" -w '%{http_code}' -X POST \
+	-H 'Content-Type: application/json' \
+	-d '{"policy":"buddy","workload":"TP","test":"app","arrivals":{"trace_file":"/tmp/nope.trace"}}' \
+	"$ROFS_SERVER/v1/runs")
+if [ "$code" != "400" ]; then
+	echo "check_aging: FAIL: trace_file submission returned $code, want 400" >&2
+	cat "$tmp/reject.json" >&2
+	exit 1
+fi
+grep -q 'trace' "$tmp/reject.json" || {
+	echo "check_aging: FAIL: 400 body does not explain the trace_file rejection" >&2
+	cat "$tmp/reject.json" >&2
+	exit 1
+}
+
+echo "check_aging: the aging test runs over HTTP"
+out=$("$tmp/rofs-client" run -policy buddy -workload TS -test aging 2>&1)
+echo "$out" | grep -qi 'free frags\|aging' || {
+	echo "check_aging: FAIL: aging run over HTTP produced no timeline:" >&2
+	echo "$out" >&2
+	exit 1
+}
+
+echo "check_aging: the multi-day aging table reproduces byte for byte"
+# The wall-clock footer ("[aging in N.Ns]") necessarily differs between
+# runs; everything else — every table cell — must not.
+"$tmp/rofs-tables" -exp aging -scale bench 2>/dev/null |
+	grep -v '^ *\[aging in ' >"$tmp/aging1.txt"
+"$tmp/rofs-tables" -exp aging -scale bench 2>/dev/null |
+	grep -v '^ *\[aging in ' >"$tmp/aging2.txt"
+cmp "$tmp/aging1.txt" "$tmp/aging2.txt" || {
+	echo "check_aging: FAIL: seeded aging tables diverged" >&2
+	diff "$tmp/aging1.txt" "$tmp/aging2.txt" >&2 || true
+	exit 1
+}
+grep -q 'free-space decay' "$tmp/aging1.txt" || {
+	echo "check_aging: FAIL: no aging table in the output" >&2
+	cat "$tmp/aging1.txt" >&2
+	exit 1
+}
+
+echo "check_aging: an armed compaction run shows nonzero merge I/O"
+"$tmp/rofsim" -workload TP -test app -compact tiered -max-sim 60000 \
+	-metrics "$tmp/compact.json" >"$tmp/compact.txt" 2>/dev/null
+merged=$(sed -n 's/.*"compact\.merge_write_bytes": *\([0-9][0-9]*\).*/\1/p' "$tmp/compact.json")
+if [ -z "$merged" ] || [ "$merged" -eq 0 ]; then
+	echo "check_aging: FAIL: compact.merge_write_bytes missing or zero in the bundle" >&2
+	grep -o '"compact[^,}]*' "$tmp/compact.json" >&2 || cat "$tmp/compact.json" >&2
+	exit 1
+fi
+grep -q 'write amp' "$tmp/compact.txt" || {
+	echo "check_aging: FAIL: no compaction report in the rofsim output" >&2
+	cat "$tmp/compact.txt" >&2
+	exit 1
+}
+
+echo "check_aging: all aging-smoke checks passed"
